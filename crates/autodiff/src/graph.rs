@@ -1,0 +1,698 @@
+//! The reverse-mode tape.
+//!
+//! A [`Graph`] records every op during the forward pass; [`Graph::backward`]
+//! walks the tape in reverse, accumulating vector–Jacobian products. Ops are
+//! a closed enum (no boxed closures), which keeps the backward pass
+//! branch-predictable and the whole engine easy to audit.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Handle to a node in the graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+/// Neighbourhood aggregation kind for [`Graph::scatter_agg`] — the three
+/// strategies the paper's HPO sweep explores (mean was selected).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggKind {
+    /// Arithmetic mean of incoming messages.
+    Mean,
+    /// Sum of incoming messages.
+    Sum,
+    /// Element-wise maximum of incoming messages.
+    Max,
+}
+
+enum Op {
+    Leaf,
+    Add(usize, usize),
+    Sub(usize, usize),
+    MulElem(usize, usize),
+    Scale(usize, f64),
+    AddScalar(usize),
+    MatMul(usize, usize),
+    /// Materialised transpose (backward transposes the gradient back).
+    TransposeOf(usize),
+    Relu(usize),
+    Softplus(usize),
+    Square(usize),
+    Exp(usize),
+    Recip(usize),
+    /// Column-broadcast product: (m×n) ∘ (m×1).
+    MulBroadcastCol(usize, usize),
+    /// Row-broadcast addition: (m×n) + (1×n).
+    AddBroadcastRow(usize, usize),
+    /// Per-row layer normalisation (no affine), with cached mean/inv-std.
+    LayerNorm { src: usize, inv_std: Vec<f64>, normed: Tensor },
+    /// Dropout with a frozen mask (already scaled by 1/keep).
+    Dropout { src: usize, mask: Vec<f64> },
+    /// Column-wise concatenation of two tensors with equal row counts.
+    ConcatCols(usize, usize),
+    /// Row gather: out[r] = src[idx[r]].
+    RowGather { src: usize, idx: Vec<usize> },
+    /// Scatter-aggregate rows of `src` into `n_out` buckets by `seg`.
+    ScatterAgg {
+        src: usize,
+        seg: Vec<usize>,
+        kind: AggKind,
+        counts: Vec<f64>,
+        /// For Max: winning source row per (bucket, col); usize::MAX = none.
+        argmax: Vec<usize>,
+    },
+    /// Mean over all rows → 1×d.
+    MeanRows(usize),
+    /// Mean over all elements → 1×1.
+    MeanAll(usize),
+    /// Repeat a 1×d row m times → m×d.
+    RepeatRows(usize, usize),
+}
+
+/// A reverse-mode tape.
+#[derive(Default)]
+pub struct Graph {
+    values: Vec<Tensor>,
+    ops: Vec<Op>,
+}
+
+impl Graph {
+    /// Fresh empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Insert a leaf (input or parameter) tensor.
+    pub fn leaf(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf)
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.values[v.0]
+    }
+
+    fn push(&mut self, t: Tensor, op: Op) -> Var {
+        self.values.push(t);
+        self.ops.push(op);
+        Var(self.values.len() - 1)
+    }
+
+    fn shape(&self, v: Var) -> (usize, usize) {
+        (self.values[v.0].rows(), self.values[v.0].cols())
+    }
+
+    /// Element-wise addition.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.shape(a), self.shape(b), "add: shape mismatch");
+        let mut t = self.values[a.0].clone();
+        t.add_scaled(1.0, &self.values[b.0]);
+        self.push(t, Op::Add(a.0, b.0))
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.shape(a), self.shape(b), "sub: shape mismatch");
+        let mut t = self.values[a.0].clone();
+        t.add_scaled(-1.0, &self.values[b.0]);
+        self.push(t, Op::Sub(a.0, b.0))
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul_elem(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.shape(a), self.shape(b), "mul_elem: shape mismatch");
+        let (r, c) = self.shape(a);
+        let data: Vec<f64> = self.values[a.0]
+            .data()
+            .iter()
+            .zip(self.values[b.0].data())
+            .map(|(x, y)| x * y)
+            .collect();
+        self.push(Tensor::from_vec(r, c, data), Op::MulElem(a.0, b.0))
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(&mut self, a: Var, s: f64) -> Var {
+        let (r, c) = self.shape(a);
+        let data: Vec<f64> = self.values[a.0].data().iter().map(|x| x * s).collect();
+        self.push(Tensor::from_vec(r, c, data), Op::Scale(a.0, s))
+    }
+
+    /// Scalar addition.
+    pub fn add_scalar(&mut self, a: Var, s: f64) -> Var {
+        let (r, c) = self.shape(a);
+        let data: Vec<f64> = self.values[a.0].data().iter().map(|x| x + s).collect();
+        self.push(Tensor::from_vec(r, c, data), Op::AddScalar(a.0))
+    }
+
+    /// Matrix multiplication.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let t = self.values[a.0].matmul(&self.values[b.0]);
+        self.push(t, Op::MatMul(a.0, b.0))
+    }
+
+    /// ReLU activation.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let (r, c) = self.shape(a);
+        let data: Vec<f64> = self.values[a.0].data().iter().map(|&x| x.max(0.0)).collect();
+        self.push(Tensor::from_vec(r, c, data), Op::Relu(a.0))
+    }
+
+    /// Softplus `ln(1 + eˣ)` (numerically stable form), the paper's σ̂ head.
+    pub fn softplus(&mut self, a: Var) -> Var {
+        let (r, c) = self.shape(a);
+        let data: Vec<f64> = self.values[a.0]
+            .data()
+            .iter()
+            .map(|&x| if x > 30.0 { x } else { x.exp().ln_1p() })
+            .collect();
+        self.push(Tensor::from_vec(r, c, data), Op::Softplus(a.0))
+    }
+
+    /// Element-wise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let (r, c) = self.shape(a);
+        let data: Vec<f64> = self.values[a.0].data().iter().map(|&x| x * x).collect();
+        self.push(Tensor::from_vec(r, c, data), Op::Square(a.0))
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let (r, c) = self.shape(a);
+        let data: Vec<f64> = self.values[a.0].data().iter().map(|&x| x.exp()).collect();
+        self.push(Tensor::from_vec(r, c, data), Op::Exp(a.0))
+    }
+
+    /// Element-wise reciprocal `1/x` (caller guarantees non-zero inputs —
+    /// the softmax denominators this exists for are ≥ 1 by construction).
+    pub fn recip(&mut self, a: Var) -> Var {
+        let (r, c) = self.shape(a);
+        let data: Vec<f64> = self.values[a.0].data().iter().map(|&x| 1.0 / x).collect();
+        self.push(Tensor::from_vec(r, c, data), Op::Recip(a.0))
+    }
+
+    /// Column-broadcast product: `(m×n) ∘ (m×1)` — scales each row of `a`
+    /// by the corresponding entry of `col` (attention weights × messages).
+    pub fn mul_broadcast_col(&mut self, a: Var, col: Var) -> Var {
+        let (m, _n) = self.shape(a);
+        let (cm, cn) = self.shape(col);
+        assert_eq!((cm, cn), (m, 1), "mul_broadcast_col: col must be m×1");
+        let mut t = self.values[a.0].clone();
+        for r in 0..m {
+            let w = self.values[col.0].get(r, 0);
+            for v in t.row_mut(r) {
+                *v *= w;
+            }
+        }
+        self.push(t, Op::MulBroadcastCol(a.0, col.0))
+    }
+
+    /// `(m×n) + (1×n)` bias broadcast.
+    pub fn add_broadcast_row(&mut self, a: Var, bias: Var) -> Var {
+        let (m, n) = self.shape(a);
+        let (br, bc) = self.shape(bias);
+        assert_eq!((br, bc), (1, n), "add_broadcast_row: bias must be 1×n");
+        let mut t = self.values[a.0].clone();
+        for r in 0..m {
+            let row = t.row_mut(r);
+            for (x, &b) in row.iter_mut().zip(self.values[bias.0].data()) {
+                *x += b;
+            }
+        }
+        self.push(t, Op::AddBroadcastRow(a.0, bias.0))
+    }
+
+    /// Per-row layer normalisation (no affine parameters; compose with
+    /// `mul`/`add` broadcasts for a learnable affine).
+    pub fn layer_norm(&mut self, a: Var, eps: f64) -> Var {
+        let (m, n) = self.shape(a);
+        assert!(n > 0, "layer_norm: empty rows");
+        let mut out = Tensor::zeros(m, n);
+        let mut inv_std = Vec::with_capacity(m);
+        for r in 0..m {
+            let row = self.values[a.0].row(r);
+            let mean = row.iter().sum::<f64>() / n as f64;
+            let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+            let istd = 1.0 / (var + eps).sqrt();
+            inv_std.push(istd);
+            for (c, &x) in row.iter().enumerate() {
+                out.set(r, c, (x - mean) * istd);
+            }
+        }
+        let normed = out.clone();
+        self.push(out, Op::LayerNorm { src: a.0, inv_std, normed })
+    }
+
+    /// Dropout with keep-probability `1 − p`, using a pre-drawn mask of 0/1
+    /// values (the graph scales kept entries by `1/(1−p)`); pass an
+    /// all-ones mask at evaluation time (or skip the op entirely).
+    pub fn dropout(&mut self, a: Var, raw_mask: &[f64], p: f64) -> Var {
+        let (m, n) = self.shape(a);
+        assert_eq!(raw_mask.len(), m * n, "dropout: mask length mismatch");
+        assert!((0.0..1.0).contains(&p), "dropout: p must be in [0,1)");
+        let keep = 1.0 - p;
+        let mask: Vec<f64> = raw_mask.iter().map(|&b| b / keep).collect();
+        let data: Vec<f64> = self.values[a.0]
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(x, m)| x * m)
+            .collect();
+        self.push(Tensor::from_vec(m, n, data), Op::Dropout { src: a.0, mask })
+    }
+
+    /// Column-wise concatenation `[a | b]`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let (ma, na) = self.shape(a);
+        let (mb, nb) = self.shape(b);
+        assert_eq!(ma, mb, "concat_cols: row mismatch");
+        let mut out = Tensor::zeros(ma, na + nb);
+        for r in 0..ma {
+            out.row_mut(r)[..na].copy_from_slice(self.values[a.0].row(r));
+            out.row_mut(r)[na..].copy_from_slice(self.values[b.0].row(r));
+        }
+        self.push(out, Op::ConcatCols(a.0, b.0))
+    }
+
+    /// Row gather `out[r] = src[idx[r]]` (message-passing "lookup sender/
+    /// receiver features").
+    pub fn row_gather(&mut self, src: Var, idx: &[usize]) -> Var {
+        let (m, n) = self.shape(src);
+        let mut out = Tensor::zeros(idx.len(), n);
+        for (r, &i) in idx.iter().enumerate() {
+            assert!(i < m, "row_gather: index {i} out of bounds ({m} rows)");
+            out.row_mut(r).copy_from_slice(self.values[src.0].row(i));
+        }
+        self.push(out, Op::RowGather { src: src.0, idx: idx.to_vec() })
+    }
+
+    /// Scatter-aggregate edge messages into node buckets:
+    /// `out[seg[e]] ⊕= src[e]` with `⊕` = mean/sum/max. Buckets with no
+    /// incoming rows stay zero.
+    pub fn scatter_agg(&mut self, src: Var, seg: &[usize], n_out: usize, kind: AggKind) -> Var {
+        let (m, n) = self.shape(src);
+        assert_eq!(seg.len(), m, "scatter_agg: segment length mismatch");
+        let mut out = match kind {
+            AggKind::Max => Tensor::full(n_out, n, f64::NEG_INFINITY),
+            _ => Tensor::zeros(n_out, n),
+        };
+        let mut counts = vec![0.0f64; n_out];
+        let mut argmax = vec![usize::MAX; if kind == AggKind::Max { n_out * n } else { 0 }];
+        for (e, &b) in seg.iter().enumerate() {
+            assert!(b < n_out, "scatter_agg: bucket {b} out of range");
+            counts[b] += 1.0;
+            let srow = self.values[src.0].row(e);
+            match kind {
+                AggKind::Sum | AggKind::Mean => {
+                    let orow = out.row_mut(b);
+                    for (o, &s) in orow.iter_mut().zip(srow) {
+                        *o += s;
+                    }
+                }
+                AggKind::Max => {
+                    for (c, &s) in srow.iter().enumerate() {
+                        if s > out.get(b, c) {
+                            out.set(b, c, s);
+                            argmax[b * n + c] = e;
+                        }
+                    }
+                }
+            }
+        }
+        match kind {
+            AggKind::Mean => {
+                for b in 0..n_out {
+                    if counts[b] > 0.0 {
+                        let inv = 1.0 / counts[b];
+                        for v in out.row_mut(b) {
+                            *v *= inv;
+                        }
+                    }
+                }
+            }
+            AggKind::Max => {
+                // Empty buckets: −∞ → 0 (no winner recorded).
+                for v in out.data_mut() {
+                    if *v == f64::NEG_INFINITY {
+                        *v = 0.0;
+                    }
+                }
+            }
+            AggKind::Sum => {}
+        }
+        self.push(out, Op::ScatterAgg { src: src.0, seg: seg.to_vec(), kind, counts, argmax })
+    }
+
+    /// Mean over rows → `1 × d` (global mean pooling).
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let (m, n) = self.shape(a);
+        assert!(m > 0, "mean_rows: empty tensor");
+        let mut out = Tensor::zeros(1, n);
+        for r in 0..m {
+            for (o, &x) in out.row_mut(0).iter_mut().zip(self.values[a.0].row(r)) {
+                *o += x;
+            }
+        }
+        for v in out.data_mut() {
+            *v /= m as f64;
+        }
+        self.push(out, Op::MeanRows(a.0))
+    }
+
+    /// Mean over all elements → `1 × 1` scalar.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let t = &self.values[a.0];
+        assert!(!t.is_empty(), "mean_all: empty tensor");
+        let m = t.sum() / t.len() as f64;
+        self.push(Tensor::full(1, 1, m), Op::MeanAll(a.0))
+    }
+
+    /// Repeat a `1 × d` row `m` times.
+    pub fn repeat_rows(&mut self, a: Var, m: usize) -> Var {
+        let (r, n) = self.shape(a);
+        assert_eq!(r, 1, "repeat_rows: source must be 1×d");
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            out.row_mut(i).copy_from_slice(self.values[a.0].row(0));
+        }
+        self.push(out, Op::RepeatRows(a.0, m))
+    }
+
+    /// Materialised transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let t = self.values[a.0].transpose();
+        self.push(t, Op::TransposeOf(a.0))
+    }
+
+    /// Affine layer convenience: `x·Wᵀ + b` for `x: m×in`, `w: out×in`,
+    /// `b: 1×out` (PyTorch `nn.Linear` weight convention).
+    pub fn linear(&mut self, x: Var, w: Var, b: Var) -> Var {
+        let wt = self.transpose(w);
+        let xw = self.matmul(x, wt);
+        self.add_broadcast_row(xw, b)
+    }
+
+    /// Mean-squared-error between two same-shape tensors → scalar.
+    pub fn mse(&mut self, pred: Var, target: Var) -> Var {
+        let d = self.sub(pred, target);
+        let d2 = self.square(d);
+        self.mean_all(d2)
+    }
+
+    /// Reverse-mode sweep from a scalar `loss` node. Returns one gradient
+    /// slot per node (zero tensors where nothing flowed).
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 × 1`.
+    pub fn backward(&mut self, loss: Var) -> Gradients {
+        assert_eq!(self.values[loss.0].len(), 1, "backward: loss must be scalar");
+        let n = self.values.len();
+        let mut grads: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+        grads[loss.0] = Some(Tensor::full(1, 1, 1.0));
+
+        for i in (0..n).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            match &self.ops[i] {
+                Op::Leaf => {
+                    grads[i] = Some(g);
+                    continue;
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, &g, &self.values);
+                    accumulate(&mut grads, *b, &g, &self.values);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, *a, &g, &self.values);
+                    let mut gn = g.clone();
+                    for v in gn.data_mut() {
+                        *v = -*v;
+                    }
+                    accumulate(&mut grads, *b, &gn, &self.values);
+                }
+                Op::MulElem(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let mut ga = g.clone();
+                    for (x, y) in ga.data_mut().iter_mut().zip(self.values[b].data()) {
+                        *x *= y;
+                    }
+                    let mut gb = g.clone();
+                    for (x, y) in gb.data_mut().iter_mut().zip(self.values[a].data()) {
+                        *x *= y;
+                    }
+                    accumulate(&mut grads, a, &ga, &self.values);
+                    accumulate(&mut grads, b, &gb, &self.values);
+                }
+                Op::Scale(a, s) => {
+                    let mut ga = g.clone();
+                    for v in ga.data_mut() {
+                        *v *= s;
+                    }
+                    accumulate(&mut grads, *a, &ga, &self.values);
+                }
+                Op::AddScalar(a) => {
+                    accumulate(&mut grads, *a, &g, &self.values);
+                }
+                Op::MatMul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    // dA = G·Bᵀ ; dB = Aᵀ·G
+                    let ga = g.matmul(&self.values[b].transpose());
+                    let gb = self.values[a].transpose().matmul(&g);
+                    accumulate(&mut grads, a, &ga, &self.values);
+                    accumulate(&mut grads, b, &gb, &self.values);
+                }
+                Op::TransposeOf(a) => {
+                    let ga = g.transpose();
+                    accumulate(&mut grads, *a, &ga, &self.values);
+                }
+                Op::Relu(a) => {
+                    let mut ga = g.clone();
+                    for (x, y) in ga.data_mut().iter_mut().zip(self.values[*a].data()) {
+                        if *y <= 0.0 {
+                            *x = 0.0;
+                        }
+                    }
+                    accumulate(&mut grads, *a, &ga, &self.values);
+                }
+                Op::Softplus(a) => {
+                    // d/dx softplus = sigmoid(x).
+                    let mut ga = g.clone();
+                    for (x, y) in ga.data_mut().iter_mut().zip(self.values[*a].data()) {
+                        let s = if *y > 30.0 {
+                            1.0
+                        } else if *y < -30.0 {
+                            0.0
+                        } else {
+                            1.0 / (1.0 + (-*y).exp())
+                        };
+                        *x *= s;
+                    }
+                    accumulate(&mut grads, *a, &ga, &self.values);
+                }
+                Op::Square(a) => {
+                    let mut ga = g.clone();
+                    for (x, y) in ga.data_mut().iter_mut().zip(self.values[*a].data()) {
+                        *x *= 2.0 * y;
+                    }
+                    accumulate(&mut grads, *a, &ga, &self.values);
+                }
+                Op::Exp(a) => {
+                    // d/dx eˣ = eˣ = the forward output (node i's value).
+                    let mut ga = g.clone();
+                    for (x, y) in ga.data_mut().iter_mut().zip(self.values[i].data()) {
+                        *x *= y;
+                    }
+                    accumulate(&mut grads, *a, &ga, &self.values);
+                }
+                Op::Recip(a) => {
+                    // d/dx (1/x) = −1/x² = −out².
+                    let mut ga = g.clone();
+                    for (x, y) in ga.data_mut().iter_mut().zip(self.values[i].data()) {
+                        *x *= -y * y;
+                    }
+                    accumulate(&mut grads, *a, &ga, &self.values);
+                }
+                Op::MulBroadcastCol(a, col) => {
+                    let (a, col) = (*a, *col);
+                    let m = g.rows();
+                    // dA = G ∘ col (broadcast); dcol = row-dot(G, A).
+                    let mut ga = g.clone();
+                    let mut gc = Tensor::zeros(m, 1);
+                    for r in 0..m {
+                        let w = self.values[col].get(r, 0);
+                        let arow = self.values[a].row(r);
+                        let mut acc = 0.0;
+                        for (x, &av) in ga.row_mut(r).iter_mut().zip(arow) {
+                            acc += *x * av;
+                            *x *= w;
+                        }
+                        gc.set(r, 0, acc);
+                    }
+                    accumulate(&mut grads, a, &ga, &self.values);
+                    accumulate(&mut grads, col, &gc, &self.values);
+                }
+                Op::AddBroadcastRow(a, bias) => {
+                    accumulate(&mut grads, *a, &g, &self.values);
+                    // Bias gradient: column sums.
+                    let (m, n) = (g.rows(), g.cols());
+                    let mut gb = Tensor::zeros(1, n);
+                    for r in 0..m {
+                        for (o, &x) in gb.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *o += x;
+                        }
+                    }
+                    accumulate(&mut grads, *bias, &gb, &self.values);
+                }
+                Op::LayerNorm { src, inv_std, normed } => {
+                    // dx = istd · (g − mean(g) − y·mean(g∘y)) per row.
+                    let (m, n) = (g.rows(), g.cols());
+                    let mut ga = Tensor::zeros(m, n);
+                    for r in 0..m {
+                        let grow = g.row(r);
+                        let yrow = normed.row(r);
+                        let mg = grow.iter().sum::<f64>() / n as f64;
+                        let mgy =
+                            grow.iter().zip(yrow).map(|(a, b)| a * b).sum::<f64>() / n as f64;
+                        let istd = inv_std[r];
+                        for c in 0..n {
+                            ga.set(r, c, istd * (grow[c] - mg - yrow[c] * mgy));
+                        }
+                    }
+                    accumulate(&mut grads, *src, &ga, &self.values);
+                }
+                Op::Dropout { src, mask } => {
+                    let mut ga = g.clone();
+                    for (x, m) in ga.data_mut().iter_mut().zip(mask) {
+                        *x *= m;
+                    }
+                    accumulate(&mut grads, *src, &ga, &self.values);
+                }
+                Op::ConcatCols(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let na = self.values[a].cols();
+                    let m = g.rows();
+                    let mut ga = Tensor::zeros(m, na);
+                    let mut gb = Tensor::zeros(m, g.cols() - na);
+                    for r in 0..m {
+                        ga.row_mut(r).copy_from_slice(&g.row(r)[..na]);
+                        gb.row_mut(r).copy_from_slice(&g.row(r)[na..]);
+                    }
+                    accumulate(&mut grads, a, &ga, &self.values);
+                    accumulate(&mut grads, b, &gb, &self.values);
+                }
+                Op::RowGather { src, idx } => {
+                    let (sm, sn) = (self.values[*src].rows(), self.values[*src].cols());
+                    let mut ga = Tensor::zeros(sm, sn);
+                    for (r, &i) in idx.iter().enumerate() {
+                        for (o, &x) in ga.row_mut(i).iter_mut().zip(g.row(r)) {
+                            *o += x;
+                        }
+                    }
+                    accumulate(&mut grads, *src, &ga, &self.values);
+                }
+                Op::ScatterAgg { src, seg, kind, counts, argmax, .. } => {
+                    let (sm, sn) = (self.values[*src].rows(), self.values[*src].cols());
+                    let mut ga = Tensor::zeros(sm, sn);
+                    match kind {
+                        AggKind::Sum => {
+                            for (e, &b) in seg.iter().enumerate() {
+                                for (o, &x) in ga.row_mut(e).iter_mut().zip(g.row(b)) {
+                                    *o += x;
+                                }
+                            }
+                        }
+                        AggKind::Mean => {
+                            for (e, &b) in seg.iter().enumerate() {
+                                let inv = 1.0 / counts[b];
+                                for (o, &x) in ga.row_mut(e).iter_mut().zip(g.row(b)) {
+                                    *o += x * inv;
+                                }
+                            }
+                        }
+                        AggKind::Max => {
+                            let n_out = g.rows();
+                            for b in 0..n_out {
+                                for c in 0..sn {
+                                    let e = argmax[b * sn + c];
+                                    if e != usize::MAX {
+                                        let v = ga.get(e, c) + g.get(b, c);
+                                        ga.set(e, c, v);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    accumulate(&mut grads, *src, &ga, &self.values);
+                }
+                Op::MeanRows(a) => {
+                    let (m, n) = (self.values[*a].rows(), self.values[*a].cols());
+                    let mut ga = Tensor::zeros(m, n);
+                    let inv = 1.0 / m as f64;
+                    for r in 0..m {
+                        for (o, &x) in ga.row_mut(r).iter_mut().zip(g.row(0)) {
+                            *o = x * inv;
+                        }
+                    }
+                    accumulate(&mut grads, *a, &ga, &self.values);
+                }
+                Op::MeanAll(a) => {
+                    let (m, n) = (self.values[*a].rows(), self.values[*a].cols());
+                    let s = g.scalar() / (m * n) as f64;
+                    let ga = Tensor::full(m, n, s);
+                    accumulate(&mut grads, *a, &ga, &self.values);
+                }
+                Op::RepeatRows(a, m) => {
+                    let n = self.values[*a].cols();
+                    let mut ga = Tensor::zeros(1, n);
+                    for r in 0..*m {
+                        for (o, &x) in ga.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *o += x;
+                        }
+                    }
+                    accumulate(&mut grads, *a, &ga, &self.values);
+                }
+            }
+        }
+        Gradients { grads }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], node: usize, g: &Tensor, values: &[Tensor]) {
+    match &mut grads[node] {
+        Some(existing) => existing.add_scaled(1.0, g),
+        None => {
+            debug_assert_eq!(
+                (g.rows(), g.cols()),
+                (values[node].rows(), values[node].cols()),
+                "gradient shape mismatch at node {node}"
+            );
+            grads[node] = Some(g.clone());
+        }
+    }
+}
+
+/// Gradients indexed by [`Var`].
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss with respect to a node; `None` if no gradient
+    /// flowed there.
+    pub fn get(&self, v: Var) -> Option<&Tensor> {
+        self.grads[v.0].as_ref()
+    }
+
+    /// Gradient or a zero tensor of the given shape.
+    pub fn get_or_zero(&self, v: Var, rows: usize, cols: usize) -> Tensor {
+        self.grads[v.0].clone().unwrap_or_else(|| Tensor::zeros(rows, cols))
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based gradient checks on random shapes and values: the
+//! correctness backbone of the from-scratch autodiff engine.
+
+use mcmcmi_autodiff::{numeric_gradient, AggKind, Graph, Tensor};
+use proptest::prelude::*;
+
+fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-2.0f64..2.0, rows * cols..=rows * cols)
+        .prop_map(move |d| Tensor::from_vec(rows, cols, d))
+}
+
+/// Generic harness: builds `loss = mean(f(x))` twice (tape + perturbed
+/// closure) and compares gradients.
+fn gradcheck<F>(x0: &Tensor, f: F) -> Result<(), TestCaseError>
+where
+    F: Fn(&mut Graph, mcmcmi_autodiff::Var) -> mcmcmi_autodiff::Var,
+{
+    let mut g = Graph::new();
+    let x = g.leaf(x0.clone());
+    let out = f(&mut g, x);
+    let loss = g.mean_all(out);
+    let grads = g.backward(loss);
+    let analytic = grads.get_or_zero(x, x0.rows(), x0.cols());
+    let numeric = numeric_gradient(
+        x0,
+        |xt| {
+            let mut g2 = Graph::new();
+            let x2 = g2.leaf(xt.clone());
+            let out2 = f(&mut g2, x2);
+            let l2 = g2.mean_all(out2);
+            g2.value(l2).scalar()
+        },
+        1e-6,
+    );
+    for i in 0..analytic.len() {
+        let a = analytic.data()[i];
+        let n = numeric.data()[i];
+        let denom = 1.0_f64.max(a.abs()).max(n.abs());
+        // ReLU kinks can land on sampled points; tolerate a few ulps more.
+        prop_assert!((a - n).abs() / denom < 5e-5, "idx {i}: {a} vs {n}");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn softplus_square_chain(x in arb_tensor(3, 5)) {
+        gradcheck(&x, |g, v| {
+            let s = g.softplus(v);
+            g.square(s)
+        })?;
+    }
+
+    #[test]
+    fn layer_norm_then_scale(x in arb_tensor(4, 6)) {
+        gradcheck(&x, |g, v| {
+            let ln = g.layer_norm(v, 1e-5);
+            g.scale(ln, 1.7)
+        })?;
+    }
+
+    #[test]
+    fn matmul_with_self_transpose(x in arb_tensor(3, 4)) {
+        gradcheck(&x, |g, v| {
+            let t = g.transpose(v);
+            g.matmul(v, t)
+        })?;
+    }
+
+    #[test]
+    fn scatter_mean_random_segments(x in arb_tensor(6, 3), seed in 0u64..100) {
+        let seg: Vec<usize> = (0..6).map(|e| ((e as u64 + seed) % 3) as usize).collect();
+        gradcheck(&x, move |g, v| g.scatter_agg(v, &seg, 3, AggKind::Mean))?;
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip(x in arb_tensor(5, 2), seed in 0u64..100) {
+        let idx: Vec<usize> = (0..8).map(|e| ((e as u64 * 3 + seed) % 5) as usize).collect();
+        let seg: Vec<usize> = (0..8).map(|e| ((e as u64 + seed) % 4) as usize).collect();
+        gradcheck(&x, move |g, v| {
+            let gathered = g.row_gather(v, &idx);
+            let sq = g.square(gathered);
+            g.scatter_agg(sq, &seg, 4, AggKind::Sum)
+        })?;
+    }
+
+    #[test]
+    fn mean_pool_broadcast_product(x in arb_tensor(4, 3)) {
+        gradcheck(&x, |g, v| {
+            let pooled = g.mean_rows(v);
+            let wide = g.repeat_rows(pooled, 4);
+            g.mul_elem(wide, v)
+        })?;
+    }
+
+    /// Gradient accumulation: a node used twice receives the sum of both
+    /// paths' contributions.
+    #[test]
+    fn fan_out_accumulates(x in arb_tensor(2, 3)) {
+        gradcheck(&x, |g, v| {
+            let a = g.scale(v, 2.0);
+            let b = g.softplus(v);
+            g.add(a, b)
+        })?;
+    }
+
+    /// Zero-gradient sanity: a constant loss has zero input gradient.
+    #[test]
+    fn constant_loss_zero_grad(x in arb_tensor(3, 3)) {
+        let mut g = Graph::new();
+        let v = g.leaf(x.clone());
+        let zero = g.scale(v, 0.0);
+        let loss = g.mean_all(zero);
+        let grads = g.backward(loss);
+        let gx = grads.get_or_zero(v, 3, 3);
+        prop_assert!(gx.data().iter().all(|&t| t == 0.0));
+    }
+}

@@ -1,0 +1,171 @@
+//! Expected Improvement (paper Eq. 3) and its exact gradient.
+
+use mcmcmi_stats::{norm_cdf, norm_pdf};
+
+/// A probabilistic surrogate over a continuous parameter space: predicts a
+/// Gaussian `N(μ̂(x), σ̂(x)²)` for the (to-be-minimised) objective at `x`,
+/// and exposes input gradients so acquisition functions can be maximised
+/// with first-order methods.
+///
+/// Implemented by the GNN surrogate adapter in `mcmcmi-core`; mock
+/// implementations in this crate's tests keep the optimiser honest.
+pub trait SurrogateModel {
+    /// Input dimensionality.
+    fn dim(&self) -> usize;
+    /// Predict `(μ̂, σ̂)` at `x` (σ̂ ≥ 0).
+    fn predict(&mut self, x: &[f64]) -> (f64, f64);
+    /// Predict with gradients: `(μ̂, σ̂, ∂μ̂/∂x, ∂σ̂/∂x)`.
+    fn predict_grad(&mut self, x: &[f64]) -> (f64, f64, Vec<f64>, Vec<f64>);
+}
+
+/// Closed-form Expected Improvement for a minimisation problem (Eq. 3):
+///
+/// `EI = (y_min − μ̂ − ξ)·Φ(z) + σ̂·φ(z)`, `z = (y_min − μ̂ − ξ)/σ̂`.
+///
+/// `ξ = 0` is pure exploitation; 0.01–0.1 gradually favours uncertain
+/// regions; the paper evaluates ξ = 0.05 (balanced) and ξ = 1.0
+/// (exploration-heavy). With `σ̂ = 0` the limit `max(y_min − μ̂ − ξ, 0)` is
+/// returned.
+pub fn expected_improvement(mu: f64, sigma: f64, y_min: f64, xi: f64) -> f64 {
+    let imp = y_min - mu - xi;
+    if sigma <= 0.0 {
+        return imp.max(0.0);
+    }
+    let z = imp / sigma;
+    imp * norm_cdf(z) + sigma * norm_pdf(z)
+}
+
+/// EI plus its gradient with respect to `x`, by the chain rule
+/// `∇EI = −Φ(z)·∇μ̂ + φ(z)·∇σ̂` (the z-terms cancel exactly — the classic
+/// identity that makes EI cheap to differentiate).
+pub fn expected_improvement_grad(
+    mu: f64,
+    sigma: f64,
+    dmu: &[f64],
+    dsigma: &[f64],
+    y_min: f64,
+    xi: f64,
+) -> (f64, Vec<f64>) {
+    assert_eq!(dmu.len(), dsigma.len(), "expected_improvement_grad: gradient dims differ");
+    let imp = y_min - mu - xi;
+    if sigma <= 0.0 {
+        // Sub-gradient of max(imp, 0): −∇μ̂ where improvement is positive.
+        let g: Vec<f64> = if imp > 0.0 {
+            dmu.iter().map(|d| -d).collect()
+        } else {
+            vec![0.0; dmu.len()]
+        };
+        return (imp.max(0.0), g);
+    }
+    let z = imp / sigma;
+    let big_phi = norm_cdf(z);
+    let small_phi = norm_pdf(z);
+    let ei = imp * big_phi + sigma * small_phi;
+    let grad: Vec<f64> = dmu
+        .iter()
+        .zip(dsigma)
+        .map(|(&dm, &ds)| -big_phi * dm + small_phi * ds)
+        .collect();
+    (ei, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numeric EI by quadrature: E[max(y_min − ξ − Y, 0)], Y ~ N(μ, σ²).
+    fn ei_quadrature(mu: f64, sigma: f64, y_min: f64, xi: f64) -> f64 {
+        let n = 40_000;
+        let lo = mu - 10.0 * sigma;
+        let hi = mu + 10.0 * sigma;
+        let h = (hi - lo) / n as f64;
+        let mut acc = 0.0;
+        for k in 0..=n {
+            let y = lo + k as f64 * h;
+            let w = if k == 0 || k == n { 0.5 } else { 1.0 };
+            let pdf = (-0.5 * ((y - mu) / sigma).powi(2)).exp()
+                / (sigma * (2.0 * std::f64::consts::PI).sqrt());
+            acc += w * (y_min - xi - y).max(0.0) * pdf;
+        }
+        acc * h
+    }
+
+    #[test]
+    fn closed_form_matches_quadrature() {
+        for &(mu, sigma, y_min, xi) in &[
+            (0.5, 0.2, 0.6, 0.0),
+            (0.9, 0.1, 0.6, 0.05),
+            (0.3, 0.4, 0.6, 0.05),
+            (0.6, 0.3, 0.6, 1.0),
+        ] {
+            let cf = expected_improvement(mu, sigma, y_min, xi);
+            let nq = ei_quadrature(mu, sigma, y_min, xi);
+            assert!((cf - nq).abs() < 1e-6, "μ={mu} σ={sigma}: {cf} vs {nq}");
+        }
+    }
+
+    #[test]
+    fn ei_is_nonnegative() {
+        for mu in [0.0, 0.5, 1.0, 2.0] {
+            for sigma in [0.0, 0.1, 1.0] {
+                assert!(expected_improvement(mu, sigma, 0.5, 0.05) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn exploration_term_rewards_uncertainty() {
+        // Same mean (worse than y_min): higher σ̂ ⇒ higher EI.
+        let lo = expected_improvement(0.8, 0.05, 0.6, 0.0);
+        let hi = expected_improvement(0.8, 0.50, 0.6, 0.0);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn exploitation_term_rewards_low_mean() {
+        let better = expected_improvement(0.3, 0.1, 0.6, 0.0);
+        let worse = expected_improvement(0.55, 0.1, 0.6, 0.0);
+        assert!(better > worse);
+    }
+
+    #[test]
+    fn xi_shifts_toward_exploration() {
+        // With a large ξ the gap between a low-mean point and a high-variance
+        // point shrinks (or reverses).
+        let exploit = |xi| expected_improvement(0.45, 0.01, 0.6, xi);
+        let explore = |xi| expected_improvement(0.7, 0.5, 0.6, xi);
+        assert!(exploit(0.0) > explore(0.0) * 0.5);
+        // ξ = 1.0 pushes the exploit value to ~0 while the high-σ point
+        // keeps positive acquisition.
+        assert!(exploit(1.0) < explore(1.0));
+    }
+
+    #[test]
+    fn zero_sigma_limit() {
+        assert!((expected_improvement(0.4, 0.0, 0.6, 0.0) - 0.2).abs() < 1e-12);
+        assert_eq!(expected_improvement(0.8, 0.0, 0.6, 0.0), 0.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        // Surrogate: μ̂(x) = 0.5 + (x₀−0.3)² + 0.2x₁, σ̂(x) = 0.1 + 0.05x₀².
+        let mu_f = |x: &[f64]| 0.5 + (x[0] - 0.3).powi(2) + 0.2 * x[1];
+        let sg_f = |x: &[f64]| 0.1 + 0.05 * x[0] * x[0];
+        let x = [0.7, -0.4];
+        let dmu = [2.0 * (x[0] - 0.3), 0.2];
+        let dsg = [0.1 * x[0], 0.0];
+        let (ei, grad) =
+            expected_improvement_grad(mu_f(&x), sg_f(&x), &dmu, &dsg, 0.6, 0.05);
+        let h = 1e-6;
+        for k in 0..2 {
+            let mut xp = x;
+            xp[k] += h;
+            let up = expected_improvement(mu_f(&xp), sg_f(&xp), 0.6, 0.05);
+            xp[k] -= 2.0 * h;
+            let dn = expected_improvement(mu_f(&xp), sg_f(&xp), 0.6, 0.05);
+            let num = (up - dn) / (2.0 * h);
+            assert!((grad[k] - num).abs() < 1e-6, "k={k}: {} vs {num}", grad[k]);
+        }
+        assert!(ei > 0.0);
+    }
+}

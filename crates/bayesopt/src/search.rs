@@ -1,0 +1,74 @@
+//! Grid and random search baselines (the "conventional methods" whose
+//! budget the paper halves).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Full Cartesian product of per-dimension levels — the paper's 4×4×4
+/// coarse grid is `grid_search_candidates(&[&alphas, &epsilons, &deltas])`.
+///
+/// # Panics
+/// Panics if any dimension has no levels.
+pub fn grid_search_candidates(levels: &[&[f64]]) -> Vec<Vec<f64>> {
+    assert!(levels.iter().all(|l| !l.is_empty()), "grid: empty dimension");
+    let mut out: Vec<Vec<f64>> = vec![Vec::new()];
+    for dim in levels {
+        let mut next = Vec::with_capacity(out.len() * dim.len());
+        for prefix in &out {
+            for &v in *dim {
+                let mut p = prefix.clone();
+                p.push(v);
+                next.push(p);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// `k` uniform random points in the box.
+pub fn random_search_candidates(lo: &[f64], hi: &[f64], k: usize, seed: u64) -> Vec<Vec<f64>> {
+    assert_eq!(lo.len(), hi.len(), "random search: bound dimension mismatch");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..k)
+        .map(|_| lo.iter().zip(hi).map(|(&l, &h)| rng.gen_range(l..=h)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_full_cartesian_product() {
+        let g = grid_search_candidates(&[&[1.0, 2.0], &[0.5], &[0.1, 0.2, 0.3]]);
+        assert_eq!(g.len(), 6);
+        assert!(g.contains(&vec![1.0, 0.5, 0.3]));
+        assert!(g.contains(&vec![2.0, 0.5, 0.1]));
+        // All unique.
+        for (i, a) in g.iter().enumerate() {
+            for b in &g[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_grid_shape() {
+        let alphas = [1.0, 2.0, 4.0, 5.0];
+        let eps = [0.5, 0.25, 0.125, 0.0625];
+        let g = grid_search_candidates(&[&alphas, &eps, &eps]);
+        assert_eq!(g.len(), 64);
+    }
+
+    #[test]
+    fn random_candidates_in_box_and_deterministic() {
+        let a = random_search_candidates(&[0.0, 1.0], &[1.0, 3.0], 50, 3);
+        let b = random_search_candidates(&[0.0, 1.0], &[1.0, 3.0], 50, 3);
+        assert_eq!(a, b);
+        for x in &a {
+            assert!(x[0] >= 0.0 && x[0] <= 1.0);
+            assert!(x[1] >= 1.0 && x[1] <= 3.0);
+        }
+    }
+}

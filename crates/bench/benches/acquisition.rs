@@ -1,0 +1,50 @@
+//! Acquisition cost: EI evaluation and a full L-BFGS-B EI maximisation on a
+//! analytic mock surrogate (isolates optimiser overhead from GNN cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcmcmi_bayesopt::{
+    expected_improvement, propose_best, ProposeConfig, SurrogateModel,
+};
+use std::hint::black_box;
+
+struct Bowl;
+
+impl SurrogateModel for Bowl {
+    fn dim(&self) -> usize {
+        3
+    }
+    fn predict(&mut self, x: &[f64]) -> (f64, f64) {
+        let mu = 0.6 + x.iter().map(|v| (v - 0.4) * (v - 0.4)).sum::<f64>();
+        (mu, 0.1 + 0.02 * x[0].abs())
+    }
+    fn predict_grad(&mut self, x: &[f64]) -> (f64, f64, Vec<f64>, Vec<f64>) {
+        let (mu, sg) = self.predict(x);
+        let dmu: Vec<f64> = x.iter().map(|v| 2.0 * (v - 0.4)).collect();
+        let dsg = vec![0.02 * x[0].signum(), 0.0, 0.0];
+        (mu, sg, dmu, dsg)
+    }
+}
+
+fn bench_acquisition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acquisition");
+    group.bench_function("ei_closed_form", |b| {
+        b.iter(|| expected_improvement(black_box(0.7), black_box(0.2), 0.6, 0.05));
+    });
+    group.bench_function("propose_best/16-starts", |b| {
+        b.iter(|| {
+            let mut s = Bowl;
+            propose_best(
+                &mut s,
+                0.6,
+                &[0.0, 0.0, 0.0],
+                &[1.0, 1.0, 1.0],
+                16,
+                ProposeConfig::default(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_acquisition);
+criterion_main!(benches);

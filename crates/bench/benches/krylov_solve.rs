@@ -1,0 +1,31 @@
+//! Krylov solver cost: GMRES vs BiCGStab vs CG on the SPD Laplacian, and
+//! the effect of an MCMC preconditioner on wall-clock (not just steps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcmcmi_krylov::{solve, IdentityPrecond, SolveOptions, SolverType};
+use mcmcmi_matgen::fd_laplace_2d;
+use mcmcmi_mcmc::{BuildConfig, McmcInverse, McmcParams};
+
+fn bench_solvers(c: &mut Criterion) {
+    let a = fd_laplace_2d(24);
+    let n = a.nrows();
+    let ones = vec![1.0; n];
+    let b = a.spmv_alloc(&ones);
+    let opts = SolveOptions { tol: 1e-8, max_iter: 2000, restart: 50 };
+    let mut group = c.benchmark_group("krylov");
+    for solver in [SolverType::Gmres, SolverType::BiCgStab, SolverType::Cg] {
+        group.bench_function(format!("{}/unpreconditioned", solver.name()), |bch| {
+            bch.iter(|| solve(&a, &b, &IdentityPrecond::new(n), solver, opts));
+        });
+    }
+    let precond = McmcInverse::new(BuildConfig::default())
+        .build(&a, McmcParams::new(0.1, 0.0625, 0.03125))
+        .precond;
+    group.bench_function("GMRES/mcmc-preconditioned", |bch| {
+        bch.iter(|| solve(&a, &b, &precond, SolverType::Gmres, opts));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! MCMC preconditioner build cost vs (ε, δ): the work scales with the chain
+//! count (from ε) and walk length (from δ) — the cost model behind the
+//! paper's "shorter preconditioner computation for larger ε and δ".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcmcmi_matgen::fd_laplace_2d;
+use mcmcmi_mcmc::{BuildConfig, McmcInverse, McmcParams};
+
+fn bench_build(c: &mut Criterion) {
+    let a = fd_laplace_2d(16); // n = 225, the paper's smallest Laplacian
+    let builder = McmcInverse::new(BuildConfig::default());
+    let mut group = c.benchmark_group("mcmc_build");
+    for (label, eps, delta) in [
+        ("eps=1/2,delta=1/2", 0.5, 0.5),
+        ("eps=1/16,delta=1/2", 0.0625, 0.5),
+        ("eps=1/2,delta=1/16", 0.5, 0.0625),
+        ("eps=1/16,delta=1/16", 0.0625, 0.0625),
+    ] {
+        group.bench_function(BenchmarkId::new("laplace16", label), |b| {
+            let params = McmcParams::new(1.0, eps, delta);
+            b.iter(|| builder.build(&a, params));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

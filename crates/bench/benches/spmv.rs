@@ -1,0 +1,36 @@
+//! SpMV microbenchmarks: serial vs Rayon-parallel on suite matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcmcmi_matgen::{fd_laplace_2d, stretched_climate_operator};
+use std::hint::black_box;
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    for k in [32usize, 64] {
+        let a = fd_laplace_2d(k);
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+        let mut y = vec![0.0; n];
+        group.bench_with_input(BenchmarkId::new("serial/laplace", n), &a, |b, a| {
+            b.iter(|| a.spmv(black_box(&x), &mut y));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel/laplace", n), &a, |b, a| {
+            b.iter(|| a.spmv_par(black_box(&x), &mut y));
+        });
+    }
+    // Wide-stencil climate-like operator (much heavier rows).
+    let a = stretched_climate_operator(13, 46, 22, 1.0);
+    let n = a.nrows();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).cos()).collect();
+    let mut y = vec![0.0; n];
+    group.bench_function(BenchmarkId::new("serial/climate", n), |b| {
+        b.iter(|| a.spmv(black_box(&x), &mut y));
+    });
+    group.bench_function(BenchmarkId::new("parallel/climate", n), |b| {
+        b.iter(|| a.spmv_par(black_box(&x), &mut y));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! **§4.2 dataset** — the labelled training corpus: 4×4×4 (α, ε, δ) grid ×
+//! {GMRES, BiCGStab} × replicates, plus CG rows on the SPD Laplacians at
+//! α = 0.1 and near-zero-α divergence rows.
+
+use mcmcmi_bench::harness::load_or_build_dataset;
+use mcmcmi_bench::parse_profile;
+use mcmcmi_krylov::SolverType;
+
+fn main() {
+    let profile = parse_profile();
+    let matrices = profile.materialize_training();
+    let ds = load_or_build_dataset(&profile, &matrices);
+
+    println!("\n§4.2 dataset summary ({} profile)", profile.name);
+    println!("{:<32} {:>6} {:>6} {:>6} {:>6} | {:>8} {:>8}", "matrix", "GMRES", "BiCG", "CG", "total", "mean(y)", "min(y)");
+    for name in &ds.matrix_names {
+        let recs: Vec<_> = ds.records.iter().filter(|r| &r.matrix == name).collect();
+        let count = |s: SolverType| recs.iter().filter(|r| r.solver == s).count();
+        let ys: Vec<f64> = recs.iter().map(|r| r.y_mean).collect();
+        println!(
+            "{:<32} {:>6} {:>6} {:>6} {:>6} | {:>8.3} {:>8.3}",
+            name,
+            count(SolverType::Gmres),
+            count(SolverType::BiCgStab),
+            count(SolverType::Cg),
+            recs.len(),
+            mcmcmi_stats::mean(&ys),
+            ys.iter().cloned().fold(f64::INFINITY, f64::min),
+        );
+    }
+    println!("\ntotal labelled records: {}", ds.len());
+    let improving = ds.records.iter().filter(|r| r.y_mean < 1.0).count();
+    println!(
+        "records where preconditioning helps (y < 1): {improving} ({:.1}%)",
+        100.0 * improving as f64 / ds.len() as f64
+    );
+    println!("cached at: runs/cache-{}/dataset.json", profile.name);
+}

@@ -1,0 +1,126 @@
+//! **Figure 1** — calibration curves: expected vs observed coverage of the
+//! surrogate's predictive intervals on the unseen test matrix, before and
+//! after one BO round, with Wilson 95% bands (Eqs. 5–6).
+
+use mcmcmi_bench::{fit_models, grid_evaluation, parse_profile, write_csv, write_json, RunDir};
+use mcmcmi_core::pipeline::predict_records;
+use mcmcmi_core::Recommender;
+use mcmcmi_sparse::Csr;
+use mcmcmi_stats::calibration::expected_calibration_error;
+use mcmcmi_stats::{calibration_curve, CalibrationPoint};
+
+/// The paper's confidence levels τ.
+const TAUS: [f64; 6] = [0.50, 0.68, 0.80, 0.90, 0.95, 0.99];
+
+fn curve_for(
+    model: &mut Recommender,
+    test: &Csr,
+    grid: &mcmcmi_bench::EvaluatedGrid,
+    alpha_filter: Option<f64>,
+) -> Vec<CalibrationPoint> {
+    // Flatten to per-observation (μ̂_j, σ̂_j, y_j): predictions are shared by
+    // the replicates of the same x_M, exactly as in the paper.
+    let recs: Vec<_> = grid
+        .records
+        .iter()
+        .filter(|r| alpha_filter.is_none_or(|a| (r.params.alpha - a).abs() < 1e-12))
+        .collect();
+    let preds = predict_records(
+        model,
+        test,
+        &recs.iter().map(|r| (*r).clone()).collect::<Vec<_>>(),
+    );
+    let mut mu = Vec::new();
+    let mut sigma = Vec::new();
+    let mut y = Vec::new();
+    for (r, (m, s)) in recs.iter().zip(&preds) {
+        for &yj in &r.ys {
+            mu.push(*m);
+            sigma.push(*s);
+            y.push(yj);
+        }
+    }
+    calibration_curve(&mu, &sigma, &y, &TAUS, 0.95)
+}
+
+fn print_curve(label: &str, curve: &[CalibrationPoint]) {
+    println!("\n{label}:");
+    println!("  {:>8} {:>10} {:>10} {:>10}", "τ", "observed", "wilson lo", "wilson hi");
+    for p in curve {
+        let marker = if p.observed + 1e-12 < p.expected { "under" } else { "over/ok" };
+        println!(
+            "  {:>8.2} {:>10.3} {:>10.3} {:>10.3}   {marker}",
+            p.expected, p.observed, p.wilson_lo, p.wilson_hi
+        );
+    }
+    println!("  expected calibration error: {:.4}", expected_calibration_error(curve));
+}
+
+fn main() {
+    let profile = parse_profile();
+    let mut models = fit_models(&profile);
+    let grid = grid_evaluation(&profile);
+    let (_, test, _) = profile.materialize_test();
+    let n_obs: usize = grid.records.iter().map(|r| r.ys.len()).sum();
+
+    println!(
+        "Figure 1 — calibration on {} ({} observations: 64 x_M × {} replicates)",
+        profile.test_matrix.paper_row().name,
+        n_obs,
+        profile.eval_reps
+    );
+
+    let pre = curve_for(&mut models.pre_bo, &test, &grid, None);
+    let post = curve_for(&mut models.bo_enhanced, &test, &grid, None);
+    print_curve("Pre-BO model (all α)", &pre);
+    print_curve("BO-enhanced model (all α)", &post);
+
+    // Per-α breakdown: the paper highlights α ∈ {4, 5} approaching the
+    // diagonal after the BO round.
+    let mut csv_rows = Vec::new();
+    for (label, model) in [("pre_bo", &mut models.pre_bo), ("bo_enhanced", &mut models.bo_enhanced)]
+    {
+        for alpha in [None, Some(1.0), Some(2.0), Some(4.0), Some(5.0)] {
+            let curve = curve_for(model, &test, &grid, alpha);
+            let tag = alpha.map_or("all".to_string(), |a| format!("{a}"));
+            if alpha.is_some() {
+                println!(
+                    "  {label} α={tag}: ECE = {:.4}",
+                    expected_calibration_error(&curve)
+                );
+            }
+            for p in &curve {
+                csv_rows.push(vec![
+                    label.to_string(),
+                    tag.clone(),
+                    format!("{:.2}", p.expected),
+                    format!("{:.4}", p.observed),
+                    format!("{:.4}", p.wilson_lo),
+                    format!("{:.4}", p.wilson_hi),
+                    p.n.to_string(),
+                ]);
+            }
+        }
+    }
+
+    let ece_pre = expected_calibration_error(&pre);
+    let ece_post = expected_calibration_error(&post);
+    println!("\nShape check (paper: Pre-BO overconfident/under-covering; BO-enhanced closer to the diagonal):");
+    let under_pre = pre.iter().filter(|p| p.observed < p.expected).count();
+    println!(
+        "  Pre-BO points under the diagonal: {under_pre}/{}; ECE {ece_pre:.4} → BO-enhanced ECE {ece_post:.4} ({})",
+        pre.len(),
+        if ece_post < ece_pre { "improved ✓" } else { "not improved ✗" }
+    );
+
+    let rd = RunDir::new("fig1").expect("runs dir");
+    write_csv(
+        &rd.path(&format!("calibration_{}.csv", profile.name)),
+        &["model", "alpha", "tau", "observed", "wilson_lo", "wilson_hi", "n"],
+        &csv_rows,
+    )
+    .expect("write csv");
+    write_json(&rd.path(&format!("calibration_{}.json", profile.name)), &(pre, post))
+        .expect("write json");
+    println!("written: runs/fig1/calibration_{}.{{csv,json}}", profile.name);
+}

@@ -1,0 +1,60 @@
+//! Output helpers: run directory management, JSON/CSV writers.
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// A per-experiment output directory under `runs/`.
+pub struct RunDir {
+    dir: PathBuf,
+}
+
+impl RunDir {
+    /// Create (or reuse) `runs/<experiment>/`.
+    pub fn new(experiment: &str) -> std::io::Result<Self> {
+        let dir = Path::new("runs").join(experiment);
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// Path inside the run directory.
+    pub fn path(&self, file: &str) -> PathBuf {
+        self.dir.join(file)
+    }
+}
+
+/// Serialise any value as pretty JSON.
+pub fn write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), value)
+        .map_err(std::io::Error::other)
+}
+
+/// Write a CSV with a header row and stringified records.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_dir_and_writers() {
+        let rd = RunDir::new("selftest").unwrap();
+        write_json(&rd.path("x.json"), &vec![1, 2, 3]).unwrap();
+        write_csv(
+            &rd.path("x.csv"),
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(rd.path("x.csv")).unwrap();
+        assert!(text.starts_with("a,b\n1,2\n3,4"));
+    }
+}

@@ -1,0 +1,26 @@
+//! The AI-tuned MCMC preconditioner framework — the paper's primary
+//! contribution, assembled from the workspace substrates.
+//!
+//! Flow (paper §3, Algorithm 1):
+//! 1. [`features`] extracts the cheap matrix features `x_A`.
+//! 2. [`measure`] runs `MCMC build + Krylov solve` and reports the
+//!    performance metric `y = steps_with / steps_without` (Eq. 4).
+//! 3. [`dataset`] assembles the labelled grid dataset of §4.2.
+//! 4. The GNN surrogate (from `mcmcmi-gnn`) is trained on it; [`adapter`]
+//!    exposes it to the Bayesian optimiser through the `SurrogateModel`
+//!    trait with standardisation folded into the gradients.
+//! 5. [`pipeline`] runs BO rounds (32 EI-maximising recommendations per
+//!    round, ξ ∈ {0.05, 1.0}) and produces the BO-enhanced model and the
+//!    final `recommend(A) → x_M*` API.
+
+pub mod adapter;
+pub mod dataset;
+pub mod features;
+pub mod measure;
+pub mod pipeline;
+
+pub use adapter::GnnSurrogateAdapter;
+pub use dataset::{DatasetRecord, PaperDataset};
+pub use features::matrix_features;
+pub use measure::{MeasureConfig, Measurement, MeasurementRunner};
+pub use pipeline::{BoRoundOutcome, PipelineConfig, Recommender};

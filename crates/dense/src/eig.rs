@@ -1,0 +1,226 @@
+//! Spectral estimation: power iteration and inverse power iteration.
+//!
+//! The condition numbers in Table 1 are `κ₂ = σ_max/σ_min`; we estimate
+//! `σ_max` by power iteration on `AᵀA` and `σ_min` by inverse power iteration
+//! (each step solves with `A` and `Aᵀ`). Both routines are generic over a
+//! [`LinearOp`] so the same code serves dense matrices and the sparse CSR
+//! operators defined downstream.
+
+use crate::vec_ops::{norm2, scale_in_place};
+
+/// Minimal abstraction over a real linear operator `A : Rⁿ → Rᵐ`.
+///
+/// Implemented by [`crate::Mat`] here and by the sparse CSR type in
+/// `mcmcmi-sparse`; the spectral and Krylov code is written against this
+/// trait so it never needs to know the storage format.
+pub trait LinearOp {
+    /// Number of rows (output dimension).
+    fn nrows(&self) -> usize;
+    /// Number of columns (input dimension).
+    fn ncols(&self) -> usize;
+    /// `y ← A·x`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+    /// `y ← Aᵀ·x`.
+    fn apply_transpose(&self, x: &[f64], y: &mut [f64]);
+}
+
+impl LinearOp for crate::Mat {
+    fn nrows(&self) -> usize {
+        self.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.ncols()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec(x, y);
+    }
+    fn apply_transpose(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec_transpose(x, y);
+    }
+}
+
+/// Options shared by the iterative spectral estimators.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerOptions {
+    /// Maximum number of iterations.
+    pub max_iter: usize,
+    /// Relative change in the eigenvalue estimate at which to stop.
+    pub tol: f64,
+    /// Seed for the deterministic starting vector.
+    pub seed: u64,
+}
+
+impl Default for PowerOptions {
+    fn default() -> Self {
+        Self { max_iter: 200, tol: 1e-8, seed: 7 }
+    }
+}
+
+/// Deterministic pseudo-random unit start vector (splitmix64 stream).
+fn start_vector(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    let mut v: Vec<f64> = (0..n)
+        .map(|_| {
+            state ^= state >> 30;
+            state = state.wrapping_mul(0xbf58476d1ce4e5b9);
+            state ^= state >> 27;
+            state = state.wrapping_mul(0x94d049bb133111eb);
+            state ^= state >> 31;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect();
+    let nrm = norm2(&v);
+    if nrm > 0.0 {
+        scale_in_place(1.0 / nrm, &mut v);
+    }
+    v
+}
+
+/// Largest-magnitude eigenvalue of the symmetric operator `x ↦ Aᵀ(Ax)`
+/// — i.e. `σ_max(A)²` — by power iteration. Returns the estimate of
+/// `σ_max(A)` (not squared).
+pub fn spectral_norm_est<A: LinearOp>(a: &A, opts: PowerOptions) -> f64 {
+    let n = a.ncols();
+    let m = a.nrows();
+    let mut v = start_vector(n, opts.seed);
+    let mut av = vec![0.0; m];
+    let mut atav = vec![0.0; n];
+    let mut lambda = 0.0_f64;
+    for _ in 0..opts.max_iter {
+        a.apply(&v, &mut av);
+        a.apply_transpose(&av, &mut atav);
+        let new_lambda = norm2(&atav);
+        if new_lambda == 0.0 {
+            return 0.0;
+        }
+        for (vi, ti) in v.iter_mut().zip(&atav) {
+            *vi = ti / new_lambda;
+        }
+        if (new_lambda - lambda).abs() <= opts.tol * new_lambda {
+            lambda = new_lambda;
+            break;
+        }
+        lambda = new_lambda;
+    }
+    lambda.sqrt()
+}
+
+/// Power iteration for the dominant eigenvalue (by magnitude) of a square
+/// operator. Returns `(|λ|, v)`.
+pub fn power_iteration<A: LinearOp>(a: &A, opts: PowerOptions) -> (f64, Vec<f64>) {
+    let n = a.ncols();
+    assert_eq!(n, a.nrows(), "power_iteration: operator must be square");
+    let mut v = start_vector(n, opts.seed);
+    let mut av = vec![0.0; n];
+    let mut lambda = 0.0_f64;
+    for _ in 0..opts.max_iter {
+        a.apply(&v, &mut av);
+        let nrm = norm2(&av);
+        if nrm == 0.0 {
+            return (0.0, v);
+        }
+        for (vi, ti) in v.iter_mut().zip(&av) {
+            *vi = ti / nrm;
+        }
+        if (nrm - lambda).abs() <= opts.tol * nrm {
+            lambda = nrm;
+            break;
+        }
+        lambda = nrm;
+    }
+    (lambda, v)
+}
+
+/// Smallest singular value via inverse power iteration on `(AᵀA)⁻¹`.
+///
+/// `solve` must solve `Ax = b`; `solve_t` must solve `Aᵀx = b`. One iteration
+/// computes `z = A⁻¹ (A⁻ᵀ v)`, whose dominant growth rate is `1/σ_min²`.
+/// Returns `None` if a solve fails (singular operator).
+pub fn inverse_power_iteration<S, T>(
+    n: usize,
+    solve: S,
+    solve_t: T,
+    opts: PowerOptions,
+) -> Option<f64>
+where
+    S: Fn(&[f64]) -> Option<Vec<f64>>,
+    T: Fn(&[f64]) -> Option<Vec<f64>>,
+{
+    let mut v = start_vector(n, opts.seed);
+    let mut growth = 0.0_f64;
+    for _ in 0..opts.max_iter {
+        let w = solve_t(&v)?;
+        let z = solve(&w)?;
+        let nrm = norm2(&z);
+        if nrm == 0.0 || !nrm.is_finite() {
+            return None;
+        }
+        for (vi, zi) in v.iter_mut().zip(&z) {
+            *vi = zi / nrm;
+        }
+        if (nrm - growth).abs() <= opts.tol * nrm {
+            growth = nrm;
+            break;
+        }
+        growth = nrm;
+    }
+    // growth ≈ 1/σ_min².
+    Some(1.0 / growth.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::Lu;
+    use crate::mat::Mat;
+
+    #[test]
+    fn spectral_norm_of_diagonal() {
+        let a = Mat::from_rows(&[vec![3.0, 0.0], vec![0.0, -7.0]]);
+        let s = spectral_norm_est(&a, PowerOptions::default());
+        assert!((s - 7.0).abs() < 1e-6, "got {s}");
+    }
+
+    #[test]
+    fn power_iteration_dominant_eigenvalue() {
+        let a = Mat::from_rows(&[vec![2.0, 0.0], vec![0.0, 5.0]]);
+        let (l, v) = power_iteration(&a, PowerOptions::default());
+        assert!((l - 5.0).abs() < 1e-6);
+        // Eigenvector should align with e2.
+        assert!(v[1].abs() > 0.999);
+    }
+
+    #[test]
+    fn inverse_power_gives_sigma_min() {
+        let a = Mat::from_rows(&[vec![4.0, 0.0], vec![0.0, 0.5]]);
+        let lu = Lu::new(&a);
+        let lu2 = lu.clone();
+        let smin = inverse_power_iteration(
+            2,
+            move |b| lu.solve(b),
+            move |b| lu2.solve_transpose(b),
+            PowerOptions::default(),
+        )
+        .unwrap();
+        assert!((smin - 0.5).abs() < 1e-6, "got {smin}");
+    }
+
+    #[test]
+    fn nonsymmetric_singular_values() {
+        // A = [[0, 2],[0, 0]] has singular values {2, 0}; σ_max detected, the
+        // singular solve path returns None.
+        let a = Mat::from_rows(&[vec![0.0, 2.0], vec![0.0, 0.0]]);
+        let s = spectral_norm_est(&a, PowerOptions::default());
+        assert!((s - 2.0).abs() < 1e-6);
+        let lu = Lu::new(&a);
+        assert!(lu.is_singular());
+    }
+
+    #[test]
+    fn start_vector_is_unit_and_deterministic() {
+        let v1 = start_vector(64, 42);
+        let v2 = start_vector(64, 42);
+        assert_eq!(v1, v2);
+        assert!((norm2(&v1) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,24 @@
+//! Dense linear algebra substrate for the MCMCMI reproduction.
+//!
+//! The paper's pipeline needs a small but solid dense toolkit: the GMRES
+//! Hessenberg least-squares problem, LU factorisations for exact inverses in
+//! tests and for condition-number estimation, QR for orthogonalisation, and
+//! power/inverse iterations for spectral estimates. Everything here is written
+//! against plain `&[f64]` / row-major [`Mat`] so the hot paths stay allocation
+//! free (per the Rust Performance Book guidance used in this project).
+
+pub mod cond;
+pub mod eig;
+pub mod lu;
+pub mod mat;
+pub mod qr;
+pub mod vec_ops;
+
+pub use cond::{cond_dense, cond_estimate, CondOptions};
+pub use eig::{
+    inverse_power_iteration, power_iteration, spectral_norm_est, LinearOp, PowerOptions,
+};
+pub use lu::Lu;
+pub use mat::Mat;
+pub use qr::{orthonormal_columns, Qr};
+pub use vec_ops::{axpy, copy_into, dot, norm1, norm2, norm_inf, scale_in_place};

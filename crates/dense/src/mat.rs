@@ -1,0 +1,263 @@
+//! Row-major dense matrix.
+
+use crate::vec_ops::dot;
+
+/// A dense, row-major `f64` matrix.
+///
+/// Storage is a single contiguous `Vec<f64>` of length `nrows * ncols`; row
+/// `i` occupies `data[i*ncols .. (i+1)*ncols]`. Row-major order keeps
+/// matrix–vector products cache friendly, which is the dominant dense kernel
+/// in this workspace (Hessenberg updates in GMRES, the autodiff `matmul`
+/// reference checks, and exact inverses in tests).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mat {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Zero matrix of shape `nrows × ncols`.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "Mat::from_vec: shape/data mismatch");
+        Self { nrows, ncols, data }
+    }
+
+    /// Build from nested rows (convenience for tests and small examples).
+    ///
+    /// # Panics
+    /// Panics if the rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            assert_eq!(r.len(), ncols, "Mat::from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self { nrows, ncols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        self.data[i * self.ncols + j]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        self.data[i * self.ncols + j] = v;
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Borrow row `i` mutably.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// `y ← A·x`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "matvec: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "matvec: y length mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = dot(self.row(i), x);
+        }
+    }
+
+    /// Allocating matrix–vector product.
+    pub fn matvec_alloc(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows];
+        self.matvec(x, &mut y);
+        y
+    }
+
+    /// `y ← Aᵀ·x`.
+    pub fn matvec_transpose(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.nrows, "matvec_transpose: x length mismatch");
+        assert_eq!(y.len(), self.ncols, "matvec_transpose: y length mismatch");
+        y.iter_mut().for_each(|v| *v = 0.0);
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            let row = self.row(i);
+            for (yj, &aij) in y.iter_mut().zip(row) {
+                *yj += aij * xi;
+            }
+        }
+    }
+
+    /// Matrix product `A·B` (naive triple loop with row-major accumulation;
+    /// adequate for the small dense blocks this workspace needs).
+    ///
+    /// # Panics
+    /// Panics if `self.ncols != b.nrows`.
+    pub fn matmul(&self, b: &Mat) -> Mat {
+        assert_eq!(self.ncols, b.nrows, "matmul: inner dimension mismatch");
+        let mut c = Mat::zeros(self.nrows, b.ncols);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = b.row(k);
+                let crow = c.row_mut(i);
+                for (cij, &bkj) in crow.iter_mut().zip(brow) {
+                    *cij += aik * bkj;
+                }
+            }
+        }
+        c
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Mat {
+        let mut t = Mat::zeros(self.ncols, self.nrows);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                t.set(j, i, self.get(i, j));
+            }
+        }
+        t
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        crate::vec_ops::norm2(&self.data)
+    }
+
+    /// Max-magnitude entry difference to another matrix (test helper).
+    pub fn max_abs_diff(&self, other: &Mat) -> f64 {
+        assert_eq!(self.nrows, other.nrows);
+        assert_eq!(self.ncols, other.ncols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+
+    /// `self ← self + a·other`.
+    pub fn add_scaled(&mut self, a: f64, other: &Mat) {
+        assert_eq!(self.nrows, other.nrows);
+        assert_eq!(self.ncols, other.ncols);
+        for (x, y) in self.data.iter_mut().zip(&other.data) {
+            *x += a * y;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eye_matvec_is_identity() {
+        let a = Mat::eye(4);
+        let x = vec![1.0, -2.0, 3.0, -4.0];
+        assert_eq!(a.matvec_alloc(&x), x);
+    }
+
+    #[test]
+    fn matvec_known_values() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.matvec_alloc(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn matvec_transpose_matches_explicit_transpose() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let x = [1.0, -1.0];
+        let mut y = vec![0.0; 3];
+        a.matvec_transpose(&x, &mut y);
+        assert_eq!(y, a.transpose().matvec_alloc(&x));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.matmul(&Mat::eye(2)), a);
+        assert_eq!(Mat::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Mat::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Mat::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn frobenius_norm() {
+        let a = Mat::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]);
+        assert!((a.norm_fro() - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,135 @@
+//! Allocation-free vector kernels.
+//!
+//! These are the innermost loops of every Krylov solver in the workspace, so
+//! they take slices and avoid bounds checks by iterating rather than indexing.
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`, with scaling to avoid overflow for large entries.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    let amax = x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+    if amax == 0.0 || !amax.is_finite() {
+        return if amax == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    let s: f64 = x
+        .iter()
+        .map(|&v| {
+            let t = v / amax;
+            t * t
+        })
+        .sum();
+    amax * s.sqrt()
+}
+
+/// 1-norm `‖x‖₁ = Σ|xᵢ|`.
+#[inline]
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// ∞-norm `‖x‖∞ = max|xᵢ|`.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+}
+
+/// `y ← y + a·x` (BLAS `axpy`).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `x ← a·x`.
+#[inline]
+pub fn scale_in_place(a: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= a;
+    }
+}
+
+/// `dst ← src` without reallocating.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn copy_into(src: &[f64], dst: &mut [f64]) {
+    dst.copy_from_slice(src);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_manual_sum() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, -5.0, 6.0];
+        assert!((dot(&x, &y) - (4.0 - 10.0 + 18.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norm2_is_pythagorean() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn norm2_scales_past_overflow() {
+        let big = 1e200;
+        let n = norm2(&[big, big]);
+        assert!((n - big * std::f64::consts::SQRT_2).abs() / n < 1e-14);
+    }
+
+    #[test]
+    fn norm2_zero_vector() {
+        assert_eq!(norm2(&[0.0, 0.0, 0.0]), 0.0);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn norm1_and_inf() {
+        let x = [1.0, -2.0, 3.0, -4.0];
+        assert!((norm1(&x) - 10.0).abs() < 1e-15);
+        assert!((norm_inf(&x) - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, [10.5, 21.0]);
+    }
+
+    #[test]
+    fn scale_in_place_works() {
+        let mut x = [1.0, -2.0];
+        scale_in_place(-3.0, &mut x);
+        assert_eq!(x, [-3.0, 6.0]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the dense substrate.
+
+use mcmcmi_dense::{dot, norm1, norm2, norm_inf, Lu, Mat, Qr};
+use proptest::prelude::*;
+
+fn arb_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, len..=len)
+}
+
+fn arb_square(n: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(-5.0f64..5.0, n * n..=n * n)
+        .prop_map(move |d| Mat::from_vec(n, n, d))
+}
+
+/// Diagonally boosted copy (guaranteed nonsingular).
+fn boosted(a: &Mat) -> Mat {
+    let n = a.nrows();
+    let mut b = a.clone();
+    for i in 0..n {
+        let row_sum: f64 = (0..n).map(|j| b.get(i, j).abs()).sum();
+        b.set(i, i, b.get(i, i) + row_sum + 1.0);
+    }
+    b
+}
+
+proptest! {
+    /// Cauchy–Schwarz: |xᵀy| ≤ ‖x‖‖y‖.
+    #[test]
+    fn cauchy_schwarz(x in arb_vec(12), y in arb_vec(12)) {
+        let lhs = dot(&x, &y).abs();
+        let rhs = norm2(&x) * norm2(&y);
+        prop_assert!(lhs <= rhs * (1.0 + 1e-12));
+    }
+
+    /// Norm ordering: ‖x‖∞ ≤ ‖x‖₂ ≤ ‖x‖₁.
+    #[test]
+    fn norm_ordering(x in arb_vec(16)) {
+        prop_assert!(norm_inf(&x) <= norm2(&x) + 1e-12);
+        prop_assert!(norm2(&x) <= norm1(&x) + 1e-9);
+    }
+
+    /// Triangle inequality for the 2-norm.
+    #[test]
+    fn triangle_inequality(x in arb_vec(10), y in arb_vec(10)) {
+        let sum: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        prop_assert!(norm2(&sum) <= norm2(&x) + norm2(&y) + 1e-9);
+    }
+
+    /// LU solve produces small residuals on dominant systems.
+    #[test]
+    fn lu_solves_dominant_systems(a in arb_square(8), b in arb_vec(8)) {
+        let m = boosted(&a);
+        let lu = Lu::new(&m);
+        prop_assert!(!lu.is_singular());
+        let x = lu.solve(&b).unwrap();
+        let ax = m.matvec_alloc(&x);
+        for (p, q) in ax.iter().zip(&b) {
+            prop_assert!((p - q).abs() < 1e-8 * (1.0 + q.abs()));
+        }
+    }
+
+    /// det(A) · det(A⁻¹) = 1 on nonsingular systems.
+    #[test]
+    fn determinant_of_inverse(a in arb_square(6)) {
+        let m = boosted(&a);
+        let lu = Lu::new(&m);
+        let inv = lu.inverse().unwrap();
+        let det_inv = Lu::new(&inv).det();
+        let prod = lu.det() * det_inv;
+        prop_assert!((prod - 1.0).abs() < 1e-6, "det·det⁻¹ = {prod}");
+    }
+
+    /// (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn transpose_of_product(a in arb_square(5), b in arb_square(5)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-10);
+    }
+
+    /// QR least squares beats any perturbed candidate.
+    #[test]
+    fn qr_ls_is_optimal(a in arb_square(6), b in arb_vec(6), d in arb_vec(6)) {
+        let m = boosted(&a);
+        let qr = Qr::new(&m);
+        let x = qr.solve_ls(&b).unwrap();
+        let base = mcmcmi_dense::qr::ls_residual(&m, &x, &b);
+        let xp: Vec<f64> = x.iter().zip(&d).map(|(v, e)| v + e * 1e-3).collect();
+        prop_assert!(mcmcmi_dense::qr::ls_residual(&m, &xp, &b) >= base - 1e-9);
+    }
+
+    /// Solve-transpose agrees with solving the explicitly transposed matrix.
+    #[test]
+    fn solve_transpose_consistency(a in arb_square(7), b in arb_vec(7)) {
+        let m = boosted(&a);
+        let x1 = Lu::new(&m).solve_transpose(&b).unwrap();
+        let x2 = Lu::new(&m.transpose()).solve(&b).unwrap();
+        for (p, q) in x1.iter().zip(&x2) {
+            prop_assert!((p - q).abs() < 1e-8 * (1.0 + q.abs()));
+        }
+    }
+}

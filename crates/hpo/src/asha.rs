@@ -1,0 +1,178 @@
+//! Successive-halving scheduler (synchronous ASHA).
+//!
+//! Paper protocol (§4.3): max resource 150 epochs, grace period 20,
+//! reduction factor 3 — i.e. every configuration gets at least 20 epochs,
+//! the best third survives to 60, the best third of those to 150 (capped).
+
+use serde::{Deserialize, Serialize};
+
+/// Scheduler settings.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AshaConfig {
+    /// Minimum resource per trial (paper: 20 epochs).
+    pub grace: usize,
+    /// Promotion factor η (paper: 3).
+    pub reduction: usize,
+    /// Maximum resource (paper: 150 epochs).
+    pub max_resource: usize,
+}
+
+impl Default for AshaConfig {
+    fn default() -> Self {
+        Self { grace: 20, reduction: 3, max_resource: 150 }
+    }
+}
+
+impl AshaConfig {
+    /// The rung resource levels: grace, grace·η, … capped at max.
+    pub fn rungs(&self) -> Vec<usize> {
+        assert!(self.grace >= 1 && self.reduction >= 2, "AshaConfig: invalid settings");
+        let mut out = Vec::new();
+        let mut r = self.grace;
+        loop {
+            out.push(r.min(self.max_resource));
+            if r >= self.max_resource {
+                break;
+            }
+            r = (r * self.reduction).min(self.max_resource);
+            if *out.last().unwrap() == self.max_resource {
+                break;
+            }
+        }
+        out.dedup();
+        out
+    }
+}
+
+/// Per-trial outcome of a successive-halving run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Trial index (into the original config list).
+    pub trial: usize,
+    /// Total resource the trial received.
+    pub resource: usize,
+    /// Last observed loss.
+    pub loss: f64,
+    /// Whether it survived to the final rung.
+    pub finished: bool,
+}
+
+/// Run successive halving over `n_trials` configurations.
+///
+/// `evaluate(trial, resource)` trains trial `trial` *up to* the cumulative
+/// resource level `resource` and returns the validation loss (lower is
+/// better). It is called with increasing resource for surviving trials, so
+/// implementations can checkpoint and resume.
+///
+/// Returns per-trial outcomes; the winner is the finished trial with the
+/// lowest loss.
+pub fn run_successive_halving<F>(
+    n_trials: usize,
+    cfg: AshaConfig,
+    mut evaluate: F,
+) -> Vec<TrialOutcome>
+where
+    F: FnMut(usize, usize) -> f64,
+{
+    assert!(n_trials > 0, "run_successive_halving: need at least one trial");
+    let rungs = cfg.rungs();
+    let mut outcomes: Vec<TrialOutcome> = (0..n_trials)
+        .map(|t| TrialOutcome { trial: t, resource: 0, loss: f64::INFINITY, finished: false })
+        .collect();
+    let mut alive: Vec<usize> = (0..n_trials).collect();
+
+    for (level, &r) in rungs.iter().enumerate() {
+        // Evaluate all surviving trials at this rung.
+        for &t in &alive {
+            let loss = evaluate(t, r);
+            outcomes[t].resource = r;
+            outcomes[t].loss = loss;
+        }
+        let is_last = level + 1 == rungs.len();
+        if is_last {
+            for &t in &alive {
+                outcomes[t].finished = true;
+            }
+            break;
+        }
+        // Promote the top 1/η fraction (at least one).
+        let mut ranked = alive.clone();
+        ranked.sort_by(|&a, &b| outcomes[a].loss.partial_cmp(&outcomes[b].loss).unwrap());
+        let keep = (ranked.len() / cfg.reduction).max(1);
+        alive = ranked[..keep].to_vec();
+    }
+    outcomes
+}
+
+/// The winning trial index of a finished run (lowest final loss among
+/// trials that reached the last rung).
+pub fn winner(outcomes: &[TrialOutcome]) -> Option<usize> {
+    outcomes
+        .iter()
+        .filter(|o| o.finished)
+        .min_by(|a, b| a.loss.partial_cmp(&b.loss).unwrap())
+        .map(|o| o.trial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rungs() {
+        let cfg = AshaConfig::default();
+        assert_eq!(cfg.rungs(), vec![20, 60, 150]);
+    }
+
+    #[test]
+    fn rungs_respect_max() {
+        let cfg = AshaConfig { grace: 10, reduction: 4, max_resource: 100 };
+        assert_eq!(cfg.rungs(), vec![10, 40, 100]);
+    }
+
+    #[test]
+    fn winner_is_best_asymptotic_trial() {
+        // Trial t's loss curve: base_t + 10/resource. Trial 3 has the best
+        // asymptote and decent early performance ⇒ must win.
+        let bases = [0.5, 0.8, 0.4, 0.1, 0.9, 0.55, 0.7, 0.65, 0.45];
+        let outcomes = run_successive_halving(9, AshaConfig::default(), |t, r| {
+            bases[t] + 10.0 / r as f64
+        });
+        assert_eq!(winner(&outcomes), Some(3));
+    }
+
+    #[test]
+    fn budget_is_saved_versus_full_training() {
+        // Count evaluate calls weighted by resource: successive halving must
+        // spend far less than training all trials to max resource.
+        let mut spent = 0usize;
+        let n = 27;
+        let _ = run_successive_halving(n, AshaConfig::default(), |t, r| {
+            spent += r; // (re-)training cost up to r, counted pessimistically
+            (t as f64 * 0.01) + 5.0 / r as f64
+        });
+        let full = n * 150;
+        assert!(spent < full / 2, "spent {spent} vs full {full}");
+    }
+
+    #[test]
+    fn early_loser_is_cut_at_grace() {
+        let outcomes = run_successive_halving(9, AshaConfig::default(), |t, r| {
+            if t == 0 {
+                10.0 // hopeless from the start
+            } else {
+                1.0 / (t as f64) + 1.0 / r as f64
+            }
+        });
+        assert_eq!(outcomes[0].resource, 20);
+        assert!(!outcomes[0].finished);
+    }
+
+    #[test]
+    fn single_trial_always_finishes() {
+        let outcomes = run_successive_halving(1, AshaConfig::default(), |_, r| 1.0 / r as f64);
+        assert!(outcomes[0].finished);
+        assert_eq!(outcomes[0].resource, 150);
+        assert_eq!(winner(&outcomes), Some(0));
+    }
+}

@@ -1,0 +1,18 @@
+//! Hyper-parameter optimisation machinery (paper §4.3).
+//!
+//! The paper selects its surrogate architecture with the Tree-structured
+//! Parzen Estimator (Bergstra et al., NeurIPS'11) scheduled by the
+//! Asynchronous Successive Halving Algorithm (Li et al., MLSys'20) —
+//! 30 trials, max 150 epochs, grace period 20, reduction factor 3. This
+//! crate reimplements both: TPE as a per-dimension Parzen-window density
+//! ratio sampler, and ASHA as a synchronous successive-halving scheduler
+//! (the asynchrony in the original is a cluster-scheduling optimisation,
+//! not part of the selection logic).
+
+pub mod asha;
+pub mod space;
+pub mod tpe;
+
+pub use asha::{run_successive_halving, AshaConfig, TrialOutcome};
+pub use space::{ParamKind, ParamSpec, SearchSpace};
+pub use tpe::{TpeConfig, TpeSampler};

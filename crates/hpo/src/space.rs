@@ -1,0 +1,159 @@
+//! Search-space description shared by the samplers.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Kind of one tunable dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// Uniform on [lo, hi].
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Log-uniform on [lo, hi] (both > 0) — learning rates, weight decay.
+    LogUniform {
+        /// Lower bound (> 0).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Categorical with `n` choices, encoded as 0.0..n as f64.
+    Choice {
+        /// Number of categories.
+        n: usize,
+    },
+}
+
+/// One named dimension.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParamSpec {
+    /// Human-readable name ("lr", "hidden_dim", …).
+    pub name: String,
+    /// Distribution.
+    pub kind: ParamKind,
+}
+
+/// A full search space (ordered list of dimensions).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SearchSpace {
+    specs: Vec<ParamSpec>,
+}
+
+impl SearchSpace {
+    /// Empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a dimension (builder style).
+    pub fn add(mut self, name: impl Into<String>, kind: ParamKind) -> Self {
+        match kind {
+            ParamKind::Uniform { lo, hi } => assert!(lo < hi, "Uniform: lo < hi required"),
+            ParamKind::LogUniform { lo, hi } => {
+                assert!(lo > 0.0 && lo < hi, "LogUniform: 0 < lo < hi required")
+            }
+            ParamKind::Choice { n } => assert!(n >= 1, "Choice: need at least one option"),
+        }
+        self.specs.push(ParamSpec { name: name.into(), kind });
+        self
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Dimension specs.
+    pub fn specs(&self) -> &[ParamSpec] {
+        &self.specs
+    }
+
+    /// Sample a configuration uniformly from the prior.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Vec<f64> {
+        self.specs
+            .iter()
+            .map(|s| match s.kind {
+                ParamKind::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+                ParamKind::LogUniform { lo, hi } => {
+                    (rng.gen_range(lo.ln()..=hi.ln())).exp()
+                }
+                ParamKind::Choice { n } => rng.gen_range(0..n) as f64,
+            })
+            .collect()
+    }
+
+    /// Validate that a configuration lies inside the space.
+    pub fn contains(&self, x: &[f64]) -> bool {
+        x.len() == self.dim()
+            && self.specs.iter().zip(x).all(|(s, &v)| match s.kind {
+                ParamKind::Uniform { lo, hi } | ParamKind::LogUniform { lo, hi } => {
+                    v >= lo && v <= hi
+                }
+                ParamKind::Choice { n } => {
+                    v >= 0.0 && v < n as f64 && v.fract() == 0.0
+                }
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new()
+            .add("lr", ParamKind::LogUniform { lo: 1e-4, hi: 1e-1 })
+            .add("dropout", ParamKind::Uniform { lo: 0.0, hi: 0.2 })
+            .add("conv", ParamKind::Choice { n: 3 })
+    }
+
+    #[test]
+    fn samples_stay_in_space() {
+        let sp = space();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..200 {
+            let x = sp.sample(&mut rng);
+            assert!(sp.contains(&x), "{x:?}");
+        }
+    }
+
+    #[test]
+    fn log_uniform_spreads_over_decades() {
+        let sp = SearchSpace::new().add("lr", ParamKind::LogUniform { lo: 1e-4, hi: 1e-1 });
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut small = 0;
+        let mut large = 0;
+        for _ in 0..500 {
+            let v = sp.sample(&mut rng)[0];
+            if v < 1e-3 {
+                small += 1;
+            }
+            if v > 1e-2 {
+                large += 1;
+            }
+        }
+        // Log-uniform: each decade gets roughly a third of the mass.
+        assert!(small > 100, "small = {small}");
+        assert!(large > 100, "large = {large}");
+    }
+
+    #[test]
+    fn contains_rejects_bad_configs() {
+        let sp = space();
+        assert!(!sp.contains(&[1e-4, 0.1])); // wrong dim
+        assert!(!sp.contains(&[1.0, 0.1, 0.0])); // lr out of range
+        assert!(!sp.contains(&[1e-3, 0.1, 3.0])); // choice out of range
+        assert!(!sp.contains(&[1e-3, 0.1, 0.5])); // non-integral choice
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn rejects_inverted_bounds() {
+        let _ = SearchSpace::new().add("x", ParamKind::Uniform { lo: 1.0, hi: 0.0 });
+    }
+}

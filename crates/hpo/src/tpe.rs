@@ -1,0 +1,313 @@
+//! Tree-structured Parzen Estimator sampler.
+//!
+//! Observations are split into "good" (best γ-fraction by loss) and "bad";
+//! each continuous dimension gets a Parzen window (Gaussian KDE) per group,
+//! categorical dimensions get smoothed frequency tables. New candidates are
+//! drawn from the good density and ranked by the density ratio `l(x)/g(x)`
+//! — the standard TPE acquisition.
+
+use crate::space::{ParamKind, SearchSpace};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// TPE settings.
+#[derive(Clone, Copy, Debug)]
+pub struct TpeConfig {
+    /// Fraction of observations considered "good" (γ, default 0.25).
+    pub gamma: f64,
+    /// Candidates drawn per suggestion (default 24).
+    pub n_candidates: usize,
+    /// Random configurations before TPE kicks in (default 10).
+    pub n_startup: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpeConfig {
+    fn default() -> Self {
+        Self { gamma: 0.25, n_candidates: 24, n_startup: 10, seed: 0 }
+    }
+}
+
+/// The sampler: feed `(config, loss)` observations, ask for suggestions.
+pub struct TpeSampler {
+    space: SearchSpace,
+    cfg: TpeConfig,
+    observations: Vec<(Vec<f64>, f64)>,
+    rng: ChaCha8Rng,
+}
+
+impl TpeSampler {
+    /// New sampler over a space.
+    pub fn new(space: SearchSpace, cfg: TpeConfig) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        Self { space, cfg, observations: Vec::new(), rng }
+    }
+
+    /// Record an observation (lower loss is better).
+    pub fn observe(&mut self, config: Vec<f64>, loss: f64) {
+        assert!(
+            self.space.contains(&config) || config.len() == self.space.dim(),
+            "TpeSampler::observe: config outside space"
+        );
+        self.observations.push((config, loss));
+    }
+
+    /// Number of observations recorded.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// True when no observations were recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Suggest the next configuration to evaluate.
+    pub fn suggest(&mut self) -> Vec<f64> {
+        if self.observations.len() < self.cfg.n_startup {
+            return self.space.sample(&mut self.rng);
+        }
+        // Split good/bad by loss quantile.
+        let mut sorted: Vec<usize> = (0..self.observations.len()).collect();
+        sorted.sort_by(|&a, &b| {
+            self.observations[a].1.partial_cmp(&self.observations[b].1).unwrap()
+        });
+        let n_good = ((self.cfg.gamma * sorted.len() as f64).ceil() as usize)
+            .clamp(1, sorted.len() - 1);
+        // Owned copies keep the borrow checker happy while the RNG mutates.
+        let good: Vec<Vec<f64>> =
+            sorted[..n_good].iter().map(|&i| self.observations[i].0.clone()).collect();
+        let bad: Vec<Vec<f64>> =
+            sorted[n_good..].iter().map(|&i| self.observations[i].0.clone()).collect();
+
+        // Draw candidates from the good density, keep the best ratio.
+        let mut best: Option<(Vec<f64>, f64)> = None;
+        for _ in 0..self.cfg.n_candidates {
+            let cand = self.sample_from_good(&good);
+            let score = self.log_density(&cand, &good) - self.log_density(&cand, &bad);
+            if best.as_ref().is_none_or(|(_, s)| score > *s) {
+                best = Some((cand, score));
+            }
+        }
+        best.expect("TPE: candidate set cannot be empty").0
+    }
+
+    /// Draw one candidate from the per-dimension good-group Parzen windows.
+    fn sample_from_good(&mut self, good: &[Vec<f64>]) -> Vec<f64> {
+        let specs = self.space.specs().to_vec();
+        specs
+            .iter()
+            .enumerate()
+            .map(|(d, spec)| match spec.kind {
+                ParamKind::Uniform { lo, hi } | ParamKind::LogUniform { lo, hi } => {
+                    let log_scale = matches!(spec.kind, ParamKind::LogUniform { .. });
+                    let (tlo, thi) = if log_scale { (lo.ln(), hi.ln()) } else { (lo, hi) };
+                    let centres: Vec<f64> = good
+                        .iter()
+                        .map(|x| if log_scale { x[d].ln() } else { x[d] })
+                        .collect();
+                    let bw = bandwidth(&centres, tlo, thi);
+                    // Pick a kernel centre, draw a truncated Gaussian.
+                    let c = centres[self.rng.gen_range(0..centres.len())];
+                    let mut v;
+                    loop {
+                        v = c + bw * gauss(&mut self.rng);
+                        if v >= tlo && v <= thi {
+                            break;
+                        }
+                    }
+                    if log_scale {
+                        v.exp()
+                    } else {
+                        v
+                    }
+                }
+                ParamKind::Choice { n } => {
+                    // Smoothed categorical sampled from good frequencies.
+                    let mut counts = vec![1.0f64; n];
+                    for x in good {
+                        counts[x[d] as usize] += 1.0;
+                    }
+                    let total: f64 = counts.iter().sum();
+                    let mut u = self.rng.gen::<f64>() * total;
+                    let mut pick = n - 1;
+                    for (k, &c) in counts.iter().enumerate() {
+                        if u < c {
+                            pick = k;
+                            break;
+                        }
+                        u -= c;
+                    }
+                    pick as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Log density of `x` under the group's per-dimension Parzen model
+    /// (dimensions treated independently — the "tree" factorisation).
+    fn log_density(&self, x: &[f64], group: &[Vec<f64>]) -> f64 {
+        let mut logp = 0.0;
+        for (d, spec) in self.space.specs().iter().enumerate() {
+            match spec.kind {
+                ParamKind::Uniform { lo, hi } | ParamKind::LogUniform { lo, hi } => {
+                    let log_scale = matches!(spec.kind, ParamKind::LogUniform { .. });
+                    let (tlo, thi) = if log_scale { (lo.ln(), hi.ln()) } else { (lo, hi) };
+                    let xv = if log_scale { x[d].ln() } else { x[d] };
+                    let centres: Vec<f64> = group
+                        .iter()
+                        .map(|g| if log_scale { g[d].ln() } else { g[d] })
+                        .collect();
+                    let bw = bandwidth(&centres, tlo, thi);
+                    let mut p = 0.0;
+                    for &c in &centres {
+                        let z = (xv - c) / bw;
+                        p += (-0.5 * z * z).exp();
+                    }
+                    p /= centres.len() as f64 * bw * (2.0 * std::f64::consts::PI).sqrt();
+                    logp += (p + 1e-300).ln();
+                }
+                ParamKind::Choice { n } => {
+                    let mut counts = vec![1.0f64; n];
+                    for g in group {
+                        counts[g[d] as usize] += 1.0;
+                    }
+                    let total: f64 = counts.iter().sum();
+                    logp += (counts[x[d] as usize] / total).ln();
+                }
+            }
+        }
+        logp
+    }
+}
+
+/// Scott-style bandwidth with a floor tied to the domain width.
+fn bandwidth(centres: &[f64], lo: f64, hi: f64) -> f64 {
+    let n = centres.len() as f64;
+    let mean = centres.iter().sum::<f64>() / n;
+    let var = centres.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / n;
+    let scott = var.sqrt() * n.powf(-0.2);
+    let floor = (hi - lo) / (1.0 + n);
+    scott.max(floor).max(1e-12)
+}
+
+/// Standard normal draw (Box–Muller).
+fn gauss<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ParamKind;
+
+    fn toy_space() -> SearchSpace {
+        SearchSpace::new()
+            .add("x", ParamKind::Uniform { lo: 0.0, hi: 1.0 })
+            .add("y", ParamKind::Uniform { lo: 0.0, hi: 1.0 })
+            .add("c", ParamKind::Choice { n: 2 })
+    }
+
+    /// Loss: bowl at (0.2, 0.7), with category 1 adding a penalty.
+    fn loss(x: &[f64]) -> f64 {
+        (x[0] - 0.2).powi(2) + (x[1] - 0.7).powi(2) + 0.3 * x[2]
+    }
+
+    #[test]
+    fn startup_phase_samples_randomly() {
+        let mut tpe = TpeSampler::new(toy_space(), TpeConfig::default());
+        for _ in 0..5 {
+            let s = tpe.suggest();
+            assert_eq!(s.len(), 3);
+        }
+        assert!(tpe.is_empty());
+    }
+
+    #[test]
+    fn tpe_beats_random_search_on_toy_problem() {
+        // Median-of-seeds comparison: single runs of either method are too
+        // noisy on an easy 2-D bowl to order reliably.
+        let budget = 60;
+        let median = |mut v: Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let tpe_bests: Vec<f64> = (0..7u64)
+            .map(|seed| {
+                let mut tpe =
+                    TpeSampler::new(toy_space(), TpeConfig { seed, ..Default::default() });
+                let mut best = f64::INFINITY;
+                for _ in 0..budget {
+                    let s = tpe.suggest();
+                    let l = loss(&s);
+                    best = best.min(l);
+                    tpe.observe(s, l);
+                }
+                best
+            })
+            .collect();
+        let rand_bests: Vec<f64> = (0..7u64)
+            .map(|seed| {
+                let mut rng = ChaCha8Rng::seed_from_u64(100 + seed);
+                let sp = toy_space();
+                let mut best = f64::INFINITY;
+                for _ in 0..budget {
+                    best = best.min(loss(&sp.sample(&mut rng)));
+                }
+                best
+            })
+            .collect();
+        let (tm, rm) = (median(tpe_bests), median(rand_bests));
+        assert!(tm <= rm * 1.1, "TPE median {tm} should not lose to random median {rm}");
+    }
+
+    #[test]
+    fn suggestions_concentrate_near_optimum_after_observations() {
+        let mut tpe = TpeSampler::new(toy_space(), TpeConfig { seed: 9, ..Default::default() });
+        for _ in 0..80 {
+            let s = tpe.suggest();
+            let l = loss(&s);
+            tpe.observe(s, l);
+        }
+        // Average the next 20 suggestions: should sit near (0.2, 0.7, cat 0).
+        let mut mx = 0.0;
+        let mut my = 0.0;
+        let mut c0 = 0;
+        for _ in 0..20 {
+            let s = tpe.suggest();
+            mx += s[0];
+            my += s[1];
+            if s[2] == 0.0 {
+                c0 += 1;
+            }
+            let l = loss(&s);
+            tpe.observe(s, l);
+        }
+        mx /= 20.0;
+        my /= 20.0;
+        assert!((mx - 0.2).abs() < 0.25, "mean x = {mx}");
+        assert!((my - 0.7).abs() < 0.25, "mean y = {my}");
+        assert!(c0 >= 12, "category 0 picked only {c0}/20 times");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut tpe =
+                TpeSampler::new(toy_space(), TpeConfig { seed, ..Default::default() });
+            let mut hist = Vec::new();
+            for _ in 0..30 {
+                let s = tpe.suggest();
+                let l = loss(&s);
+                hist.push(s.clone());
+                tpe.observe(s, l);
+            }
+            hist
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

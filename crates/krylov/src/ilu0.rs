@@ -1,0 +1,235 @@
+//! ILU(0): incomplete LU factorisation with zero fill-in.
+//!
+//! The classical algebraic preconditioner the paper's related-work section
+//! positions MCMC against (hard to pipeline, may break down on indefinite
+//! matrices — both properties are observable here). Kept factor storage is
+//! exactly the sparsity pattern of `A`.
+
+use crate::precond::Preconditioner;
+use mcmcmi_sparse::Csr;
+
+/// ILU(0) factors on the pattern of `A` (strictly-lower part = L without its
+/// unit diagonal, upper part = U), stored as flat CSR arrays.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ilu0 {
+    n: usize,
+    indptr: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+    /// Position of the diagonal entry within each row.
+    diag_pos: Vec<usize>,
+}
+
+/// Failure modes of the incomplete factorisations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FactorError {
+    /// A zero (or near-zero) pivot was encountered at the given row —
+    /// ILU(0)/IC(0) "break down", exactly the failure mode the paper notes
+    /// for indefinite systems.
+    ZeroPivot(usize),
+    /// The matrix has a structurally missing diagonal entry at the row.
+    MissingDiagonal(usize),
+    /// A negative pivot in IC(0) (matrix not positive definite enough).
+    NegativePivot(usize),
+    /// Not a square matrix.
+    NotSquare,
+}
+
+impl std::fmt::Display for FactorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FactorError::ZeroPivot(i) => write!(f, "zero pivot at row {i}"),
+            FactorError::MissingDiagonal(i) => write!(f, "missing diagonal at row {i}"),
+            FactorError::NegativePivot(i) => write!(f, "negative pivot at row {i}"),
+            FactorError::NotSquare => write!(f, "matrix is not square"),
+        }
+    }
+}
+
+impl std::error::Error for FactorError {}
+
+impl Ilu0 {
+    /// Factorise. Returns an error on breakdown instead of panicking, since
+    /// indefinite inputs are legitimate (that failure mode is part of the
+    /// paper's argument for MCMC preconditioners).
+    pub fn new(a: &Csr) -> Result<Self, FactorError> {
+        if a.nrows() != a.ncols() {
+            return Err(FactorError::NotSquare);
+        }
+        let n = a.nrows();
+        let indptr = a.indptr().to_vec();
+        let mut cols = Vec::with_capacity(a.nnz());
+        let mut vals = Vec::with_capacity(a.nnz());
+        for i in 0..n {
+            cols.extend_from_slice(a.row_indices(i));
+            vals.extend_from_slice(a.row_values(i));
+        }
+        let mut diag_pos = Vec::with_capacity(n);
+        for i in 0..n {
+            let row = &cols[indptr[i]..indptr[i + 1]];
+            match row.binary_search(&i) {
+                Ok(k) => diag_pos.push(indptr[i] + k),
+                Err(_) => return Err(FactorError::MissingDiagonal(i)),
+            }
+        }
+        // IKJ-variant ILU(0) on the fixed pattern.
+        for i in 0..n {
+            let (row_start, row_end) = (indptr[i], indptr[i + 1]);
+            for kk in row_start..row_end {
+                let k = cols[kk];
+                if k >= i {
+                    break;
+                }
+                let pivot = vals[diag_pos[k]];
+                if pivot.abs() < 1e-300 {
+                    return Err(FactorError::ZeroPivot(k));
+                }
+                let lik = vals[kk] / pivot;
+                vals[kk] = lik;
+                // a_ij -= l_ik · u_kj for j > k within row i's pattern.
+                let krow_end = indptr[k + 1];
+                let mut jj = kk + 1;
+                let mut uu = diag_pos[k] + 1;
+                while jj < row_end && uu < krow_end {
+                    use std::cmp::Ordering;
+                    match cols[jj].cmp(&cols[uu]) {
+                        Ordering::Equal => {
+                            vals[jj] -= lik * vals[uu];
+                            jj += 1;
+                            uu += 1;
+                        }
+                        Ordering::Less => jj += 1,
+                        Ordering::Greater => uu += 1,
+                    }
+                }
+            }
+            if vals[diag_pos[i]].abs() < 1e-300 {
+                return Err(FactorError::ZeroPivot(i));
+            }
+        }
+        Ok(Self { n, indptr, cols, vals, diag_pos })
+    }
+
+    /// Apply `z = U⁻¹ L⁻¹ z` in place (forward then backward substitution).
+    pub fn solve_in_place(&self, z: &mut [f64]) {
+        assert_eq!(z.len(), self.n, "Ilu0: dimension mismatch");
+        // Forward: L (unit diagonal, strictly lower entries).
+        for i in 0..self.n {
+            let mut s = z[i];
+            for p in self.indptr[i]..self.diag_pos[i] {
+                s -= self.vals[p] * z[self.cols[p]];
+            }
+            z[i] = s;
+        }
+        // Backward: U (including diagonal).
+        for i in (0..self.n).rev() {
+            let mut s = z[i];
+            for p in (self.diag_pos[i] + 1)..self.indptr[i + 1] {
+                s -= self.vals[p] * z[self.cols[p]];
+            }
+            z[i] = s / self.vals[self.diag_pos[i]];
+        }
+    }
+}
+
+impl Preconditioner for Ilu0 {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+        self.solve_in_place(z);
+    }
+    fn dim(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gmres::gmres;
+    use crate::precond::IdentityPrecond;
+    use crate::solver::SolveOptions;
+    use mcmcmi_matgen::{fd_laplace_2d, laplace_1d};
+
+    #[test]
+    fn exact_on_matrices_with_no_fill_in() {
+        // Tridiagonal: ILU(0) pattern == full LU pattern, so the
+        // factorisation is exact and one application solves the system.
+        let a = laplace_1d(20);
+        let ilu = Ilu0::new(&a).unwrap();
+        let xs: Vec<f64> = (0..20).map(|i| (i as f64 + 1.0).recip()).collect();
+        let b = a.spmv_alloc(&xs);
+        let mut z = b.clone();
+        ilu.solve_in_place(&mut z);
+        for (p, q) in z.iter().zip(&xs) {
+            assert!((p - q).abs() < 1e-10, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn accelerates_gmres_on_2d_laplacian() {
+        let a = fd_laplace_2d(24);
+        let n = a.nrows();
+        let b = vec![1.0; n];
+        let plain = gmres(&a, &b, &IdentityPrecond::new(n), SolveOptions::default());
+        let ilu = Ilu0::new(&a).unwrap();
+        let pre = gmres(&a, &b, &ilu, SolveOptions::default());
+        assert!(pre.converged);
+        assert!(
+            pre.iterations * 2 < plain.iterations,
+            "ILU(0) {} vs plain {}",
+            pre.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn detects_missing_diagonal() {
+        let mut coo = mcmcmi_sparse::Coo::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        assert_eq!(Ilu0::new(&coo.to_csr()), Err(FactorError::MissingDiagonal(0)));
+    }
+
+    #[test]
+    fn detects_breakdown_on_zero_diagonal() {
+        // The stored exact-zero diagonal is dropped by COO→CSR, so the
+        // factorisation reports it as a missing diagonal — either way, a
+        // breakdown, matching ILU's behaviour on such systems.
+        let mut coo = mcmcmi_sparse::Coo::new(2, 2);
+        coo.push(0, 0, 0.0);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        match Ilu0::new(&coo.to_csr()) {
+            Err(FactorError::MissingDiagonal(0)) | Err(FactorError::ZeroPivot(0)) => {}
+            other => panic!("expected breakdown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let coo = mcmcmi_sparse::Coo::new(2, 3);
+        assert_eq!(Ilu0::new(&coo.to_csr()), Err(FactorError::NotSquare));
+    }
+
+    #[test]
+    fn nonsymmetric_upwind_system_factors_and_helps() {
+        use mcmcmi_matgen::{convection_diffusion_2d, ConvectionDiffusionParams};
+        let a = convection_diffusion_2d(ConvectionDiffusionParams {
+            nx: 16,
+            ny: 16,
+            eps: 1.0,
+            aniso: 0.2,
+            wind: 30.0,
+            contrast: 0.0,
+            wide: false,
+        });
+        let n = a.nrows();
+        let b = vec![1.0; n];
+        let ilu = Ilu0::new(&a).unwrap();
+        let pre = gmres(&a, &b, &ilu, SolveOptions::default());
+        let plain = gmres(&a, &b, &IdentityPrecond::new(n), SolveOptions::default());
+        assert!(pre.converged);
+        assert!(pre.iterations < plain.iterations);
+    }
+}

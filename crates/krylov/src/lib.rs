@@ -1,0 +1,25 @@
+//! Krylov subspace solvers and classical preconditioners.
+//!
+//! The paper's pipeline (§4.1) solves the left-preconditioned system
+//! `PA x = Pb` with GMRES or BiCGStab (CG when `A` is SPD) and counts the
+//! iterations to a relative-residual tolerance — that count is the
+//! denominator/numerator of the preconditioning performance metric (Eq. 4).
+//! This crate provides those three solvers, the [`Preconditioner`]
+//! abstraction they share, and the classical baselines (Jacobi, ILU(0),
+//! IC(0)) that the paper's related-work section positions MCMC against.
+
+pub mod bicgstab;
+pub mod cg;
+pub mod gmres;
+pub mod ic0;
+pub mod ilu0;
+pub mod precond;
+pub mod solver;
+
+pub use bicgstab::bicgstab;
+pub use cg::cg;
+pub use gmres::gmres;
+pub use ic0::Ic0;
+pub use ilu0::Ilu0;
+pub use precond::{IdentityPrecond, JacobiPrecond, Preconditioner, SparsePrecond};
+pub use solver::{solve, SolveOptions, SolveResult, SolverType};

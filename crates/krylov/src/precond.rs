@@ -1,0 +1,173 @@
+//! The preconditioner abstraction and the simplest implementations.
+
+use mcmcmi_sparse::Csr;
+
+/// A left preconditioner: an operator `P ≈ A⁻¹` applied as `z ← P·r`.
+///
+/// The MCMC matrix-inversion preconditioner, the classical factorisations,
+/// and the trivial baselines all implement this; the Krylov solvers are
+/// generic over it.
+pub trait Preconditioner: Sync {
+    /// Apply the preconditioner: `z ← P·r`.
+    ///
+    /// # Panics
+    /// Implementations may panic on dimension mismatch.
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+
+    /// Problem dimension this preconditioner was built for.
+    fn dim(&self) -> usize;
+}
+
+/// No-op preconditioner (`P = I`): the "without preconditioner" baseline of
+/// Eq. (4)'s denominator.
+#[derive(Clone, Copy, Debug)]
+pub struct IdentityPrecond {
+    n: usize,
+}
+
+impl IdentityPrecond {
+    /// Identity preconditioner of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        Self { n }
+    }
+}
+
+impl Preconditioner for IdentityPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+    fn dim(&self) -> usize {
+        self.n
+    }
+}
+
+/// Diagonal (Jacobi) preconditioner `P = diag(A)⁻¹`.
+#[derive(Clone, Debug)]
+pub struct JacobiPrecond {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPrecond {
+    /// Build from a matrix. Zero diagonal entries fall back to 1 (identity
+    /// action on that component) rather than poisoning the solve with infs.
+    pub fn new(a: &Csr) -> Self {
+        let inv_diag = a
+            .diag()
+            .into_iter()
+            .map(|d| if d.abs() > f64::MIN_POSITIVE { 1.0 / d } else { 1.0 })
+            .collect();
+        Self { inv_diag }
+    }
+}
+
+impl Preconditioner for JacobiPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), self.inv_diag.len(), "JacobiPrecond: dimension mismatch");
+        for ((zi, &ri), &di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = ri * di;
+        }
+    }
+    fn dim(&self) -> usize {
+        self.inv_diag.len()
+    }
+}
+
+/// An explicit sparse approximate inverse applied by SpMV — the form the
+/// MCMC matrix-inversion method produces (`P ≈ A⁻¹` with controlled fill).
+/// Application is embarrassingly parallel, the architectural advantage the
+/// paper's §2 highlights over triangular solves.
+#[derive(Clone, Debug)]
+pub struct SparsePrecond {
+    p: Csr,
+}
+
+impl SparsePrecond {
+    /// Wrap an explicit approximate inverse.
+    ///
+    /// # Panics
+    /// Panics if `p` is not square.
+    pub fn new(p: Csr) -> Self {
+        assert_eq!(p.nrows(), p.ncols(), "SparsePrecond: matrix must be square");
+        Self { p }
+    }
+
+    /// Borrow the underlying matrix.
+    pub fn matrix(&self) -> &Csr {
+        &self.p
+    }
+
+    /// Symmetrised copy `(P + Pᵀ)/2`, needed when feeding a (generally
+    /// nonsymmetric) MCMC inverse into CG.
+    pub fn symmetrized(&self) -> Self {
+        let sym = mcmcmi_sparse::csr_add(0.5, &self.p, 0.5, &self.p.transpose());
+        Self { p: sym }
+    }
+}
+
+impl Preconditioner for SparsePrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        self.p.spmv(r, z);
+    }
+    fn dim(&self) -> usize {
+        self.p.nrows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcmcmi_sparse::{csr_eye, Coo};
+
+    #[test]
+    fn identity_copies() {
+        let p = IdentityPrecond::new(3);
+        let mut z = vec![0.0; 3];
+        p.apply(&[1.0, 2.0, 3.0], &mut z);
+        assert_eq!(z, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn jacobi_inverts_diagonal() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 1, 4.0);
+        coo.push(0, 1, 7.0); // off-diagonal ignored by Jacobi
+        let p = JacobiPrecond::new(&coo.to_csr());
+        let mut z = vec![0.0; 2];
+        p.apply(&[2.0, 4.0], &mut z);
+        assert_eq!(z, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn jacobi_handles_zero_diagonal() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        coo.push(1, 1, 2.0);
+        let p = JacobiPrecond::new(&coo.to_csr());
+        let mut z = vec![0.0; 2];
+        p.apply(&[3.0, 4.0], &mut z);
+        assert_eq!(z[0], 3.0); // identity fallback
+        assert_eq!(z[1], 2.0);
+    }
+
+    #[test]
+    fn sparse_precond_applies_spmv() {
+        let p = SparsePrecond::new(csr_eye(3));
+        let mut z = vec![0.0; 3];
+        p.apply(&[5.0, 6.0, 7.0], &mut z);
+        assert_eq!(z, vec![5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn symmetrized_is_symmetric() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 4.0);
+        coo.push(1, 1, 1.0);
+        let p = SparsePrecond::new(coo.to_csr()).symmetrized();
+        assert!(p.matrix().is_symmetric(0.0));
+        assert_eq!(p.matrix().get(0, 1), 2.0);
+        assert_eq!(p.matrix().get(1, 0), 2.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Common solver options, results, and the type-dispatched entry point.
+
+use crate::precond::Preconditioner;
+use mcmcmi_sparse::Csr;
+use serde::{Deserialize, Serialize};
+
+/// The Krylov method to use — the categorical component of the paper's
+/// MCMC parameter vector `x_M`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SolverType {
+    /// Restarted GMRES (default for general nonsymmetric systems).
+    Gmres,
+    /// BiCGStab.
+    BiCgStab,
+    /// Conjugate gradients (SPD systems only).
+    Cg,
+}
+
+impl SolverType {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverType::Gmres => "GMRES",
+            SolverType::BiCgStab => "BiCGStab",
+            SolverType::Cg => "CG",
+        }
+    }
+
+    /// One-hot encoding (3 components) for the surrogate's `x_M` input.
+    pub fn one_hot(self) -> [f64; 3] {
+        match self {
+            SolverType::Gmres => [1.0, 0.0, 0.0],
+            SolverType::BiCgStab => [0.0, 1.0, 0.0],
+            SolverType::Cg => [0.0, 0.0, 1.0],
+        }
+    }
+}
+
+/// Options shared by all solvers.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SolveOptions {
+    /// Relative residual tolerance ‖b − Ax‖₂ / ‖b‖₂.
+    pub tol: f64,
+    /// Iteration cap (total inner iterations for restarted GMRES).
+    pub max_iter: usize,
+    /// GMRES restart length (ignored by CG/BiCGStab).
+    pub restart: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self { tol: 1e-8, max_iter: 5000, restart: 50 }
+    }
+}
+
+/// Outcome of a solve.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SolveResult {
+    /// Solution vector (best iterate on non-convergence).
+    pub x: Vec<f64>,
+    /// Whether the tolerance was reached within the iteration cap.
+    pub converged: bool,
+    /// Iterations spent — the paper's "number of steps".
+    pub iterations: usize,
+    /// Final true relative residual ‖b − Ax‖/‖b‖.
+    pub rel_residual: f64,
+    /// Set when the method hit a numerical breakdown (ρ ≈ 0, ω ≈ 0,
+    /// non-finite values): the run is reported as not converged.
+    pub breakdown: bool,
+}
+
+impl SolveResult {
+    /// Recompute and store the true relative residual (solvers track a
+    /// recursive or preconditioned residual; callers want the real thing).
+    pub(crate) fn finalize(mut self, a: &Csr, b: &[f64]) -> Self {
+        let mut r = vec![0.0; b.len()];
+        a.spmv(&self.x, &mut r);
+        for (ri, &bi) in r.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
+        let bn = mcmcmi_dense::norm2(b);
+        self.rel_residual = if bn > 0.0 {
+            mcmcmi_dense::norm2(&r) / bn
+        } else {
+            mcmcmi_dense::norm2(&r)
+        };
+        if !self.rel_residual.is_finite() {
+            self.breakdown = true;
+            self.converged = false;
+        }
+        self
+    }
+}
+
+/// Solve `Ax = b` with the chosen method and left preconditioner.
+///
+/// # Panics
+/// Panics if dimensions disagree.
+pub fn solve<P: Preconditioner>(
+    a: &Csr,
+    b: &[f64],
+    precond: &P,
+    solver: SolverType,
+    opts: SolveOptions,
+) -> SolveResult {
+    assert_eq!(a.nrows(), a.ncols(), "solve: matrix must be square");
+    assert_eq!(a.nrows(), b.len(), "solve: rhs dimension mismatch");
+    assert_eq!(a.nrows(), precond.dim(), "solve: preconditioner dimension mismatch");
+    match solver {
+        SolverType::Gmres => crate::gmres::gmres(a, b, precond, opts),
+        SolverType::BiCgStab => crate::bicgstab::bicgstab(a, b, precond, opts),
+        SolverType::Cg => crate::cg::cg(a, b, precond, opts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_is_a_partition() {
+        let mut sum = [0.0; 3];
+        for s in [SolverType::Gmres, SolverType::BiCgStab, SolverType::Cg] {
+            let h = s.one_hot();
+            assert_eq!(h.iter().sum::<f64>(), 1.0);
+            for (acc, v) in sum.iter_mut().zip(h) {
+                *acc += v;
+            }
+        }
+        assert_eq!(sum, [1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SolverType::Gmres.name(), "GMRES");
+        assert_eq!(SolverType::BiCgStab.name(), "BiCGStab");
+        assert_eq!(SolverType::Cg.name(), "CG");
+    }
+
+    #[test]
+    fn default_options_match_documented_values() {
+        let o = SolveOptions::default();
+        assert_eq!(o.tol, 1e-8);
+        assert_eq!(o.max_iter, 5000);
+        assert_eq!(o.restart, 50);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the Krylov solvers and preconditioners.
+
+use mcmcmi_krylov::{
+    solve, Ic0, IdentityPrecond, Ilu0, JacobiPrecond, Preconditioner, SolveOptions, SolverType,
+};
+use mcmcmi_matgen::{pdd_real_sparse, spd_random};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// GMRES and BiCGStab solve every random diagonally dominant system to
+    /// tolerance, with every preconditioner.
+    #[test]
+    fn dominant_systems_always_solve(seed in 0u64..10_000) {
+        let a = pdd_real_sparse(32, seed);
+        let n = a.nrows();
+        let xs: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.31).sin()).collect();
+        let b = a.spmv_alloc(&xs);
+        let opts = SolveOptions { tol: 1e-9, ..Default::default() };
+        for solver in [SolverType::Gmres, SolverType::BiCgStab] {
+            let r1 = solve(&a, &b, &IdentityPrecond::new(n), solver, opts);
+            prop_assert!(r1.converged, "{solver:?} identity");
+            let r2 = solve(&a, &b, &JacobiPrecond::new(&a), solver, opts);
+            prop_assert!(r2.converged, "{solver:?} jacobi");
+            let ilu = Ilu0::new(&a).unwrap();
+            let r3 = solve(&a, &b, &ilu, solver, opts);
+            prop_assert!(r3.converged, "{solver:?} ilu0");
+            // All agree with the manufactured solution.
+            for r in [r1, r2, r3] {
+                for (p, q) in r.x.iter().zip(&xs) {
+                    prop_assert!((p - q).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    /// CG + IC(0) on random SPD systems: converges and preconditioning
+    /// never *increases* the iteration count by more than a tiny slack.
+    #[test]
+    fn spd_cg_with_ic0(seed in 0u64..2000) {
+        let a = spd_random(24, 200.0, seed);
+        let n = a.nrows();
+        let b = a.spmv_alloc(&vec![1.0; n]);
+        let opts = SolveOptions { tol: 1e-9, ..Default::default() };
+        let plain = solve(&a, &b, &IdentityPrecond::new(n), SolverType::Cg, opts);
+        prop_assert!(plain.converged);
+        if let Ok(ic) = Ic0::new(&a) {
+            let pre = solve(&a, &b, &ic, SolverType::Cg, opts);
+            prop_assert!(pre.converged);
+            prop_assert!(pre.iterations <= plain.iterations + 3,
+                "IC(0) {} vs plain {}", pre.iterations, plain.iterations);
+        }
+    }
+
+    /// Solver iteration counts respect any cap.
+    #[test]
+    fn iteration_caps_respected(cap in 1usize..10, seed in 0u64..500) {
+        let a = mcmcmi_matgen::fd_laplace_2d(16);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 + seed as usize) % 13) as f64 - 6.0).collect();
+        let opts = SolveOptions { max_iter: cap, tol: 1e-14, ..Default::default() };
+        for solver in [SolverType::Gmres, SolverType::BiCgStab, SolverType::Cg] {
+            let r = solve(&a, &b, &IdentityPrecond::new(n), solver, opts);
+            prop_assert!(r.iterations <= cap, "{solver:?}");
+        }
+    }
+
+    /// Preconditioner applications are linear: P(ax + by) = aPx + bPy.
+    #[test]
+    fn preconditioner_linearity(seed in 0u64..1000, s in -3.0f64..3.0) {
+        let a = pdd_real_sparse(20, seed);
+        let n = a.nrows();
+        let ilu = Ilu0::new(&a).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut px = vec![0.0; n];
+        let mut py = vec![0.0; n];
+        ilu.apply(&x, &mut px);
+        ilu.apply(&y, &mut py);
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(p, q)| s * p + q).collect();
+        let mut pc = vec![0.0; n];
+        ilu.apply(&combo, &mut pc);
+        for i in 0..n {
+            let expect = s * px[i] + py[i];
+            prop_assert!((pc[i] - expect).abs() < 1e-8 * (1.0 + expect.abs()));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! The paper's matrix suite (Table 1) as an enumerable registry.
+
+use crate::chebyshev::{unsteady_adv_diff, AdvDiffOrder};
+use crate::families::{
+    convection_diffusion_2d, fd_laplace_2d, stretched_climate_operator,
+    ConvectionDiffusionParams,
+};
+use crate::random::pdd_real_sparse;
+use mcmcmi_sparse::Csr;
+
+/// Identifiers for the twelve systems of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PaperMatrix {
+    /// 2D FD Laplacian, mesh width 1/16 (n = 225, SPD).
+    Laplace16,
+    /// 2D FD Laplacian, 1/32 (n = 961).
+    Laplace32,
+    /// 2D FD Laplacian, 1/64 (n = 3 969).
+    Laplace64,
+    /// 2D FD Laplacian, 1/128 (n = 16 129).
+    Laplace128,
+    /// Climate-simulation operator surrogate (n = 20 930).
+    NonsymR3A11,
+    /// Plasma-physics FEM surrogate, coarse (n = 512).
+    A00512,
+    /// Plasma-physics FEM surrogate, fine (n = 8 192).
+    A08192,
+    /// Unsteady advection–diffusion, order 1 (n = 225).
+    UnsteadyAdvDiffOrder1,
+    /// Unsteady advection–diffusion, order 2 (n = 225) — the unseen test
+    /// system of the paper's evaluation.
+    UnsteadyAdvDiffOrder2,
+    /// Well-conditioned random sparse, n = 64.
+    PddRealSparseN64,
+    /// Well-conditioned random sparse, n = 128.
+    PddRealSparseN128,
+    /// Well-conditioned random sparse, n = 256.
+    PddRealSparseN256,
+}
+
+/// A row of Table 1: the paper's published values for one matrix.
+#[derive(Clone, Debug)]
+pub struct PaperRow {
+    /// Matrix identifier.
+    pub id: PaperMatrix,
+    /// Name exactly as printed in the paper.
+    pub name: &'static str,
+    /// Published dimension.
+    pub n: usize,
+    /// Published symmetricity.
+    pub symmetric: bool,
+    /// Published condition number κ(A).
+    pub kappa: f64,
+    /// Published fill density φ(A).
+    pub phi: f64,
+}
+
+impl PaperMatrix {
+    /// All twelve matrices in Table-1 order.
+    pub fn all() -> [PaperMatrix; 12] {
+        use PaperMatrix::*;
+        [
+            Laplace16,
+            Laplace32,
+            Laplace64,
+            Laplace128,
+            NonsymR3A11,
+            A00512,
+            A08192,
+            UnsteadyAdvDiffOrder1,
+            UnsteadyAdvDiffOrder2,
+            PddRealSparseN64,
+            PddRealSparseN128,
+            PddRealSparseN256,
+        ]
+    }
+
+    /// The subset used for the `--lite` experiment profiles: everything that
+    /// factors/solves in milliseconds on a laptop (n ≤ 1 000).
+    pub fn lite_training_set() -> Vec<PaperMatrix> {
+        use PaperMatrix::*;
+        vec![
+            Laplace16,
+            Laplace32,
+            A00512,
+            UnsteadyAdvDiffOrder1,
+            PddRealSparseN64,
+            PddRealSparseN128,
+            PddRealSparseN256,
+        ]
+    }
+
+    /// The paper's Table-1 row for this matrix (published values).
+    pub fn paper_row(self) -> PaperRow {
+        use PaperMatrix::*;
+        let (name, n, symmetric, kappa, phi) = match self {
+            Laplace16 => ("2DFDLaplace_16", 225, true, 1.0e2, 0.042),
+            Laplace32 => ("2DFDLaplace_32", 961, true, 4.1e2, 0.001),
+            Laplace64 => ("2DFDLaplace_64", 3_969, true, 1.7e3, 0.0024),
+            Laplace128 => ("2DFDLaplace_128", 16_129, true, 6.6e3, 0.0006),
+            NonsymR3A11 => ("nonsym_r3_a11", 20_930, false, 1.9e4, 0.0044),
+            A00512 => ("a00512", 512, false, 1.9e3, 0.059),
+            A08192 => ("a08192", 8_192, false, 3.2e5, 0.0007),
+            UnsteadyAdvDiffOrder1 => {
+                ("unsteady_adv_diff_order1_0001", 225, false, 4.1e6, 0.646)
+            }
+            UnsteadyAdvDiffOrder2 => {
+                ("unsteady_adv_diff_order2_0001", 225, false, 6.6e6, 0.646)
+            }
+            PddRealSparseN64 => ("PDD_RealSparse_N64", 64, false, 1.3e1, 0.1),
+            PddRealSparseN128 => ("PDD_RealSparse_N128", 128, false, 5.0, 0.1),
+            PddRealSparseN256 => ("PDD_RealSparse_N256", 256, false, 7.0, 0.1),
+        };
+        PaperRow { id: self, name, n, symmetric, kappa, phi }
+    }
+
+    /// Generate the synthetic equivalent of this matrix (deterministic).
+    pub fn generate(self) -> Csr {
+        use PaperMatrix::*;
+        match self {
+            Laplace16 => fd_laplace_2d(16),
+            Laplace32 => fd_laplace_2d(32),
+            Laplace64 => fd_laplace_2d(64),
+            Laplace128 => fd_laplace_2d(128),
+            NonsymR3A11 => stretched_climate_operator(91, 230, 44, 1.0),
+            A00512 => convection_diffusion_2d(ConvectionDiffusionParams {
+                nx: 32,
+                ny: 16,
+                eps: 1.0,
+                aniso: 0.05,
+                wind: 5.0,
+                contrast: 40.0,
+                wide: true,
+            }),
+            A08192 => convection_diffusion_2d(ConvectionDiffusionParams {
+                nx: 128,
+                ny: 64,
+                eps: 1.0,
+                aniso: 0.01,
+                wind: 10.0,
+                contrast: 15_000.0,
+                wide: false,
+            }),
+            UnsteadyAdvDiffOrder1 => unsteady_adv_diff(15, AdvDiffOrder::One),
+            UnsteadyAdvDiffOrder2 => unsteady_adv_diff(15, AdvDiffOrder::Two),
+            PddRealSparseN64 => pdd_real_sparse(64, 64),
+            PddRealSparseN128 => pdd_real_sparse(128, 128),
+            PddRealSparseN256 => pdd_real_sparse(256, 256),
+        }
+    }
+
+    /// Whether the generated matrix is symmetric positive definite (and thus
+    /// eligible for CG, as in the paper's dataset construction).
+    pub fn is_spd(self) -> bool {
+        matches!(
+            self,
+            PaperMatrix::Laplace16
+                | PaperMatrix::Laplace32
+                | PaperMatrix::Laplace64
+                | PaperMatrix::Laplace128
+        )
+    }
+}
+
+/// Analytic 2-norm condition number of the unscaled five-point 2D FD
+/// Laplacian with mesh parameter `k` (h = 1/k, (k−1)² unknowns):
+/// eigenvalues are `4 − 2cos(iπ/k) − 2cos(jπ/k)`, so
+/// `κ = (4 + 4cos(π/k)) / (4 − 4cos(π/k)) = cot²(π/(2k))`.
+pub fn analytic_laplace_cond_2d(k: usize) -> f64 {
+    let t = std::f64::consts::PI / (2.0 * k as f64);
+    let c = t.cos() / t.sin();
+    c * c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_matrices_have_published_dimensions() {
+        // Generating the largest systems is deliberately included: the suite
+        // must be constructible end to end. (~2 M nnz for the climate case.)
+        for m in PaperMatrix::all() {
+            let row = m.paper_row();
+            let a = m.generate();
+            assert_eq!(a.nrows(), row.n, "{} dimension", row.name);
+            assert_eq!(a.ncols(), row.n, "{} squareness", row.name);
+        }
+    }
+
+    #[test]
+    fn symmetricity_matches_table() {
+        for m in PaperMatrix::all() {
+            let row = m.paper_row();
+            let a = m.generate();
+            assert_eq!(
+                a.is_symmetric(1e-10),
+                row.symmetric,
+                "{} symmetricity",
+                row.name
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = PaperMatrix::PddRealSparseN64.generate();
+        let b = PaperMatrix::PddRealSparseN64.generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn analytic_laplace_cond_matches_published_magnitudes() {
+        // Paper: 1.0e2, 4.1e2, 1.7e3, 6.6e3.
+        assert!((analytic_laplace_cond_2d(16) / 1.0e2 - 1.0).abs() < 0.1);
+        assert!((analytic_laplace_cond_2d(32) / 4.1e2 - 1.0).abs() < 0.1);
+        assert!((analytic_laplace_cond_2d(64) / 1.7e3 - 1.0).abs() < 0.1);
+        assert!((analytic_laplace_cond_2d(128) / 6.6e3 - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn analytic_cond_quadruples_per_refinement() {
+        // O(h⁻²) scaling: each mesh halving multiplies κ by ~4.
+        let r1 = analytic_laplace_cond_2d(32) / analytic_laplace_cond_2d(16);
+        let r2 = analytic_laplace_cond_2d(64) / analytic_laplace_cond_2d(32);
+        assert!((r1 - 4.0).abs() < 0.2, "ratio {r1}");
+        assert!((r2 - 4.0).abs() < 0.1, "ratio {r2}");
+    }
+
+    #[test]
+    fn climate_surrogate_density_matches_table() {
+        let a = PaperMatrix::NonsymR3A11.generate();
+        let phi = a.density();
+        // Paper: 0.0044.
+        assert!(phi > 0.003 && phi < 0.006, "density {phi}");
+    }
+
+    #[test]
+    fn lite_set_is_small_matrices_only() {
+        for m in PaperMatrix::lite_training_set() {
+            assert!(m.paper_row().n <= 1000);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Markov chain Monte Carlo matrix inversion (MCMCMI) preconditioners.
+//!
+//! This is the solver-side contribution the paper tunes: the advanced
+//! MCMC-based matrix-inversion preconditioner of Lebedev & Alexandrov
+//! (ScalA'18) and Sahin et al. (ScalA'21), governed by three continuous
+//! parameters `x_M = (α, ε, δ)`:
+//!
+//! * **α** — diagonal perturbation scaling; `Â = A + α·diag(|a_ii|)` makes
+//!   the Neumann series of the Jacobi splitting converge,
+//! * **ε** — stochastic error; sets the number of independent Markov chains
+//!   per row through the probable-error rule `N = ⌈(0.6745/ε)²⌉`,
+//! * **δ** — truncation error; a chain stops once its weight drops below δ.
+//!
+//! Walks run embarrassingly parallel across rows (Rayon) with per-row
+//! deterministic RNG streams, so a build is bit-reproducible for any thread
+//! count. The regenerative single-budget variant (Ghosh et al., SIMAX'25)
+//! ships as an extension in [`regenerative`].
+
+pub mod builder;
+pub mod params;
+pub mod regenerative;
+pub mod walk;
+
+pub use builder::{BuildConfig, BuildOutcome, McmcInverse};
+pub use params::McmcParams;
+pub use regenerative::{regenerative_inverse, RegenerativeConfig};

@@ -1,0 +1,135 @@
+//! The MCMC algorithmic parameter vector `x_M = (α, ε, δ)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Continuous MCMC matrix-inversion parameters (paper §4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct McmcParams {
+    /// Matrix perturbation parameter `α > 0`: scales the diagonal added to
+    /// `A` so the Neumann series converges. Near-zero values are legal but
+    /// typically produce divergent walks — the paper deliberately includes
+    /// such samples so the surrogate learns failure regions.
+    pub alpha: f64,
+    /// Stochastic error `ε ∈ (0, 1]`: determines the maximum number of
+    /// independent Markov chains per row.
+    pub eps: f64,
+    /// Truncation error `δ ∈ (0, 1]`: determines the maximum walk length
+    /// (a chain stops when its weight magnitude falls below δ).
+    pub delta: f64,
+}
+
+impl McmcParams {
+    /// Construct with validation.
+    ///
+    /// # Panics
+    /// Panics if `alpha < 0`, or `eps`/`delta` outside `(0, 1]`.
+    pub fn new(alpha: f64, eps: f64, delta: f64) -> Self {
+        assert!(alpha >= 0.0 && alpha.is_finite(), "McmcParams: alpha must be >= 0");
+        assert!(eps > 0.0 && eps <= 1.0, "McmcParams: eps must be in (0,1]");
+        assert!(delta > 0.0 && delta <= 1.0, "McmcParams: delta must be in (0,1]");
+        Self { alpha, eps, delta }
+    }
+
+    /// Number of chains per row from the probable-error rule
+    /// `N = ⌈(0.6745/ε)²⌉` (Dimov's Monte-Carlo error bound: the probable
+    /// error of an N-sample mean is `0.6745·σ/√N`).
+    pub fn chains_per_row(&self) -> usize {
+        let r = 0.6745 / self.eps;
+        (r * r).ceil() as usize
+    }
+
+    /// The paper's training grid: `α ∈ {1,2,4,5}`, `ε, δ ∈ {1/2,…,1/16}`
+    /// (4×4×4 = 64 combinations).
+    pub fn paper_grid() -> Vec<McmcParams> {
+        let alphas = [1.0, 2.0, 4.0, 5.0];
+        let epsdeltas = [0.5, 0.25, 0.125, 0.0625];
+        let mut grid = Vec::with_capacity(64);
+        for &a in &alphas {
+            for &e in &epsdeltas {
+                for &d in &epsdeltas {
+                    grid.push(McmcParams::new(a, e, d));
+                }
+            }
+        }
+        grid
+    }
+
+    /// As a feature vector `[α, ε, δ]` for the surrogate.
+    pub fn as_vec(&self) -> [f64; 3] {
+        [self.alpha, self.eps, self.delta]
+    }
+
+    /// Parameter-space box used by the BO optimiser: α ∈ [0.05, 8],
+    /// ε, δ ∈ [1/32, 1] — a superset of the paper's grid that still keeps
+    /// chain counts and walk lengths bounded.
+    pub fn search_box() -> ([f64; 3], [f64; 3]) {
+        ([0.05, 1.0 / 32.0, 1.0 / 32.0], [8.0, 1.0, 1.0])
+    }
+
+    /// Clamp a raw 3-vector into the search box and build parameters.
+    pub fn from_clamped(v: &[f64]) -> Self {
+        assert_eq!(v.len(), 3, "McmcParams::from_clamped: need 3 components");
+        let (lo, hi) = Self::search_box();
+        let c = |x: f64, l: f64, h: f64| x.clamp(l, h);
+        McmcParams::new(
+            c(v[0], lo[0], hi[0]),
+            c(v[1], lo[1], hi[1]),
+            c(v[2], lo[2], hi[2]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_counts_match_probable_error_rule() {
+        // ε = 1/2 ⇒ (0.6745·2)² ≈ 1.82 ⇒ 2 chains; ε = 1/16 ⇒ ≈ 116.5 ⇒ 117.
+        assert_eq!(McmcParams::new(1.0, 0.5, 0.5).chains_per_row(), 2);
+        assert_eq!(McmcParams::new(1.0, 0.0625, 0.5).chains_per_row(), 117);
+    }
+
+    #[test]
+    fn smaller_eps_means_more_chains() {
+        let n1 = McmcParams::new(1.0, 0.5, 0.5).chains_per_row();
+        let n2 = McmcParams::new(1.0, 0.25, 0.5).chains_per_row();
+        let n3 = McmcParams::new(1.0, 0.125, 0.5).chains_per_row();
+        assert!(n1 < n2 && n2 < n3);
+    }
+
+    #[test]
+    fn paper_grid_is_4x4x4() {
+        let g = McmcParams::paper_grid();
+        assert_eq!(g.len(), 64);
+        // All distinct.
+        for (i, a) in g.iter().enumerate() {
+            for b in &g[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn clamping_respects_box() {
+        let p = McmcParams::from_clamped(&[100.0, -5.0, 0.5]);
+        let (lo, hi) = McmcParams::search_box();
+        assert_eq!(p.alpha, hi[0]);
+        assert_eq!(p.eps, lo[1]);
+        assert_eq!(p.delta, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be in (0,1]")]
+    fn rejects_bad_eps() {
+        let _ = McmcParams::new(1.0, 0.0, 0.5);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = McmcParams::new(2.0, 0.25, 0.125);
+        let s = serde_json::to_string(&p).unwrap();
+        let q: McmcParams = serde_json::from_str(&s).unwrap();
+        assert_eq!(p, q);
+    }
+}

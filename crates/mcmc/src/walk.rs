@@ -1,0 +1,343 @@
+//! The Ulam–von Neumann random-walk engine.
+//!
+//! Estimates rows of `M = (I − C)⁻¹ = Σ_k C^k` by running independent Markov
+//! chains with MAO (Monte-Carlo-almost-optimal) transition probabilities
+//! `p_ij = |c_ij| / Σ_l |c_il|`. Each visited state `k_m` contributes the
+//! current weight `W_m` to entry `(i, k_m)`; on transition `k → j` the weight
+//! is multiplied by `c_kj / p_kj = sign(c_kj)·S_k`, with `S_k` the row
+//! absolute sum. Chains stop when `|W| < δ`, on absorption (`S_k = 0`), or at
+//! a hard step cap.
+
+use mcmcmi_sparse::Csr;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The Jacobi-splitting iteration matrix `C = I − D̂⁻¹Â` in walk-ready form:
+/// per row, the column indices, signed values, cumulative |value| table for
+/// sampling, and the absolute row sum.
+#[derive(Clone, Debug)]
+pub struct WalkMatrix {
+    n: usize,
+    indptr: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+    /// Cumulative |vals| within each row, for inverse-CDF sampling.
+    cum: Vec<f64>,
+    /// Absolute row sums `S_k` (the weight multiplier magnitude).
+    rowsum: Vec<f64>,
+    /// Inverse of the perturbed diagonal `D̂⁻¹` (for assembling `P = M·D̂⁻¹`).
+    inv_diag: Vec<f64>,
+}
+
+/// Outcome summary of one row's walks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RowWalkStats {
+    /// Total transitions taken.
+    pub transitions: usize,
+    /// Chains that hit the hard step cap (possible divergence).
+    pub capped: usize,
+    /// Chains whose weight grew beyond the blow-up guard.
+    pub blown_up: usize,
+}
+
+impl WalkMatrix {
+    /// Build the splitting for `Â = A + α·diag(A)` — the paper's "scale the
+    /// added diagonal" perturbation, i.e. `â_ii = (1 + α)·a_ii`, which
+    /// amplifies the diagonal *sign-preservingly* (so rows with negative
+    /// diagonals are regularised too, and every row's splitting sum shrinks
+    /// monotonically: `S_k(α) = S_k(0)/(1 + α)`). `C = I − D̂⁻¹Â`
+    /// (so `c_ii = 0`, `c_ij = −â_ij/â_ii`).
+    ///
+    /// Rows whose diagonal is zero fall back to `â_ii = α·‖row‖₁` so the
+    /// perturbation still regularises them; if that is also zero the walk
+    /// row is empty (identity fallback).
+    pub fn from_perturbed(a: &Csr, alpha: f64) -> Self {
+        assert_eq!(a.nrows(), a.ncols(), "WalkMatrix: matrix must be square");
+        let n = a.nrows();
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        let mut cum = Vec::new();
+        let mut rowsum = Vec::with_capacity(n);
+        let mut inv_diag = Vec::with_capacity(n);
+        indptr.push(0);
+        for i in 0..n {
+            let aii = a.get(i, i);
+            let dii = if aii != 0.0 {
+                (1.0 + alpha) * aii
+            } else {
+                alpha * a.row_values(i).iter().map(|v| v.abs()).sum::<f64>().max(1.0)
+            };
+            if dii.abs() < f64::MIN_POSITIVE {
+                // Degenerate row: identity action.
+                inv_diag.push(1.0);
+                rowsum.push(0.0);
+                indptr.push(cols.len());
+                continue;
+            }
+            inv_diag.push(1.0 / dii);
+            let mut s = 0.0;
+            for (&j, &v) in a.row_indices(i).iter().zip(a.row_values(i)) {
+                // c_ij = −â_ij / â_ii; off-diagonal entries of Â equal A's.
+                if j == i {
+                    continue;
+                }
+                let c = -v / dii;
+                if c != 0.0 {
+                    cols.push(j);
+                    vals.push(c);
+                    s += c.abs();
+                    cum.push(s);
+                }
+            }
+            rowsum.push(s);
+            indptr.push(cols.len());
+        }
+        Self { n, indptr, cols, vals, cum, rowsum, inv_diag }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Absolute row sum `S_k` (‖row k of C‖₁). Values ≥ 1 signal a
+    /// non-contractive row: walks through it can diverge.
+    pub fn rowsum(&self, k: usize) -> f64 {
+        self.rowsum[k]
+    }
+
+    /// Fraction of rows with `S_k ≥ 1` — a cheap divergence predictor.
+    pub fn noncontractive_fraction(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.rowsum.iter().filter(|&&s| s >= 1.0).count() as f64 / self.n as f64
+    }
+
+    /// Inverse perturbed diagonal.
+    pub fn inv_diag(&self) -> &[f64] {
+        &self.inv_diag
+    }
+
+    /// Entry range of row `k` in the flat arrays (empty ⇒ absorbing row).
+    /// Exposed for the regenerative variant's custom walk loop.
+    #[inline]
+    pub fn row_range(&self, k: usize) -> (usize, usize) {
+        (self.indptr[k], self.indptr[k + 1])
+    }
+
+    /// Sample one transition from a non-absorbing row `k`; returns
+    /// `(next_state, signed weight multiplier)`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the row is absorbing — check
+    /// [`WalkMatrix::row_range`] first.
+    #[inline]
+    pub fn sample_transition<R: Rng>(&self, k: usize, rng: &mut R) -> (usize, f64) {
+        self.step(k, rng).expect("sample_transition: absorbing row")
+    }
+
+    /// Sample the next state from row `k`; returns `(next_state, signed
+    /// weight multiplier)` or `None` on absorption.
+    #[inline]
+    fn step<R: Rng>(&self, k: usize, rng: &mut R) -> Option<(usize, f64)> {
+        let (rs, re) = (self.indptr[k], self.indptr[k + 1]);
+        if rs == re {
+            return None;
+        }
+        let s = self.rowsum[k];
+        let u: f64 = rng.gen::<f64>() * s;
+        // Inverse-CDF lookup via binary search on the cumulative table.
+        let row_cum = &self.cum[rs..re];
+        let idx = match row_cum.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => (i + 1).min(row_cum.len() - 1),
+            Err(i) => i.min(row_cum.len() - 1),
+        };
+        let j = self.cols[rs + idx];
+        let mult = self.vals[rs + idx].signum() * s;
+        Some((j, mult))
+    }
+
+    /// Run `n_chains` walks from row `i`, accumulating weight tallies into
+    /// `scratch` (dense, length n, zeroed on entry; `touched` records the
+    /// indices written so the caller can harvest sparsely). `delta` is the
+    /// truncation error; `max_len` the hard step cap.
+    ///
+    /// Returns per-row statistics. The scratch tallies are *sums*; divide by
+    /// `n_chains` to get the estimator.
+    pub fn walk_row(
+        &self,
+        i: usize,
+        n_chains: usize,
+        delta: f64,
+        max_len: usize,
+        seed: u64,
+        scratch: &mut [f64],
+        touched: &mut Vec<usize>,
+    ) -> RowWalkStats {
+        debug_assert_eq!(scratch.len(), self.n);
+        let mut stats = RowWalkStats::default();
+        // Per-row deterministic stream: independent of scheduling.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1)));
+        const BLOWUP: f64 = 1e12;
+        for _ in 0..n_chains {
+            let mut k = i;
+            let mut w = 1.0f64;
+            // Step 0 contribution.
+            if scratch[k] == 0.0 {
+                touched.push(k);
+            }
+            scratch[k] += w;
+            let mut steps = 0usize;
+            loop {
+                if steps >= max_len {
+                    stats.capped += 1;
+                    break;
+                }
+                match self.step(k, &mut rng) {
+                    None => break, // absorbed
+                    Some((j, mult)) => {
+                        w *= mult;
+                        k = j;
+                        steps += 1;
+                        stats.transitions += 1;
+                        if w.abs() < delta {
+                            break;
+                        }
+                        if w.abs() > BLOWUP || !w.is_finite() {
+                            stats.blown_up += 1;
+                            break;
+                        }
+                        if scratch[k] == 0.0 {
+                            touched.push(k);
+                        }
+                        scratch[k] += w;
+                    }
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcmcmi_sparse::Coo;
+
+    fn two_by_two() -> Csr {
+        // A = [[2, -1], [-1, 2]]; with α = 0: C = [[0, 1/2], [1/2, 0]],
+        // (I−C)⁻¹ = (4/3)·[[1, 1/2],[1/2, 1]].
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 2.0);
+        coo.push(0, 1, -1.0);
+        coo.push(1, 0, -1.0);
+        coo.push(1, 1, 2.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn splitting_values_are_correct() {
+        let w = WalkMatrix::from_perturbed(&two_by_two(), 0.0);
+        assert_eq!(w.dim(), 2);
+        assert!((w.rowsum(0) - 0.5).abs() < 1e-15);
+        assert!((w.rowsum(1) - 0.5).abs() < 1e-15);
+        assert!((w.inv_diag()[0] - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn perturbation_shrinks_rowsums() {
+        let w0 = WalkMatrix::from_perturbed(&two_by_two(), 0.0);
+        let w2 = WalkMatrix::from_perturbed(&two_by_two(), 2.0);
+        // α = 2: â_ii = 2 + 2·2 = 6 ⇒ |c_ij| = 1/6.
+        assert!(w2.rowsum(0) < w0.rowsum(0));
+        assert!((w2.rowsum(0) - 1.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn walks_estimate_neumann_sum() {
+        // Monte Carlo estimate of (I−C)⁻¹ row 0 = (4/3)·[1, 1/2].
+        let w = WalkMatrix::from_perturbed(&two_by_two(), 0.0);
+        let mut scratch = vec![0.0; 2];
+        let mut touched = Vec::new();
+        let chains = 200_000;
+        let stats = w.walk_row(0, chains, 1e-6, 10_000, 42, &mut scratch, &mut touched);
+        assert_eq!(stats.blown_up, 0);
+        let m00 = scratch[0] / chains as f64;
+        let m01 = scratch[1] / chains as f64;
+        assert!((m00 - 4.0 / 3.0).abs() < 0.01, "m00 = {m00}");
+        assert!((m01 - 2.0 / 3.0).abs() < 0.01, "m01 = {m01}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        // A ring with two neighbours per row so transitions actually branch
+        // (a 2×2 system has deterministic walks regardless of seed).
+        let mut coo = Coo::new(4, 4);
+        for i in 0..4usize {
+            coo.push(i, i, 3.0);
+            coo.push(i, (i + 1) % 4, -1.0);
+            coo.push(i, (i + 3) % 4, -0.5);
+        }
+        let w = WalkMatrix::from_perturbed(&coo.to_csr(), 0.5);
+        let run = |seed| {
+            let mut scratch = vec![0.0; 4];
+            let mut touched = Vec::new();
+            w.walk_row(0, 100, 1e-4, 100, seed, &mut scratch, &mut touched);
+            scratch
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn noncontractive_rows_detected() {
+        // Off-diagonal heavier than diagonal and α = 0 ⇒ S ≥ 1.
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 3.0);
+        coo.push(1, 0, 3.0);
+        coo.push(1, 1, 1.0);
+        let w = WalkMatrix::from_perturbed(&coo.to_csr(), 0.0);
+        assert_eq!(w.noncontractive_fraction(), 1.0);
+        // Perturbation cures it: â_ii = 1 + 4·1 = 5, S = 3/5.
+        let w4 = WalkMatrix::from_perturbed(&coo.to_csr(), 4.0);
+        assert_eq!(w4.noncontractive_fraction(), 0.0);
+    }
+
+    #[test]
+    fn blowup_guard_fires_on_divergent_walks() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 5.0);
+        coo.push(1, 0, 5.0);
+        coo.push(1, 1, 1.0);
+        let w = WalkMatrix::from_perturbed(&coo.to_csr(), 0.0);
+        let mut scratch = vec![0.0; 2];
+        let mut touched = Vec::new();
+        // δ tiny so truncation never stops the chain before blow-up.
+        let stats = w.walk_row(0, 50, 1e-300, 100_000, 1, &mut scratch, &mut touched);
+        assert!(stats.blown_up > 0);
+    }
+
+    #[test]
+    fn absorbing_rows_end_walks() {
+        // Row 1 has no off-diagonals: every chain entering it is absorbed.
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 2.0);
+        coo.push(0, 1, -1.0);
+        coo.push(1, 1, 3.0);
+        let w = WalkMatrix::from_perturbed(&coo.to_csr(), 0.0);
+        let mut scratch = vec![0.0; 2];
+        let mut touched = Vec::new();
+        let stats = w.walk_row(0, 1000, 1e-12, 10_000, 3, &mut scratch, &mut touched);
+        assert_eq!(stats.capped, 0);
+        assert_eq!(stats.blown_up, 0);
+        // M = (I−C)⁻¹ with C = [[0, 1/2], [0, 0]] ⇒ row 0 of M = [1, 1/2].
+        let m00 = scratch[0] / 1000.0;
+        let m01 = scratch[1] / 1000.0;
+        assert!((m00 - 1.0).abs() < 1e-12);
+        assert!((m01 - 0.5).abs() < 1e-12);
+    }
+}

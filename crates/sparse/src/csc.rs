@@ -1,0 +1,128 @@
+//! Compressed sparse column storage.
+//!
+//! Column access is needed by the IC(0)/ILU factor updates and by the
+//! Matrix-Market writer for symmetric output; the type is deliberately thin —
+//! anything SpMV-heavy should convert to [`Csr`].
+
+use crate::csr::Csr;
+use serde::{Deserialize, Serialize};
+
+/// Compressed-sparse-column matrix (structurally the CSR of the transpose).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Csc {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Csc {
+    /// Convert from CSR.
+    pub fn from_csr(a: &Csr) -> Self {
+        let t = a.transpose(); // CSR of Aᵀ == CSC of A
+        let mut indptr = t.indptr().to_vec();
+        let mut indices = Vec::with_capacity(t.nnz());
+        let mut data = Vec::with_capacity(t.nnz());
+        for j in 0..t.nrows() {
+            indices.extend_from_slice(t.row_indices(j));
+            data.extend_from_slice(t.row_values(j));
+        }
+        indptr[t.nrows()] = indices.len();
+        Self { nrows: a.nrows(), ncols: a.ncols(), indptr, indices, data }
+    }
+
+    /// Convert back to CSR.
+    pub fn to_csr(&self) -> Csr {
+        // Our arrays are the CSR arrays of Aᵀ; transposing recovers A.
+        Csr::from_raw(
+            self.ncols,
+            self.nrows,
+            self.indptr.clone(),
+            self.indices.clone(),
+            self.data.clone(),
+        )
+        .transpose()
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Row indices of column `j` (sorted ascending).
+    pub fn col_indices(&self, j: usize) -> &[usize] {
+        &self.indices[self.indptr[j]..self.indptr[j + 1]]
+    }
+
+    /// Values of column `j`, aligned with [`Csc::col_indices`].
+    pub fn col_values(&self, j: usize) -> &[f64] {
+        &self.data[self.indptr[j]..self.indptr[j + 1]]
+    }
+
+    /// `y ← A·x` via column scatter.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "Csc::spmv: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "Csc::spmv: y length mismatch");
+        y.iter_mut().for_each(|v| *v = 0.0);
+        for (j, &xj) in x.iter().enumerate() {
+            if xj == 0.0 {
+                continue;
+            }
+            for (&i, &v) in self.col_indices(j).iter().zip(self.col_values(j)) {
+                y[i] += v * xj;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn sample() -> Csr {
+        let mut coo = Coo::new(3, 4);
+        for &(i, j, v) in &[(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+            coo.push(i, j, v);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn csr_csc_roundtrip() {
+        let a = sample();
+        let csc = Csc::from_csr(&a);
+        assert_eq!(csc.to_csr(), a);
+        assert_eq!(csc.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn column_access() {
+        let a = sample();
+        let csc = Csc::from_csr(&a);
+        assert_eq!(csc.col_indices(0), &[0, 2]);
+        assert_eq!(csc.col_values(0), &[1.0, 4.0]);
+        assert_eq!(csc.col_indices(3), &[0]);
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let a = sample();
+        let csc = Csc::from_csr(&a);
+        let x = [1.0, -1.0, 2.0, 0.5];
+        let mut y = vec![0.0; 3];
+        csc.spmv(&x, &mut y);
+        assert_eq!(y, a.spmv_alloc(&x));
+    }
+}

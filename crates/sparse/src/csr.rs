@@ -1,0 +1,523 @@
+//! Compressed sparse row storage — the workhorse format of the workspace.
+
+use mcmcmi_dense::{LinearOp, Mat};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Compressed-sparse-row matrix.
+///
+/// Invariants (checked by [`Csr::from_raw`] in debug builds and by
+/// [`Csr::check_invariants`] on demand):
+/// - `indptr.len() == nrows + 1`, non-decreasing, `indptr[0] == 0`,
+///   `indptr[nrows] == indices.len() == data.len()`;
+/// - column indices within each row are strictly increasing and `< ncols`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Csr {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Csr {
+    /// Build from raw CSR arrays.
+    ///
+    /// # Panics
+    /// Panics (always, not just in debug) if the invariants do not hold.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        data: Vec<f64>,
+    ) -> Self {
+        let m = Self { nrows, ncols, indptr, indices, data };
+        m.check_invariants().expect("Csr::from_raw: invalid CSR arrays");
+        m
+    }
+
+    /// Validate the CSR structural invariants.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.indptr.len() != self.nrows + 1 {
+            return Err(format!(
+                "indptr length {} != nrows+1 {}",
+                self.indptr.len(),
+                self.nrows + 1
+            ));
+        }
+        if self.indptr[0] != 0 {
+            return Err("indptr[0] != 0".into());
+        }
+        if *self.indptr.last().unwrap() != self.indices.len()
+            || self.indices.len() != self.data.len()
+        {
+            return Err("indptr/indices/data length mismatch".into());
+        }
+        for r in 0..self.nrows {
+            if self.indptr[r] > self.indptr[r + 1] {
+                return Err(format!("indptr decreasing at row {r}"));
+            }
+            let cols = &self.indices[self.indptr[r]..self.indptr[r + 1]];
+            for w in cols.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("row {r}: columns not strictly increasing"));
+                }
+            }
+            if let Some(&c) = cols.last() {
+                if c >= self.ncols {
+                    return Err(format!("row {r}: column {c} out of bounds"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Dense → CSR conversion (drops exact zeros).
+    pub fn from_dense(a: &Mat) -> Self {
+        let mut indptr = Vec::with_capacity(a.nrows() + 1);
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        indptr.push(0);
+        for i in 0..a.nrows() {
+            for (j, &v) in a.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    indices.push(j);
+                    data.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Self { nrows: a.nrows(), ncols: a.ncols(), indptr, indices, data }
+    }
+
+    /// CSR → dense conversion (for tests and small exact computations).
+    pub fn to_dense(&self) -> Mat {
+        let mut m = Mat::zeros(self.nrows, self.ncols);
+        for i in 0..self.nrows {
+            for (&j, &v) in self.row_indices(i).iter().zip(self.row_values(i)) {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Fill density `φ(A) = nnz / (nrows·ncols)`.
+    pub fn density(&self) -> f64 {
+        if self.nrows == 0 || self.ncols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.nrows as f64 * self.ncols as f64)
+    }
+
+    /// Row pointer array.
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Column indices of row `i` (sorted ascending).
+    #[inline]
+    pub fn row_indices(&self, i: usize) -> &[usize] {
+        &self.indices[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Values of row `i`, aligned with [`Csr::row_indices`].
+    #[inline]
+    pub fn row_values(&self, i: usize) -> &[f64] {
+        &self.data[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Mutable values of row `i`.
+    #[inline]
+    pub fn row_values_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Entry accessor (binary search within the row); zero when not stored.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let cols = self.row_indices(i);
+        match cols.binary_search(&j) {
+            Ok(k) => self.row_values(i)[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterate all stored triplets `(i, j, v)`.
+    pub fn triplets(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.nrows).flat_map(move |i| {
+            self.row_indices(i)
+                .iter()
+                .zip(self.row_values(i))
+                .map(move |(&j, &v)| (i, j, v))
+        })
+    }
+
+    /// `y ← A·x`, serial.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "spmv: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "spmv: y length mismatch");
+        for i in 0..self.nrows {
+            let mut s = 0.0;
+            for (&j, &v) in self.row_indices(i).iter().zip(self.row_values(i)) {
+                s += v * x[j];
+            }
+            y[i] = s;
+        }
+    }
+
+    /// `y ← A·x` with Rayon row-parallelism. Bit-identical to [`Csr::spmv`]
+    /// because each output element is an independent serial reduction.
+    pub fn spmv_par(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "spmv_par: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "spmv_par: y length mismatch");
+        y.par_iter_mut().enumerate().for_each(|(i, yi)| {
+            let mut s = 0.0;
+            for (&j, &v) in self.row_indices(i).iter().zip(self.row_values(i)) {
+                s += v * x[j];
+            }
+            *yi = s;
+        });
+    }
+
+    /// Allocating SpMV.
+    pub fn spmv_alloc(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows];
+        self.spmv(x, &mut y);
+        y
+    }
+
+    /// `y ← Aᵀ·x` (scatter form; serial).
+    pub fn spmv_transpose(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.nrows, "spmv_transpose: x length mismatch");
+        assert_eq!(y.len(), self.ncols, "spmv_transpose: y length mismatch");
+        y.iter_mut().for_each(|v| *v = 0.0);
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for (&j, &v) in self.row_indices(i).iter().zip(self.row_values(i)) {
+                y[j] += v * xi;
+            }
+        }
+    }
+
+    /// Explicit transpose (O(nnz + n)).
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &j in &self.indices {
+            counts[j + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            counts[j + 1] += counts[j];
+        }
+        let mut indices = vec![0usize; self.nnz()];
+        let mut data = vec![0.0f64; self.nnz()];
+        let mut next = counts.clone();
+        for i in 0..self.nrows {
+            for (&j, &v) in self.row_indices(i).iter().zip(self.row_values(i)) {
+                let slot = next[j];
+                next[j] += 1;
+                indices[slot] = i;
+                data[slot] = v;
+            }
+        }
+        // Rows were visited in increasing i, so each output row is sorted.
+        Csr { nrows: self.ncols, ncols: self.nrows, indptr: counts, indices, data }
+    }
+
+    /// Main diagonal as a vector (zeros where absent).
+    pub fn diag(&self) -> Vec<f64> {
+        let n = self.nrows.min(self.ncols);
+        (0..n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        mcmcmi_dense::norm2(&self.data)
+    }
+
+    /// ∞-norm (max absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.nrows)
+            .map(|i| self.row_values(i).iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// 1-norm (max absolute column sum).
+    pub fn norm_1(&self) -> f64 {
+        let mut colsum = vec![0.0f64; self.ncols];
+        for (&j, &v) in self.indices.iter().zip(&self.data) {
+            colsum[j] += v.abs();
+        }
+        colsum.into_iter().fold(0.0, f64::max)
+    }
+
+    /// Symmetricity score in [0, 1]: `1 − ‖A − Aᵀ‖_F / (2‖A‖_F)`;
+    /// exactly 1 for symmetric matrices, and defined as 1 for the zero matrix.
+    pub fn symmetry_score(&self) -> f64 {
+        if self.nrows != self.ncols {
+            return 0.0;
+        }
+        let nf = self.norm_fro();
+        if nf == 0.0 {
+            return 1.0;
+        }
+        let at = self.transpose();
+        let mut diff2 = 0.0;
+        for i in 0..self.nrows {
+            let (ca, va) = (self.row_indices(i), self.row_values(i));
+            let (cb, vb) = (at.row_indices(i), at.row_values(i));
+            let (mut p, mut q) = (0, 0);
+            while p < ca.len() || q < cb.len() {
+                if q >= cb.len() || (p < ca.len() && ca[p] < cb[q]) {
+                    diff2 += va[p] * va[p];
+                    p += 1;
+                } else if p >= ca.len() || cb[q] < ca[p] {
+                    diff2 += vb[q] * vb[q];
+                    q += 1;
+                } else {
+                    let d = va[p] - vb[q];
+                    diff2 += d * d;
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+        (1.0 - diff2.sqrt() / (2.0 * nf)).max(0.0)
+    }
+
+    /// Exact symmetry test (structure and values, up to `tol`).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let at = self.transpose();
+        for i in 0..self.nrows {
+            let (ca, va) = (self.row_indices(i), self.row_values(i));
+            let (cb, vb) = (at.row_indices(i), at.row_values(i));
+            let (mut p, mut q) = (0, 0);
+            while p < ca.len() || q < cb.len() {
+                if q >= cb.len() || (p < ca.len() && ca[p] < cb[q]) {
+                    if va[p].abs() > tol {
+                        return false;
+                    }
+                    p += 1;
+                } else if p >= ca.len() || cb[q] < ca[p] {
+                    if vb[q].abs() > tol {
+                        return false;
+                    }
+                    q += 1;
+                } else {
+                    if (va[p] - vb[q]).abs() > tol {
+                        return false;
+                    }
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// Diagonal-dominance ratio: mean over rows of
+    /// `|a_ii| / Σ_{j≠i} |a_ij|` clamped to [0, 10] (10 ⇒ effectively
+    /// dominant or off-diagonal-free row). One of the paper's cheap features.
+    pub fn diag_dominance(&self) -> f64 {
+        if self.nrows == 0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for i in 0..self.nrows {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (&j, &v) in self.row_indices(i).iter().zip(self.row_values(i)) {
+                if j == i {
+                    diag = v.abs();
+                } else {
+                    off += v.abs();
+                }
+            }
+            acc += if off == 0.0 { 10.0 } else { (diag / off).min(10.0) };
+        }
+        acc / self.nrows as f64
+    }
+
+    /// Unweighted row degrees `deg(i) = |{j : a_ij ≠ 0}|` — the paper's
+    /// graph-node feature.
+    pub fn row_degrees(&self) -> Vec<usize> {
+        (0..self.nrows).map(|i| self.indptr[i + 1] - self.indptr[i]).collect()
+    }
+
+    /// Scale all values in place.
+    pub fn scale_values(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+}
+
+impl LinearOp for Csr {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv(x, y);
+    }
+    fn apply_transpose(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_transpose(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn sample() -> Csr {
+        // [[1, 0, 2],
+        //  [0, 3, 0],
+        //  [4, 0, 5]]
+        let mut coo = Coo::new(3, 3);
+        for &(i, j, v) in &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+            coo.push(i, j, v);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = sample();
+        let x = [1.0, 2.0, 3.0];
+        let dense = a.to_dense();
+        assert_eq!(a.spmv_alloc(&x), dense.matvec_alloc(&x));
+    }
+
+    #[test]
+    fn spmv_par_matches_serial() {
+        let a = sample();
+        let x = [0.5, -1.0, 2.0];
+        let mut y1 = vec![0.0; 3];
+        let mut y2 = vec![0.0; 3];
+        a.spmv(&x, &mut y1);
+        a.spmv_par(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = sample();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn spmv_transpose_matches_explicit() {
+        let a = sample();
+        let x = [1.0, -2.0, 0.5];
+        let mut y = vec![0.0; 3];
+        a.spmv_transpose(&x, &mut y);
+        assert_eq!(y, a.transpose().spmv_alloc(&x));
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let a = sample();
+        assert_eq!(Csr::from_dense(&a.to_dense()), a);
+    }
+
+    #[test]
+    fn norms_match_dense_reference() {
+        let a = sample();
+        // 1-norm: max col abs-sum = max(5, 3, 7) = 7; inf: max row = 9.
+        assert!((a.norm_1() - 7.0).abs() < 1e-15);
+        assert!((a.norm_inf() - 9.0).abs() < 1e-15);
+        let f: f64 = (1.0 + 4.0 + 9.0 + 16.0 + 25.0f64).sqrt();
+        assert!((a.norm_fro() - f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 0, 2.0);
+        coo.push(0, 0, 1.0);
+        let s = coo.to_csr();
+        assert!(s.is_symmetric(0.0));
+        assert!((s.symmetry_score() - 1.0).abs() < 1e-15);
+
+        let a = sample();
+        assert!(!a.is_symmetric(1e-12));
+        assert!(a.symmetry_score() < 1.0);
+    }
+
+    #[test]
+    fn diag_and_density() {
+        let a = sample();
+        assert_eq!(a.diag(), vec![1.0, 3.0, 5.0]);
+        assert!((a.density() - 5.0 / 9.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn degrees() {
+        let a = sample();
+        assert_eq!(a.row_degrees(), vec![2, 1, 2]);
+    }
+
+    #[test]
+    fn diag_dominance_of_identity_is_capped() {
+        let a = Csr::from_dense(&Mat::eye(4));
+        assert!((a.diag_dominance() - 10.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invariant_checker_rejects_bad_indptr() {
+        let r = std::panic::catch_unwind(|| {
+            Csr::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0])
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn invariant_checker_rejects_unsorted_columns() {
+        let r = std::panic::catch_unwind(|| {
+            Csr::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0])
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn get_missing_entry_is_zero() {
+        let a = sample();
+        assert_eq!(a.get(0, 1), 0.0);
+        assert_eq!(a.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = sample();
+        let s = serde_json::to_string(&a).unwrap();
+        let b: Csr = serde_json::from_str(&s).unwrap();
+        assert_eq!(a, b);
+    }
+}

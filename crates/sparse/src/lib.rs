@@ -1,0 +1,18 @@
+//! Sparse matrix substrate for the MCMCMI reproduction.
+//!
+//! Provides the storage formats and kernels everything else sits on: COO for
+//! assembly, CSR for SpMV-heavy solver work (serial and Rayon-parallel), CSC
+//! for column-oriented access, Matrix Market I/O for interoperability, and
+//! the structural queries (symmetry, density, diagonal dominance) the
+//! paper's cheap matrix features `x_A` are built from.
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod io;
+pub mod ops;
+
+pub use coo::Coo;
+pub use csc::Csc;
+pub use csr::Csr;
+pub use ops::{csr_add, csr_add_diag, csr_eye, csr_scale};

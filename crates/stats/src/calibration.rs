@@ -1,0 +1,171 @@
+//! Calibration curves (paper Figure 1, Eq. 5).
+//!
+//! Given per-observation predictive means/standard deviations and the actual
+//! observations, compute — for each confidence level τ — the fraction of
+//! observations inside the symmetric predictive interval
+//! `[μ̂ − z₍₁₊τ₎⁄₂ σ̂, μ̂ + z₍₁₊τ₎⁄₂ σ̂]`, plus the Wilson band of that
+//! empirical proportion.
+
+use crate::normal::norm_quantile;
+use crate::wilson::wilson_interval;
+use serde::{Deserialize, Serialize};
+
+/// One point of a calibration curve.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationPoint {
+    /// Nominal (expected) coverage τ.
+    pub expected: f64,
+    /// Observed coverage p̂.
+    pub observed: f64,
+    /// Wilson 95% lower bound on p̂.
+    pub wilson_lo: f64,
+    /// Wilson 95% upper bound on p̂.
+    pub wilson_hi: f64,
+    /// Number of observations the proportion is over.
+    pub n: usize,
+}
+
+/// Compute a calibration curve at the given confidence levels.
+///
+/// `mu`, `sigma`, `y` are parallel slices: predictive mean, predictive
+/// standard deviation, and the realised observation for each data point.
+/// A non-positive `sigma` is treated as an interval of zero width (the
+/// observation is covered only if it equals μ̂ exactly) — this mirrors how a
+/// collapsed softplus head would behave and keeps the curve well defined.
+///
+/// # Panics
+/// Panics if the slices disagree in length or are empty, or if any τ is
+/// outside (0, 1).
+pub fn calibration_curve(
+    mu: &[f64],
+    sigma: &[f64],
+    y: &[f64],
+    taus: &[f64],
+    wilson_level: f64,
+) -> Vec<CalibrationPoint> {
+    assert!(!mu.is_empty(), "calibration_curve: empty input");
+    assert_eq!(mu.len(), sigma.len(), "calibration_curve: mu/sigma length mismatch");
+    assert_eq!(mu.len(), y.len(), "calibration_curve: mu/y length mismatch");
+    let n = mu.len();
+    taus.iter()
+        .map(|&tau| {
+            assert!(tau > 0.0 && tau < 1.0, "calibration_curve: tau must be in (0,1)");
+            let z = norm_quantile(0.5 * (1.0 + tau));
+            let covered = mu
+                .iter()
+                .zip(sigma)
+                .zip(y)
+                .filter(|((&m, &s), &yj)| {
+                    let half = if s > 0.0 { z * s } else { 0.0 };
+                    (yj - m).abs() <= half
+                })
+                .count();
+            let (wilson_lo, wilson_hi) = wilson_interval(covered, n, wilson_level);
+            CalibrationPoint {
+                expected: tau,
+                observed: covered as f64 / n as f64,
+                wilson_lo,
+                wilson_hi,
+                n,
+            }
+        })
+        .collect()
+}
+
+/// Expected calibration error: mean |observed − expected| over the curve.
+pub fn expected_calibration_error(curve: &[CalibrationPoint]) -> f64 {
+    if curve.is_empty() {
+        return 0.0;
+    }
+    curve.iter().map(|p| (p.observed - p.expected).abs()).sum::<f64>() / curve.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's confidence grid.
+    const TAUS: [f64; 6] = [0.50, 0.68, 0.80, 0.90, 0.95, 0.99];
+
+    #[test]
+    fn perfectly_calibrated_gaussian_data() {
+        // Deterministic "Gaussian" residuals via inverse-CDF stratified
+        // sampling: residual quantiles are exactly N(0,1) distributed.
+        let n = 2000;
+        let mu = vec![0.0; n];
+        let sigma = vec![1.0; n];
+        let y: Vec<f64> = (0..n)
+            .map(|i| crate::normal::norm_quantile((i as f64 + 0.5) / n as f64))
+            .collect();
+        let curve = calibration_curve(&mu, &sigma, &y, &TAUS, 0.95);
+        for p in &curve {
+            assert!(
+                (p.observed - p.expected).abs() < 0.01,
+                "tau={} observed={}",
+                p.expected,
+                p.observed
+            );
+            assert!(p.wilson_lo <= p.observed && p.observed <= p.wilson_hi);
+        }
+    }
+
+    #[test]
+    fn overconfident_model_undercovers() {
+        // True spread 2× the predicted sigma ⇒ observed < expected (the
+        // paper's Pre-BO behaviour).
+        let n = 2000;
+        let mu = vec![0.0; n];
+        let sigma = vec![0.5; n];
+        let y: Vec<f64> = (0..n)
+            .map(|i| crate::normal::norm_quantile((i as f64 + 0.5) / n as f64))
+            .collect();
+        let curve = calibration_curve(&mu, &sigma, &y, &TAUS, 0.95);
+        for p in &curve {
+            assert!(p.observed < p.expected, "tau={}", p.expected);
+        }
+    }
+
+    #[test]
+    fn underconfident_model_overcovers() {
+        let n = 2000;
+        let mu = vec![0.0; n];
+        let sigma = vec![3.0; n];
+        let y: Vec<f64> = (0..n)
+            .map(|i| crate::normal::norm_quantile((i as f64 + 0.5) / n as f64))
+            .collect();
+        let curve = calibration_curve(&mu, &sigma, &y, &TAUS, 0.95);
+        for p in &curve {
+            assert!(p.observed > p.expected, "tau={}", p.expected);
+        }
+    }
+
+    #[test]
+    fn zero_sigma_covers_only_exact_hits() {
+        let mu = [1.0, 2.0];
+        let sigma = [0.0, 0.0];
+        let y = [1.0, 3.0];
+        let curve = calibration_curve(&mu, &sigma, &y, &[0.9], 0.95);
+        assert!((curve[0].observed - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ece_zero_for_ideal_curve() {
+        let curve = vec![
+            CalibrationPoint { expected: 0.5, observed: 0.5, wilson_lo: 0.4, wilson_hi: 0.6, n: 10 },
+            CalibrationPoint { expected: 0.9, observed: 0.9, wilson_lo: 0.8, wilson_hi: 0.95, n: 10 },
+        ];
+        assert_eq!(expected_calibration_error(&curve), 0.0);
+    }
+
+    #[test]
+    fn curve_is_monotone_in_tau_for_fixed_data() {
+        let n = 500;
+        let mu = vec![0.0; n];
+        let sigma = vec![1.0; n];
+        let y: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.013).sin() * 2.0).collect();
+        let curve = calibration_curve(&mu, &sigma, &y, &TAUS, 0.95);
+        for w in curve.windows(2) {
+            assert!(w[1].observed >= w[0].observed - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Descriptive statistics: moments, quantiles, box-plot summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (n−1 denominator); 0 for fewer than two points.
+pub fn sample_var(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Unbiased sample standard deviation.
+pub fn sample_std(xs: &[f64]) -> f64 {
+    sample_var(xs).sqrt()
+}
+
+/// Linear-interpolation quantile (the "type 7" scheme NumPy defaults to).
+///
+/// # Panics
+/// Panics on an empty slice or `q` outside [0, 1].
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile: empty data");
+    assert!((0.0..=1.0).contains(&q), "quantile: q must be in [0,1]");
+    let mut v = xs.to_vec();
+    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in data"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = pos - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+/// Median (50% quantile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Five-number box-plot summary plus whiskers and outliers, Tukey style
+/// (whiskers at the furthest data point within 1.5·IQR of the quartiles).
+/// This is exactly what Figure 3's box plot displays.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// Minimum data value.
+    pub min: f64,
+    /// Lower whisker (furthest point ≥ q1 − 1.5·IQR).
+    pub whisker_lo: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Upper whisker (furthest point ≤ q3 + 1.5·IQR).
+    pub whisker_hi: f64,
+    /// Maximum data value.
+    pub max: f64,
+    /// Points outside the whiskers.
+    pub outliers: Vec<f64>,
+}
+
+impl BoxStats {
+    /// Compute the summary.
+    ///
+    /// # Panics
+    /// Panics on empty input.
+    pub fn from_data(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "BoxStats: empty data");
+        let q1 = quantile(xs, 0.25);
+        let med = quantile(xs, 0.5);
+        let q3 = quantile(xs, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let mut whisker_lo = f64::INFINITY;
+        let mut whisker_hi = f64::NEG_INFINITY;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut outliers = Vec::new();
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+            if x >= lo_fence && x <= hi_fence {
+                whisker_lo = whisker_lo.min(x);
+                whisker_hi = whisker_hi.max(x);
+            } else {
+                outliers.push(x);
+            }
+        }
+        // Degenerate case: everything is an outlier-free single value.
+        if !whisker_lo.is_finite() {
+            whisker_lo = med;
+            whisker_hi = med;
+        }
+        outliers.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        Self { min, whisker_lo, q1, median: med, q3, whisker_hi, max, outliers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-15);
+        // Sample variance with n−1 = 7: Σ(x−5)² = 32 ⇒ 32/7.
+        assert!((sample_var(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(sample_var(&[1.0]), 0.0);
+        assert_eq!(sample_std(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert!((median(&[1.0, 2.0, 3.0, 4.0]) - 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!((quantile(&xs, 0.25) - 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn box_stats_no_outliers() {
+        let xs: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        let b = BoxStats::from_data(&xs);
+        assert_eq!(b.median, 5.0);
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 9.0);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn box_stats_detects_outlier() {
+        let mut xs: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        xs.push(100.0);
+        let b = BoxStats::from_data(&xs);
+        assert_eq!(b.outliers, vec![100.0]);
+        assert!(b.whisker_hi <= 9.0 + 1e-12);
+        assert_eq!(b.max, 100.0);
+    }
+
+    #[test]
+    fn box_stats_constant_data() {
+        let b = BoxStats::from_data(&[4.0; 6]);
+        assert_eq!(b.median, 4.0);
+        assert_eq!(b.q1, 4.0);
+        assert_eq!(b.q3, 4.0);
+        assert!(b.outliers.is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! Statistics toolkit for the MCMCMI reproduction.
+//!
+//! Everything the paper's evaluation needs: the standard normal distribution
+//! (for the Expected-Improvement closed form, Eq. 3, and the calibration
+//! intervals, Eq. 5), Student-t confidence intervals (the Figure-2 pointwise
+//! 99% CIs), the Wilson score interval (Eq. 6, Figure-1 bands), calibration
+//! curves, box-plot summaries (Figure 3), and the z-score standardiser the
+//! surrogate features go through.
+
+pub mod calibration;
+pub mod describe;
+pub mod normal;
+pub mod special;
+pub mod standardize;
+pub mod student_t;
+pub mod wilson;
+
+pub use calibration::{calibration_curve, CalibrationPoint};
+pub use describe::{mean, median, quantile, sample_std, sample_var, BoxStats};
+pub use normal::{norm_cdf, norm_pdf, norm_quantile};
+pub use standardize::Standardizer;
+pub use student_t::{t_cdf, t_interval, t_quantile};
+pub use wilson::wilson_interval;

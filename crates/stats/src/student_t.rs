@@ -1,0 +1,138 @@
+//! Student-t distribution: CDF, quantile, and confidence intervals.
+//!
+//! Figure 2 of the paper checks whether the surrogate's predicted mean falls
+//! inside the *empirical 99% confidence interval* of the per-`x_M` sample
+//! (10 replicates ⇒ 9 degrees of freedom), which is a Student-t interval.
+
+use crate::special::beta_inc;
+
+/// CDF of the Student-t distribution with `nu` degrees of freedom.
+///
+/// Uses `P(T ≤ t) = 1 − I_{ν/(ν+t²)}(ν/2, 1/2)/2` for `t ≥ 0` and symmetry.
+///
+/// # Panics
+/// Panics if `nu <= 0`.
+pub fn t_cdf(t: f64, nu: f64) -> f64 {
+    assert!(nu > 0.0, "t_cdf: degrees of freedom must be positive");
+    if t == 0.0 {
+        return 0.5;
+    }
+    let x = nu / (nu + t * t);
+    let p = 0.5 * beta_inc(0.5 * nu, 0.5, x);
+    if t > 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Quantile of the Student-t distribution (bisection on the monotone CDF,
+/// refined to ~1e-12).
+///
+/// # Panics
+/// Panics if `p` is outside (0, 1) or `nu <= 0`.
+pub fn t_quantile(p: f64, nu: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "t_quantile: p must be in (0,1), got {p}");
+    assert!(nu > 0.0, "t_quantile: degrees of freedom must be positive");
+    if (p - 0.5).abs() < 1e-16 {
+        return 0.0;
+    }
+    // Bracket: t quantiles are bounded by a generous normal-based bracket
+    // scaled for heavy tails.
+    let mut lo = -1e3;
+    let mut hi = 1e3;
+    // Expand if necessary (tiny ν with extreme p).
+    while t_cdf(lo, nu) > p {
+        lo *= 2.0;
+    }
+    while t_cdf(hi, nu) < p {
+        hi *= 2.0;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if t_cdf(mid, nu) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-13 * (1.0 + hi.abs()) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Two-sided Student-t confidence interval for a sample mean:
+/// returns `(lo, hi)` = `mean ∓ t_{(1+level)/2, n−1} · s/√n`.
+///
+/// # Panics
+/// Panics if `n < 2` or `level` outside (0, 1).
+pub fn t_interval(mean: f64, sample_std: f64, n: usize, level: f64) -> (f64, f64) {
+    assert!(n >= 2, "t_interval: need at least two samples");
+    assert!(level > 0.0 && level < 1.0, "t_interval: level must be in (0,1)");
+    let nu = (n - 1) as f64;
+    let tq = t_quantile(0.5 * (1.0 + level), nu);
+    let half = tq * sample_std / (n as f64).sqrt();
+    (mean - half, mean + half)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_midpoint() {
+        assert!((t_cdf(0.0, 5.0) - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cdf_symmetry() {
+        for &nu in &[1.0, 4.0, 9.0, 30.0] {
+            for &t in &[0.3, 1.0, 2.5] {
+                assert!((t_cdf(t, nu) + t_cdf(-t, nu) - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        // Standard t-table values.
+        assert!((t_quantile(0.975, 9.0) - 2.262157).abs() < 1e-5);
+        assert!((t_quantile(0.995, 9.0) - 3.249836).abs() < 1e-5);
+        assert!((t_quantile(0.95, 4.0) - 2.131847).abs() < 1e-5);
+        assert!((t_quantile(0.975, 1.0) - 12.7062).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &nu in &[2.0, 9.0, 25.0] {
+            for &p in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+                let t = t_quantile(p, nu);
+                assert!((t_cdf(t, nu) - p).abs() < 1e-10, "nu={nu}, p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn approaches_normal_for_large_nu() {
+        let t = t_quantile(0.975, 1e6);
+        assert!((t - 1.959963984540054).abs() < 1e-3);
+    }
+
+    #[test]
+    fn interval_contains_mean_and_is_symmetric() {
+        let (lo, hi) = t_interval(10.0, 2.0, 10, 0.99);
+        assert!(lo < 10.0 && 10.0 < hi);
+        assert!(((10.0 - lo) - (hi - 10.0)).abs() < 1e-12);
+        // Matches the paper's setting: 10 replicates, 99% CI, t = 3.2498.
+        let half = 3.249836 * 2.0 / (10.0f64).sqrt();
+        assert!(((hi - lo) / 2.0 - half).abs() < 1e-4);
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let (l1, h1) = t_interval(0.0, 1.0, 8, 0.9);
+        let (l2, h2) = t_interval(0.0, 1.0, 8, 0.99);
+        assert!(h2 - l2 > h1 - l1);
+    }
+}

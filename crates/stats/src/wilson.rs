@@ -1,0 +1,87 @@
+//! Wilson score interval for a binomial proportion (paper Eq. 6).
+//!
+//! The paper shades Figure 1 with the two-sided Wilson 95% interval of the
+//! empirical coverage proportion; Wilson is preferred over the normal
+//! approximation because the bounds stay inside [0, 1] even for small n or
+//! extreme proportions.
+
+use crate::normal::norm_quantile;
+
+/// Two-sided Wilson score interval for `successes/n` at confidence `level`
+/// (e.g. 0.95 ⇒ z = Φ⁻¹(0.975), the paper's z₀.₉₇₅).
+///
+/// Returns `(lo, hi)` with `0 ≤ lo ≤ p̂' ≤ hi ≤ 1` where `p̂'` is the Wilson
+/// centre.
+///
+/// # Panics
+/// Panics if `successes > n`, `n == 0`, or `level` outside (0, 1).
+pub fn wilson_interval(successes: usize, n: usize, level: f64) -> (f64, f64) {
+    assert!(n > 0, "wilson_interval: n must be positive");
+    assert!(successes <= n, "wilson_interval: successes > n");
+    assert!(level > 0.0 && level < 1.0, "wilson_interval: level must be in (0,1)");
+    let z = norm_quantile(0.5 * (1.0 + level));
+    let nf = n as f64;
+    let p = successes as f64 / nf;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / nf;
+    let centre = (p + z2 / (2.0 * nf)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt();
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_brackets_proportion_centre() {
+        let (lo, hi) = wilson_interval(50, 100, 0.95);
+        assert!(lo < 0.5 && 0.5 < hi);
+        // Known value: Wilson 95% for 50/100 is approximately (0.4038, 0.5962).
+        assert!((lo - 0.4038).abs() < 5e-4, "lo={lo}");
+        assert!((hi - 0.5962).abs() < 5e-4, "hi={hi}");
+    }
+
+    #[test]
+    fn extreme_proportions_stay_in_unit_interval() {
+        let (lo, hi) = wilson_interval(0, 10, 0.95);
+        assert!(lo >= 0.0);
+        assert!(hi > 0.0 && hi < 1.0);
+        let (lo2, hi2) = wilson_interval(10, 10, 0.95);
+        assert!(lo2 > 0.0 && lo2 < 1.0);
+        assert!(hi2 <= 1.0);
+    }
+
+    #[test]
+    fn zero_successes_has_zero_lower_bound() {
+        let (lo, _) = wilson_interval(0, 25, 0.95);
+        assert_eq!(lo, 0.0);
+    }
+
+    #[test]
+    fn larger_n_gives_tighter_interval() {
+        let (l1, h1) = wilson_interval(30, 60, 0.95);
+        let (l2, h2) = wilson_interval(300, 600, 0.95);
+        assert!(h2 - l2 < h1 - l1);
+    }
+
+    #[test]
+    fn higher_level_gives_wider_interval() {
+        let (l1, h1) = wilson_interval(40, 80, 0.90);
+        let (l2, h2) = wilson_interval(40, 80, 0.99);
+        assert!(h2 - l2 > h1 - l1);
+    }
+
+    #[test]
+    fn paper_sized_example_640_observations() {
+        // The paper's Figure-1 bands use n = 640 observations.
+        let (lo, hi) = wilson_interval(576, 640, 0.95);
+        assert!(lo > 0.87 && hi < 0.93);
+    }
+
+    #[test]
+    #[should_panic(expected = "successes > n")]
+    fn rejects_impossible_counts() {
+        let _ = wilson_interval(11, 10, 0.95);
+    }
+}

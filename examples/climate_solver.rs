@@ -1,0 +1,76 @@
+//! Large-system demonstration: the climate-type operator (n = 20 930,
+//! ~1.9 M non-zeros), preconditioned by embarrassingly parallel MCMC walks
+//! and solved with BiCGStab — the paper's "large-scale systems" motivation.
+//!
+//! ```text
+//! cargo run --release --example climate_solver
+//! ```
+
+use mcmcmi_krylov::{solve, IdentityPrecond, SolveOptions, SolverType};
+use mcmcmi_matgen::PaperMatrix;
+use mcmcmi_mcmc::{BuildConfig, McmcInverse, McmcParams};
+
+fn main() {
+    println!("generating nonsym_r3_a11 surrogate (climate-type operator)…");
+    let t0 = std::time::Instant::now();
+    let a = PaperMatrix::NonsymR3A11.generate();
+    println!(
+        "  n = {}, nnz = {} ({:.2}% fill) in {:.1?}",
+        a.nrows(),
+        a.nnz(),
+        100.0 * a.density(),
+        t0.elapsed()
+    );
+    let n = a.nrows();
+    let b = a.spmv_alloc(&vec![1.0; n]);
+    let opts = SolveOptions { tol: 1e-8, max_iter: 1500, restart: 50 };
+
+    let t1 = std::time::Instant::now();
+    let plain = solve(&a, &b, &IdentityPrecond::new(n), SolverType::BiCgStab, opts);
+    println!(
+        "unpreconditioned BiCGStab: {} iterations, converged = {}, rel. residual {:.2e}, {:.1?}",
+        plain.iterations, plain.converged, plain.rel_residual, t1.elapsed()
+    );
+
+    // MCMC preconditioner: every row's chains are independent, so the build
+    // scales with the Rayon pool (the architectural point of the method).
+    // The climate operator is deliberately non-dominant: α = 1 leaves the
+    // walks barely contractive (a *bad* choice — exactly the kind of
+    // parameter sensitivity the paper's tuner exists for). α = 3 contracts.
+    let params = McmcParams::new(3.0, 0.125, 0.125);
+    for threads in [1usize, 4, rayon::current_num_threads()] {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let t = std::time::Instant::now();
+        let outcome = pool.install(|| McmcInverse::new(BuildConfig::default()).build(&a, params));
+        println!(
+            "MCMC build with {threads:>2} threads: {:.2?} ({} transitions, nnz(P) = {})",
+            t.elapsed(),
+            outcome.transitions,
+            outcome.precond.matrix().nnz()
+        );
+        if threads == rayon::current_num_threads() {
+            let t2 = std::time::Instant::now();
+            let pre = solve(&a, &b, &outcome.precond, SolverType::BiCgStab, opts);
+            println!(
+                "MCMC-preconditioned BiCGStab: {} iterations, converged = {}, rel. residual {:.2e}, {:.1?}",
+                pre.iterations, pre.converged, pre.rel_residual, t2.elapsed()
+            );
+            if pre.converged && plain.converged {
+                println!(
+                    "step ratio y = {:.3}",
+                    pre.iterations as f64 / plain.iterations as f64
+                );
+            } else {
+                println!(
+                    "residual at the {}-iteration cap: {:.2e} (preconditioned) vs {:.2e} (plain)",
+                    opts.max_iter, pre.rel_residual, plain.rel_residual
+                );
+                println!(
+                    "⇒ at hand-picked parameters this system resists MCMC preconditioning — \
+                     the parameter sensitivity that motivates the paper's AI tuner \
+                     (see examples/plasma_pipeline.rs for the tuned path)."
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Laplace family study: how mesh refinement (κ = O(h⁻²)) inflates CG
+//! iterations, and what MCMC preconditioning at different α buys back —
+//! the SPD corner of the paper's dataset (CG rows at α = 0.1).
+//!
+//! ```text
+//! cargo run --release --example laplace_study
+//! ```
+
+use mcmcmi_krylov::{solve, IdentityPrecond, SolveOptions, SolverType};
+use mcmcmi_matgen::{analytic_laplace_cond_2d, fd_laplace_2d};
+use mcmcmi_mcmc::{BuildConfig, McmcInverse, McmcParams};
+
+fn main() {
+    println!("2D FD Laplacians: κ = O(h⁻²) and CG iteration growth");
+    println!(
+        "{:<8} {:>7} {:>10} {:>8} | {:>8} {:>8} {:>8}   (CG iterations)",
+        "mesh", "n", "κ", "plain", "α=0.1", "α=1", "α=5"
+    );
+    let opts = SolveOptions::default();
+    for k in [8usize, 16, 24, 32] {
+        let a = fd_laplace_2d(k);
+        let n = a.nrows();
+        let b = a.spmv_alloc(&vec![1.0; n]);
+        let plain = solve(&a, &b, &IdentityPrecond::new(n), SolverType::Cg, opts);
+        let mut cols = Vec::new();
+        for alpha in [0.1, 1.0, 5.0] {
+            let outcome = McmcInverse::new(BuildConfig::default())
+                .build(&a, McmcParams::new(alpha, 0.0625, 0.03125));
+            // CG needs a symmetric preconditioner: symmetrise (paper §4.1).
+            let sym = outcome.precond.symmetrized();
+            let r = solve(&a, &b, &sym, SolverType::Cg, opts);
+            cols.push(if r.converged { r.iterations.to_string() } else { "—".into() });
+        }
+        println!(
+            "1/{:<6} {:>7} {:>10.1} {:>8} | {:>8} {:>8} {:>8}",
+            k,
+            n,
+            analytic_laplace_cond_2d(k),
+            plain.iterations,
+            cols[0],
+            cols[1],
+            cols[2],
+        );
+    }
+    println!();
+    println!("Reading: small α approximates A⁻¹ best (fewest iterations) but walks");
+    println!("are longer; large α guarantees convergent walks but the preconditioner");
+    println!("drifts toward a scaled Jacobi. That trade-off is what the paper's");
+    println!("AI framework navigates automatically.");
+}

@@ -1,0 +1,97 @@
+//! The full AI-tuning loop on a plasma-physics-style nonsymmetric system,
+//! end to end: grid dataset → graph-neural surrogate → Bayesian-optimised
+//! recommendation for an unseen matrix — Algorithm 1 in miniature.
+//!
+//! ```text
+//! cargo run --release --example plasma_pipeline
+//! ```
+
+use mcmcmi::core::{
+    MeasureConfig, MeasurementRunner, PaperDataset, PipelineConfig, Recommender,
+};
+use mcmcmi_gnn::{SurrogateConfig, TrainConfig};
+use mcmcmi_krylov::SolverType;
+use mcmcmi_matgen::{convection_diffusion_2d, ConvectionDiffusionParams, PaperMatrix};
+use mcmcmi_sparse::Csr;
+use mcmcmi_stats::median;
+
+fn main() {
+    // 1. Training corpus: three small systems from the paper's suite.
+    let matrices: Vec<(String, Csr, bool)> = vec![
+        ("2DFDLaplace_16".into(), PaperMatrix::Laplace16.generate(), true),
+        ("PDD_RealSparse_N128".into(), PaperMatrix::PddRealSparseN128.generate(), false),
+        ("PDD_RealSparse_N256".into(), PaperMatrix::PddRealSparseN256.generate(), false),
+    ];
+    let runner = MeasurementRunner::new(MeasureConfig::default());
+    println!("building grid dataset (4×4×4 × 2 solvers × 3 reps per matrix)…");
+    let t0 = std::time::Instant::now();
+    let ds = PaperDataset::build(&runner, &matrices, 3, 2, 0);
+    println!("  {} labelled records in {:.1?}", ds.len(), t0.elapsed());
+
+    // 2. Train the graph-neural surrogate (lite architecture for speed).
+    println!("training surrogate…");
+    let t1 = std::time::Instant::now();
+    let mut rec = Recommender::fit(
+        &ds,
+        &matrices,
+        SurrogateConfig::lite(mcmcmi::core::features::N_MATRIX_FEATURES, 6),
+        TrainConfig { epochs: 25, patience: 6, ..Default::default() },
+    );
+    println!(
+        "  best validation loss {:.4} (epoch {}) in {:.1?}",
+        rec.train_report().best_val_loss,
+        rec.train_report().best_epoch,
+        t1.elapsed()
+    );
+
+    // 3. The unseen target: a plasma-like convection–diffusion operator.
+    let target = convection_diffusion_2d(ConvectionDiffusionParams {
+        nx: 16,
+        ny: 16,
+        eps: 1.0,
+        aniso: 0.1,
+        wind: 8.0,
+        contrast: 10.0,
+        wide: false,
+    });
+    println!("\nunseen target: nonsymmetric plasma-like system, n = {}", target.nrows());
+
+    // 4. One BO round: 8 EI-maximising recommendations, measured.
+    let y_min = ds.records.iter().map(|r| r.y_mean).fold(f64::INFINITY, f64::min);
+    let round = rec.bo_round(
+        &runner,
+        &target,
+        "plasma_target",
+        SolverType::Gmres,
+        y_min,
+        PipelineConfig {
+            reps: 3,
+            bo_batch: 8,
+            xi: 0.05,
+            train: TrainConfig::default(),
+            seed: 42,
+        },
+    );
+    println!("BO recommendations (α, ε, δ) → median y:");
+    for r in &round.records {
+        println!(
+            "  ({:.3}, {:.3}, {:.3}) → {:.3}",
+            r.params.alpha,
+            r.params.eps,
+            r.params.delta,
+            median(&r.ys)
+        );
+    }
+    println!(
+        "\nbest recommendation: ({:.3}, {:.3}, {:.3}) with median y = {:.3}",
+        round.best_params.alpha, round.best_params.eps, round.best_params.delta, round.best_median
+    );
+    if round.best_median < 1.0 {
+        println!(
+            "⇒ the tuned MCMC preconditioner cuts GMRES steps by {:.0}% on a system the model never saw.",
+            100.0 * (1.0 - round.best_median)
+        );
+    } else {
+        println!("⇒ preconditioning did not pay off here; the dataset was tiny — try more reps/matrices.");
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build an MCMC matrix-inversion preconditioner and watch it
+//! accelerate GMRES.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mcmcmi::core::{MeasureConfig, MeasurementRunner};
+use mcmcmi_krylov::{solve, IdentityPrecond, SolveOptions, SolverType};
+use mcmcmi_matgen::fd_laplace_2d;
+use mcmcmi_mcmc::{BuildConfig, McmcInverse, McmcParams};
+
+fn main() {
+    // 1. A test system: the 2D finite-difference Laplacian from the paper's
+    //    suite (n = 961, κ ≈ 4.1e2).
+    let a = fd_laplace_2d(32);
+    let n = a.nrows();
+    let ones = vec![1.0; n];
+    let b = a.spmv_alloc(&ones);
+    println!("system: 2DFDLaplace_32, n = {n}, nnz = {}", a.nnz());
+
+    // 2. Baseline: unpreconditioned GMRES.
+    let opts = SolveOptions::default();
+    let plain = solve(&a, &b, &IdentityPrecond::new(n), SolverType::Gmres, opts);
+    println!(
+        "unpreconditioned GMRES: {} iterations (rel. residual {:.2e})",
+        plain.iterations, plain.rel_residual
+    );
+
+    // 3. The MCMC preconditioner with hand-picked parameters
+    //    x_M = (α, ε, δ): α perturbs the diagonal so the Neumann series
+    //    converges, ε sets the chain count, δ the walk truncation.
+    let params = McmcParams::new(0.1, 0.0625, 0.03125);
+    let t0 = std::time::Instant::now();
+    let outcome = McmcInverse::new(BuildConfig::default()).build(&a, params);
+    println!(
+        "MCMC build: {} chains/row, {} transitions, {:.1?} (embarrassingly parallel)",
+        outcome.chains_per_row,
+        outcome.transitions,
+        t0.elapsed()
+    );
+    let pre = solve(&a, &b, &outcome.precond, SolverType::Gmres, opts);
+    println!(
+        "MCMC-preconditioned GMRES: {} iterations (rel. residual {:.2e})",
+        pre.iterations, pre.rel_residual
+    );
+
+    // 4. The paper's metric, Eq. (4): steps-with / steps-without.
+    let runner = MeasurementRunner::new(MeasureConfig::default());
+    let baseline = runner.baseline_steps(&a, SolverType::Gmres);
+    let m = runner.measure_once(&a, params, SolverType::Gmres, baseline, 0);
+    println!(
+        "performance metric y(A, x_M) = {:.3}  (reduction: {:.0}%)",
+        m.y,
+        100.0 * (1.0 - m.y)
+    );
+    assert!(pre.converged && pre.iterations < plain.iterations);
+    println!("\nNext: examples/plasma_pipeline.rs runs the full AI-tuning loop.");
+}

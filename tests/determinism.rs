@@ -1,0 +1,84 @@
+//! Reproducibility guarantees across the stack: identical results for
+//! identical seeds, regardless of thread count.
+
+use mcmcmi::matgen::{fd_laplace_2d, PaperMatrix};
+use mcmcmi::mcmc::{BuildConfig, McmcInverse, McmcParams};
+
+#[test]
+fn mcmc_build_identical_across_thread_counts() {
+    let a = fd_laplace_2d(12);
+    let params = McmcParams::new(1.0, 0.125, 0.125);
+    let builder = McmcInverse::new(BuildConfig::default());
+    let reference = builder.build(&a, params).precond.matrix().clone();
+    for threads in [1usize, 3, 8] {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let got = pool.install(|| builder.build(&a, params));
+        assert_eq!(got.precond.matrix(), &reference, "thread count {threads}");
+    }
+}
+
+#[test]
+fn suite_generation_is_reproducible() {
+    for m in PaperMatrix::lite_training_set() {
+        assert_eq!(m.generate(), m.generate(), "{m:?}");
+    }
+}
+
+#[test]
+fn dataset_metrics_reproducible() {
+    use mcmcmi::core::{MeasureConfig, MeasurementRunner};
+    use mcmcmi::krylov::SolverType;
+    let a = mcmcmi::matgen::pdd_real_sparse(40, 2);
+    let r = MeasurementRunner::new(MeasureConfig::default());
+    let p = McmcParams::new(1.0, 0.25, 0.25);
+    let (m1, s1, _) = r.measure_replicated(&a, p, SolverType::Gmres, 3, 5);
+    let (m2, s2, _) = r.measure_replicated(&a, p, SolverType::Gmres, 3, 5);
+    assert_eq!(m1, m2);
+    assert_eq!(s1, s2);
+    // Different seed ⇒ (almost surely) different replicate values.
+    let (_, _, ms3) = r.measure_replicated(&a, p, SolverType::Gmres, 3, 99);
+    let (_, _, ms1) = r.measure_replicated(&a, p, SolverType::Gmres, 3, 5);
+    let ys1: Vec<f64> = ms1.iter().map(|m| m.y).collect();
+    let ys3: Vec<f64> = ms3.iter().map(|m| m.y).collect();
+    assert!(ys1 != ys3 || ys1.iter().all(|y| (y - ys1[0]).abs() < 1e-15));
+}
+
+#[test]
+fn surrogate_training_deterministic() {
+    use mcmcmi::gnn::{
+        train_surrogate, GraphSample, MatrixGraph, Surrogate, SurrogateConfig, SurrogateDataset,
+        TrainConfig,
+    };
+    let mut ds = SurrogateDataset::default();
+    let m = ds.add_matrix(
+        MatrixGraph::from_csr(&mcmcmi::matgen::laplace_1d(8)),
+        vec![0.0, 1.0],
+    );
+    for k in 0..24 {
+        let t = k as f64 / 23.0;
+        ds.push_sample(GraphSample {
+            matrix_idx: m,
+            xm: vec![t, 1.0 - t],
+            y_mean: 0.5 + 0.3 * t,
+            y_std: 0.02,
+        });
+    }
+    let cfg = SurrogateConfig {
+        gnn_hidden: 8,
+        xa_hidden: 4,
+        xm_hidden: 4,
+        comb_hidden: 8,
+        dropout: 0.1,
+        ..SurrogateConfig::lite(2, 2)
+    };
+    let tcfg = TrainConfig { epochs: 5, patience: 0, ..Default::default() };
+    let run = || {
+        let mut s = Surrogate::new(cfg);
+        let rep = train_surrogate(&mut s, &ds, tcfg);
+        (rep.train_loss, s.params().tensors().to_vec())
+    };
+    let (l1, p1) = run();
+    let (l2, p2) = run();
+    assert_eq!(l1, l2);
+    assert_eq!(p1, p2);
+}

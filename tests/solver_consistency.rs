@@ -1,0 +1,84 @@
+//! Cross-solver consistency: every Krylov method and the direct LU solver
+//! must agree on the same well-posed systems, with and without MCMC
+//! preconditioning.
+
+use mcmcmi::dense::Lu;
+use mcmcmi::krylov::{solve, IdentityPrecond, SolveOptions, SolverType};
+use mcmcmi::matgen::{fd_laplace_2d, pdd_real_sparse, spd_random};
+use mcmcmi::mcmc::{BuildConfig, McmcInverse, McmcParams};
+use proptest::prelude::*;
+
+#[test]
+fn all_solvers_agree_with_lu_on_spd_system() {
+    let a = spd_random(30, 50.0, 4);
+    let n = a.nrows();
+    let xs: Vec<f64> = (0..n).map(|i| ((i * 3) as f64 * 0.17).sin()).collect();
+    let b = a.spmv_alloc(&xs);
+    let exact = Lu::new(&a.to_dense()).solve(&b).unwrap();
+    let opts = SolveOptions { tol: 1e-10, ..Default::default() };
+    for solver in [SolverType::Gmres, SolverType::BiCgStab, SolverType::Cg] {
+        let r = solve(&a, &b, &IdentityPrecond::new(n), solver, opts);
+        assert!(r.converged, "{solver:?}");
+        for (p, q) in r.x.iter().zip(&exact) {
+            assert!((p - q).abs() < 1e-6, "{solver:?}: {p} vs {q}");
+        }
+    }
+}
+
+#[test]
+fn preconditioned_solution_matches_unpreconditioned() {
+    // The preconditioner changes the path, not the destination.
+    let a = fd_laplace_2d(12);
+    let n = a.nrows();
+    let b = a.spmv_alloc(&vec![1.0; n]);
+    let opts = SolveOptions { tol: 1e-10, ..Default::default() };
+    let plain = solve(&a, &b, &IdentityPrecond::new(n), SolverType::Gmres, opts);
+    let p = McmcInverse::new(BuildConfig::default())
+        .build(&a, McmcParams::new(0.1, 0.0625, 0.03125));
+    let pre = solve(&a, &b, &p.precond, SolverType::Gmres, opts);
+    assert!(plain.converged && pre.converged);
+    for (x, y) in plain.x.iter().zip(&pre.x) {
+        assert!((x - y).abs() < 1e-6);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// Random diagonally dominant systems: GMRES and BiCGStab both converge
+    /// and agree with the LU solution.
+    #[test]
+    fn random_dominant_systems_solve_consistently(seed in 0u64..5000) {
+        let a = pdd_real_sparse(24, seed);
+        let n = a.nrows();
+        let xs: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.23).cos()).collect();
+        let b = a.spmv_alloc(&xs);
+        let exact = Lu::new(&a.to_dense()).solve(&b).unwrap();
+        let opts = SolveOptions { tol: 1e-10, ..Default::default() };
+        for solver in [SolverType::Gmres, SolverType::BiCgStab] {
+            let r = solve(&a, &b, &IdentityPrecond::new(n), solver, opts);
+            prop_assert!(r.converged);
+            for (p, q) in r.x.iter().zip(&exact) {
+                prop_assert!((p - q).abs() < 1e-5);
+            }
+        }
+    }
+
+    /// The MCMC estimator is unbiased enough that P·Â ≈ I on dominant
+    /// systems with tight parameters.
+    #[test]
+    fn mcmc_inverse_is_close_to_identity(seed in 0u64..2000) {
+        let a = pdd_real_sparse(16, seed);
+        let params = McmcParams::new(0.5, 0.05, 0.01);
+        let out = McmcInverse::new(BuildConfig::default()).build(&a, params);
+        // Â = A + α·diag(|a_ii|)
+        let mut dense = a.to_dense();
+        for i in 0..16 {
+            let d = dense.get(i, i);
+            dense.set(i, i, d + params.alpha * d.abs());
+        }
+        let prod = out.precond.matrix().to_dense().matmul(&dense);
+        let eye = mcmcmi::dense::Mat::eye(16);
+        // Loose tolerance: Monte-Carlo error + fill truncation.
+        prop_assert!(prod.max_abs_diff(&eye) < 0.35, "diff {}", prod.max_abs_diff(&eye));
+    }
+}
