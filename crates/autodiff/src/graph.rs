@@ -44,13 +44,23 @@ enum Op {
     /// Row-broadcast addition: (m×n) + (1×n).
     AddBroadcastRow(usize, usize),
     /// Per-row layer normalisation (no affine), with cached mean/inv-std.
-    LayerNorm { src: usize, inv_std: Vec<f64>, normed: Tensor },
+    LayerNorm {
+        src: usize,
+        inv_std: Vec<f64>,
+        normed: Tensor,
+    },
     /// Dropout with a frozen mask (already scaled by 1/keep).
-    Dropout { src: usize, mask: Vec<f64> },
+    Dropout {
+        src: usize,
+        mask: Vec<f64>,
+    },
     /// Column-wise concatenation of two tensors with equal row counts.
     ConcatCols(usize, usize),
     /// Row gather: out[r] = src[idx[r]].
-    RowGather { src: usize, idx: Vec<usize> },
+    RowGather {
+        src: usize,
+        idx: Vec<usize>,
+    },
     /// Scatter-aggregate rows of `src` into `n_out` buckets by `seg`.
     ScatterAgg {
         src: usize,
@@ -163,7 +173,11 @@ impl Graph {
     /// ReLU activation.
     pub fn relu(&mut self, a: Var) -> Var {
         let (r, c) = self.shape(a);
-        let data: Vec<f64> = self.values[a.0].data().iter().map(|&x| x.max(0.0)).collect();
+        let data: Vec<f64> = self.values[a.0]
+            .data()
+            .iter()
+            .map(|&x| x.max(0.0))
+            .collect();
         self.push(Tensor::from_vec(r, c, data), Op::Relu(a.0))
     }
 
@@ -249,7 +263,14 @@ impl Graph {
             }
         }
         let normed = out.clone();
-        self.push(out, Op::LayerNorm { src: a.0, inv_std, normed })
+        self.push(
+            out,
+            Op::LayerNorm {
+                src: a.0,
+                inv_std,
+                normed,
+            },
+        )
     }
 
     /// Dropout with keep-probability `1 − p`, using a pre-drawn mask of 0/1
@@ -292,7 +313,13 @@ impl Graph {
             assert!(i < m, "row_gather: index {i} out of bounds ({m} rows)");
             out.row_mut(r).copy_from_slice(self.values[src.0].row(i));
         }
-        self.push(out, Op::RowGather { src: src.0, idx: idx.to_vec() })
+        self.push(
+            out,
+            Op::RowGather {
+                src: src.0,
+                idx: idx.to_vec(),
+            },
+        )
     }
 
     /// Scatter-aggregate edge messages into node buckets:
@@ -349,7 +376,16 @@ impl Graph {
             }
             AggKind::Sum => {}
         }
-        self.push(out, Op::ScatterAgg { src: src.0, seg: seg.to_vec(), kind, counts, argmax })
+        self.push(
+            out,
+            Op::ScatterAgg {
+                src: src.0,
+                seg: seg.to_vec(),
+                kind,
+                counts,
+                argmax,
+            },
+        )
     }
 
     /// Mean over rows → `1 × d` (global mean pooling).
@@ -414,7 +450,11 @@ impl Graph {
     /// # Panics
     /// Panics if `loss` is not `1 × 1`.
     pub fn backward(&mut self, loss: Var) -> Gradients {
-        assert_eq!(self.values[loss.0].len(), 1, "backward: loss must be scalar");
+        assert_eq!(
+            self.values[loss.0].len(),
+            1,
+            "backward: loss must be scalar"
+        );
         let n = self.values.len();
         let mut grads: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
         grads[loss.0] = Some(Tensor::full(1, 1, 1.0));
@@ -551,7 +591,11 @@ impl Graph {
                     }
                     accumulate(&mut grads, *bias, &gb, &self.values);
                 }
-                Op::LayerNorm { src, inv_std, normed } => {
+                Op::LayerNorm {
+                    src,
+                    inv_std,
+                    normed,
+                } => {
                     // dx = istd · (g − mean(g) − y·mean(g∘y)) per row.
                     let (m, n) = (g.rows(), g.cols());
                     let mut ga = Tensor::zeros(m, n);
@@ -559,8 +603,7 @@ impl Graph {
                         let grow = g.row(r);
                         let yrow = normed.row(r);
                         let mg = grow.iter().sum::<f64>() / n as f64;
-                        let mgy =
-                            grow.iter().zip(yrow).map(|(a, b)| a * b).sum::<f64>() / n as f64;
+                        let mgy = grow.iter().zip(yrow).map(|(a, b)| a * b).sum::<f64>() / n as f64;
                         let istd = inv_std[r];
                         for c in 0..n {
                             ga.set(r, c, istd * (grow[c] - mg - yrow[c] * mgy));
@@ -598,7 +641,14 @@ impl Graph {
                     }
                     accumulate(&mut grads, *src, &ga, &self.values);
                 }
-                Op::ScatterAgg { src, seg, kind, counts, argmax, .. } => {
+                Op::ScatterAgg {
+                    src,
+                    seg,
+                    kind,
+                    counts,
+                    argmax,
+                    ..
+                } => {
                     let (sm, sn) = (self.values[*src].rows(), self.values[*src].cols());
                     let mut ga = Tensor::zeros(sm, sn);
                     match kind {
@@ -693,6 +743,8 @@ impl Gradients {
 
     /// Gradient or a zero tensor of the given shape.
     pub fn get_or_zero(&self, v: Var, rows: usize, cols: usize) -> Tensor {
-        self.grads[v.0].clone().unwrap_or_else(|| Tensor::zeros(rows, cols))
+        self.grads[v.0]
+            .clone()
+            .unwrap_or_else(|| Tensor::zeros(rows, cols))
     }
 }

@@ -37,7 +37,9 @@ pub fn xavier_uniform(rows: usize, cols: usize, seed: u64) -> Tensor {
 }
 
 fn uniform(rows: usize, cols: usize, bound: f64, rng: &mut ChaCha8Rng) -> Tensor {
-    let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| rng.gen_range(-bound..bound))
+        .collect();
     Tensor::from_vec(rows, cols, data)
 }
 

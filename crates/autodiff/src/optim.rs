@@ -22,7 +22,13 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        Self { lr: 1.848e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+        Self {
+            lr: 1.848e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -38,8 +44,14 @@ pub struct Adam {
 impl Adam {
     /// Create state matching the given parameter shapes.
     pub fn new(cfg: AdamConfig, params: &[Tensor]) -> Self {
-        let m = params.iter().map(|p| Tensor::zeros(p.rows(), p.cols())).collect();
-        let v = params.iter().map(|p| Tensor::zeros(p.rows(), p.cols())).collect();
+        let m = params
+            .iter()
+            .map(|p| Tensor::zeros(p.rows(), p.cols()))
+            .collect();
+        let v = params
+            .iter()
+            .map(|p| Tensor::zeros(p.rows(), p.cols()))
+            .collect();
         Self { cfg, m, v, t: 0 }
     }
 
@@ -101,7 +113,10 @@ impl GradClip {
     /// Scale all gradients so their concatenated L2 norm is ≤ `max_norm`.
     /// Returns the pre-clip norm.
     pub fn clip(&self, grads: &mut [Tensor]) -> f64 {
-        let total: f64 = grads.iter().map(|g| g.data().iter().map(|v| v * v).sum::<f64>()).sum();
+        let total: f64 = grads
+            .iter()
+            .map(|g| g.data().iter().map(|v| v * v).sum::<f64>())
+            .sum();
         let norm = total.sqrt();
         if norm > self.max_norm && norm > 0.0 {
             let s = self.max_norm / norm;
@@ -123,7 +138,13 @@ mod tests {
     fn adam_minimises_quadratic() {
         // f(x) = Σ (x − 3)², gradient 2(x−3).
         let mut params = vec![Tensor::full(1, 4, 10.0)];
-        let mut adam = Adam::new(AdamConfig { lr: 0.1, ..Default::default() }, &params);
+        let mut adam = Adam::new(
+            AdamConfig {
+                lr: 0.1,
+                ..Default::default()
+            },
+            &params,
+        );
         for _ in 0..500 {
             let g: Vec<f64> = params[0].data().iter().map(|&x| 2.0 * (x - 3.0)).collect();
             let grads = vec![Tensor::from_vec(1, 4, g)];
@@ -138,7 +159,11 @@ mod tests {
     fn weight_decay_shrinks_parameters() {
         let mut params = vec![Tensor::full(1, 2, 5.0)];
         let mut adam = Adam::new(
-            AdamConfig { lr: 0.01, weight_decay: 0.5, ..Default::default() },
+            AdamConfig {
+                lr: 0.01,
+                weight_decay: 0.5,
+                ..Default::default()
+            },
             &params,
         );
         // Zero gradients: only the decay acts.
@@ -153,7 +178,11 @@ mod tests {
     fn decay_mask_exempts_biases() {
         let mut params = vec![Tensor::full(1, 2, 5.0), Tensor::full(1, 2, 5.0)];
         let mut adam = Adam::new(
-            AdamConfig { lr: 0.01, weight_decay: 0.5, ..Default::default() },
+            AdamConfig {
+                lr: 0.01,
+                weight_decay: 0.5,
+                ..Default::default()
+            },
             &params,
         );
         let grads = vec![Tensor::zeros(1, 2), Tensor::zeros(1, 2)];
@@ -170,8 +199,7 @@ mod tests {
         let clip = GradClip { max_norm: 1.5 };
         let pre = clip.clip(&mut grads);
         assert!((pre - 6.0).abs() < 1e-12);
-        let post: f64 =
-            grads[0].data().iter().map(|v| v * v).sum::<f64>().sqrt();
+        let post: f64 = grads[0].data().iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!((post - 1.5).abs() < 1e-12);
     }
 

@@ -13,12 +13,20 @@ pub struct Tensor {
 impl Tensor {
     /// Zero tensor.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Constant-filled tensor.
     pub fn full(rows: usize, cols: usize, v: f64) -> Self {
-        Self { rows, cols, data: vec![v; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     /// Build from a row-major vector.
@@ -103,7 +111,10 @@ impl Tensor {
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.cols, other.rows, "Tensor::matmul: inner dimension mismatch");
+        assert_eq!(
+            self.cols, other.rows,
+            "Tensor::matmul: inner dimension mismatch"
+        );
         let mut out = Tensor::zeros(self.rows, other.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {

@@ -46,7 +46,11 @@ pub fn expected_improvement_grad(
     y_min: f64,
     xi: f64,
 ) -> (f64, Vec<f64>) {
-    assert_eq!(dmu.len(), dsigma.len(), "expected_improvement_grad: gradient dims differ");
+    assert_eq!(
+        dmu.len(),
+        dsigma.len(),
+        "expected_improvement_grad: gradient dims differ"
+    );
     let imp = y_min - mu - xi;
     if sigma <= 0.0 {
         // Sub-gradient of max(imp, 0): −∇μ̂ where improvement is positive.
@@ -154,8 +158,7 @@ mod tests {
         let x = [0.7, -0.4];
         let dmu = [2.0 * (x[0] - 0.3), 0.2];
         let dsg = [0.1 * x[0], 0.0];
-        let (ei, grad) =
-            expected_improvement_grad(mu_f(&x), sg_f(&x), &dmu, &dsg, 0.6, 0.05);
+        let (ei, grad) = expected_improvement_grad(mu_f(&x), sg_f(&x), &dmu, &dsg, 0.6, 0.05);
         let h = 1e-6;
         for k in 0..2 {
             let mut xp = x;

@@ -23,7 +23,13 @@ pub struct LbfgsbOptions {
 
 impl Default for LbfgsbOptions {
     fn default() -> Self {
-        Self { max_iter: 100, history: 6, pg_tol: 1e-8, c1: 1e-4, max_backtracks: 40 }
+        Self {
+            max_iter: 100,
+            history: 6,
+            pg_tol: 1e-8,
+            c1: 1e-4,
+            max_backtracks: 40,
+        }
     }
 }
 
@@ -160,7 +166,15 @@ where
             let (ft, gt) = f_and_grad(&xt);
             if ft <= fx + opts.c1 * t * slope {
                 accept_step(
-                    &mut x, &mut fx, &mut g, xt, ft, gt, &mut s_hist, &mut y_hist, &mut rho,
+                    &mut x,
+                    &mut fx,
+                    &mut g,
+                    xt,
+                    ft,
+                    gt,
+                    &mut s_hist,
+                    &mut y_hist,
+                    &mut rho,
                     opts.history,
                 );
                 accepted = true;
@@ -174,7 +188,15 @@ where
         if !accepted {
             if let Some((xt, ft, gt)) = fallback {
                 accept_step(
-                    &mut x, &mut fx, &mut g, xt, ft, gt, &mut s_hist, &mut y_hist, &mut rho,
+                    &mut x,
+                    &mut fx,
+                    &mut g,
+                    xt,
+                    ft,
+                    gt,
+                    &mut s_hist,
+                    &mut y_hist,
+                    &mut rho,
                     opts.history,
                 );
                 accepted = true;
@@ -195,7 +217,12 @@ where
             break;
         }
     }
-    LbfgsbResult { x, f: fx, iterations: iter, converged }
+    LbfgsbResult {
+        x,
+        f: fx,
+        iterations: iter,
+        converged,
+    }
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -245,7 +272,13 @@ mod tests {
             let fx = (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2);
             (fx, vec![2.0 * (x[0] - 1.0), 2.0 * (x[1] + 2.0)])
         };
-        let r = lbfgsb_minimize(f, &[5.0, 5.0], &[-10.0, -10.0], &[10.0, 10.0], Default::default());
+        let r = lbfgsb_minimize(
+            f,
+            &[5.0, 5.0],
+            &[-10.0, -10.0],
+            &[10.0, 10.0],
+            Default::default(),
+        );
         assert!(r.converged);
         assert!((r.x[0] - 1.0).abs() < 1e-6);
         assert!((r.x[1] + 2.0).abs() < 1e-6);
@@ -304,7 +337,10 @@ mod tests {
             &[-1.2, 1.0],
             &[-2.0, -2.0],
             &[2.0, 2.0],
-            LbfgsbOptions { max_iter: 2000, ..Default::default() },
+            LbfgsbOptions {
+                max_iter: 2000,
+                ..Default::default()
+            },
         );
         assert!(r.converged);
         assert!((r.x[0] - 1.0).abs() < 1e-4, "x = {:?}", r.x);
@@ -329,7 +365,10 @@ mod tests {
             &[9.0, -9.0],
             &[-10.0, -10.0],
             &[10.0, 10.0],
-            LbfgsbOptions { max_iter: 2, ..Default::default() },
+            LbfgsbOptions {
+                max_iter: 2,
+                ..Default::default()
+            },
         );
         assert!(r.iterations <= 2);
     }

@@ -22,12 +22,19 @@ pub struct ProposeConfig {
 
 impl Default for ProposeConfig {
     fn default() -> Self {
-        Self { xi: 0.05, lbfgsb: LbfgsbOptions::default(), seed: 0 }
+        Self {
+            xi: 0.05,
+            lbfgsb: LbfgsbOptions::default(),
+            seed: 0,
+        }
     }
 }
 
 fn random_point(lo: &[f64], hi: &[f64], rng: &mut ChaCha8Rng) -> Vec<f64> {
-    lo.iter().zip(hi).map(|(&l, &h)| rng.gen_range(l..=h)).collect()
+    lo.iter()
+        .zip(hi)
+        .map(|(&l, &h)| rng.gen_range(l..=h))
+        .collect()
 }
 
 /// Propose a batch of `k` candidate parameter vectors by independent
@@ -90,13 +97,9 @@ fn maximize_ei<S: SurrogateModel>(
     let result = lbfgsb_minimize(
         |x| {
             let (mu, sigma, dmu, dsigma) = surrogate.predict_grad(x);
-            let (ei, grad) =
-                expected_improvement_grad(mu, sigma, &dmu, &dsigma, y_min, cfg.xi);
+            let (ei, grad) = expected_improvement_grad(mu, sigma, &dmu, &dsigma, y_min, cfg.xi);
             let denom = ei + FLOOR;
-            (
-                -denom.ln(),
-                grad.into_iter().map(|g| -g / denom).collect(),
-            )
+            (-denom.ln(), grad.into_iter().map(|g| -g / denom).collect())
         },
         x0,
         lo,
@@ -134,22 +137,31 @@ mod tests {
         }
         fn predict_grad(&mut self, x: &[f64]) -> (f64, f64, Vec<f64>, Vec<f64>) {
             let (mu, sigma) = self.predict(x);
-            let dmu: Vec<f64> =
-                x.iter().zip(&self.target).map(|(a, b)| 2.0 * (a - b)).collect();
+            let dmu: Vec<f64> = x
+                .iter()
+                .zip(&self.target)
+                .map(|(a, b)| 2.0 * (a - b))
+                .collect();
             (mu, sigma, dmu, vec![0.0; x.len()])
         }
     }
 
     #[test]
     fn best_proposal_finds_mu_minimum() {
-        let mut s = MockSurrogate { target: vec![0.7, 0.2], sigma0: 0.1 };
+        let mut s = MockSurrogate {
+            target: vec![0.7, 0.2],
+            sigma0: 0.1,
+        };
         let (x, ei) = propose_best(
             &mut s,
             0.6,
             &[0.0, 0.0],
             &[1.0, 1.0],
             8,
-            ProposeConfig { xi: 0.0, ..Default::default() },
+            ProposeConfig {
+                xi: 0.0,
+                ..Default::default()
+            },
         );
         assert!((x[0] - 0.7).abs() < 1e-4, "x = {x:?}");
         assert!((x[1] - 0.2).abs() < 1e-4);
@@ -158,8 +170,18 @@ mod tests {
 
     #[test]
     fn batch_has_requested_size_and_stays_in_box() {
-        let mut s = MockSurrogate { target: vec![0.5, 0.5], sigma0: 0.2 };
-        let batch = propose_batch(&mut s, 0.7, &[0.0, 0.0], &[1.0, 1.0], 32, Default::default());
+        let mut s = MockSurrogate {
+            target: vec![0.5, 0.5],
+            sigma0: 0.2,
+        };
+        let batch = propose_batch(
+            &mut s,
+            0.7,
+            &[0.0, 0.0],
+            &[1.0, 1.0],
+            32,
+            Default::default(),
+        );
         assert_eq!(batch.len(), 32);
         for x in &batch {
             assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)), "{x:?}");
@@ -168,10 +190,30 @@ mod tests {
 
     #[test]
     fn proposals_deterministic_per_seed() {
-        let mut s1 = MockSurrogate { target: vec![0.5, 0.5], sigma0: 0.2 };
-        let mut s2 = MockSurrogate { target: vec![0.5, 0.5], sigma0: 0.2 };
-        let b1 = propose_batch(&mut s1, 0.7, &[0.0, 0.0], &[1.0, 1.0], 4, Default::default());
-        let b2 = propose_batch(&mut s2, 0.7, &[0.0, 0.0], &[1.0, 1.0], 4, Default::default());
+        let mut s1 = MockSurrogate {
+            target: vec![0.5, 0.5],
+            sigma0: 0.2,
+        };
+        let mut s2 = MockSurrogate {
+            target: vec![0.5, 0.5],
+            sigma0: 0.2,
+        };
+        let b1 = propose_batch(
+            &mut s1,
+            0.7,
+            &[0.0, 0.0],
+            &[1.0, 1.0],
+            4,
+            Default::default(),
+        );
+        let b2 = propose_batch(
+            &mut s2,
+            0.7,
+            &[0.0, 0.0],
+            &[1.0, 1.0],
+            4,
+            Default::default(),
+        );
         assert_eq!(b1, b2);
     }
 
@@ -179,17 +221,26 @@ mod tests {
     fn polished_batch_concentrates_near_optimum() {
         // With ξ = 0 and flat σ̂, every polished start should land at the
         // bowl minimum.
-        let mut s = MockSurrogate { target: vec![0.3, 0.8], sigma0: 0.05 };
+        let mut s = MockSurrogate {
+            target: vec![0.3, 0.8],
+            sigma0: 0.05,
+        };
         let batch = propose_batch(
             &mut s,
             0.6,
             &[0.0, 0.0],
             &[1.0, 1.0],
             8,
-            ProposeConfig { xi: 0.0, ..Default::default() },
+            ProposeConfig {
+                xi: 0.0,
+                ..Default::default()
+            },
         );
         for x in &batch {
-            assert!((x[0] - 0.3).abs() < 1e-3 && (x[1] - 0.8).abs() < 1e-3, "{x:?}");
+            assert!(
+                (x[0] - 0.3).abs() < 1e-3 && (x[1] - 0.8).abs() < 1e-3,
+                "{x:?}"
+            );
         }
     }
 }

@@ -10,7 +10,10 @@ use rand_chacha::ChaCha8Rng;
 /// # Panics
 /// Panics if any dimension has no levels.
 pub fn grid_search_candidates(levels: &[&[f64]]) -> Vec<Vec<f64>> {
-    assert!(levels.iter().all(|l| !l.is_empty()), "grid: empty dimension");
+    assert!(
+        levels.iter().all(|l| !l.is_empty()),
+        "grid: empty dimension"
+    );
     let mut out: Vec<Vec<f64>> = vec![Vec::new()];
     for dim in levels {
         let mut next = Vec::with_capacity(out.len() * dim.len());
@@ -28,10 +31,19 @@ pub fn grid_search_candidates(levels: &[&[f64]]) -> Vec<Vec<f64>> {
 
 /// `k` uniform random points in the box.
 pub fn random_search_candidates(lo: &[f64], hi: &[f64], k: usize, seed: u64) -> Vec<Vec<f64>> {
-    assert_eq!(lo.len(), hi.len(), "random search: bound dimension mismatch");
+    assert_eq!(
+        lo.len(),
+        hi.len(),
+        "random search: bound dimension mismatch"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     (0..k)
-        .map(|_| lo.iter().zip(hi).map(|(&l, &h)| rng.gen_range(l..=h)).collect())
+        .map(|_| {
+            lo.iter()
+                .zip(hi)
+                .map(|(&l, &h)| rng.gen_range(l..=h))
+                .collect()
+        })
         .collect()
 }
 

@@ -2,9 +2,7 @@
 //! analytic mock surrogate (isolates optimiser overhead from GNN cost).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mcmcmi_bayesopt::{
-    expected_improvement, propose_best, ProposeConfig, SurrogateModel,
-};
+use mcmcmi_bayesopt::{expected_improvement, propose_best, ProposeConfig, SurrogateModel};
 use std::hint::black_box;
 
 struct Bowl;

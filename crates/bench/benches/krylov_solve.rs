@@ -11,7 +11,11 @@ fn bench_solvers(c: &mut Criterion) {
     let n = a.nrows();
     let ones = vec![1.0; n];
     let b = a.spmv_alloc(&ones);
-    let opts = SolveOptions { tol: 1e-8, max_iter: 2000, restart: 50 };
+    let opts = SolveOptions {
+        tol: 1e-8,
+        max_iter: 2000,
+        restart: 50,
+    };
     let mut group = c.benchmark_group("krylov");
     for solver in [SolverType::Gmres, SolverType::BiCgStab, SolverType::Cg] {
         group.bench_function(format!("{}/unpreconditioned", solver.name()), |bch| {

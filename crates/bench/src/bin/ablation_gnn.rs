@@ -15,7 +15,10 @@ fn main() {
     let (sds, _, _) = ds.to_surrogate_dataset(&matrices);
 
     println!("Ablation A3 — surrogate architecture sweep (validation loss, lower is better)");
-    println!("{:<12} {:>8} {:>12} {:>12}", "conv", "agg", "val loss", "best epoch");
+    println!(
+        "{:<12} {:>8} {:>12} {:>12}",
+        "conv", "agg", "val loss", "best epoch"
+    );
     let mut rows = Vec::new();
     let mut results: Vec<(String, f64)> = Vec::new();
     for conv in [
@@ -29,7 +32,11 @@ fn main() {
             // GINE/GCN aggregate internally (sum / normalised sum): sweep
             // aggregation only where it applies, but run every pair so the
             // table is complete.
-            let cfg = SurrogateConfig { conv, agg, ..profile.surrogate };
+            let cfg = SurrogateConfig {
+                conv,
+                agg,
+                ..profile.surrogate
+            };
             let mut s = Surrogate::new(cfg);
             let mut tc = profile.train;
             tc.epochs = tc.epochs.min(25); // sweep-sized budget
@@ -51,7 +58,14 @@ fn main() {
         }
     }
     results.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-    println!("\nRanking: {}", results.iter().map(|(n, l)| format!("{n} ({l:.4})")).collect::<Vec<_>>().join(" < "));
+    println!(
+        "\nRanking: {}",
+        results
+            .iter()
+            .map(|(n, l)| format!("{n} ({l:.4})"))
+            .collect::<Vec<_>>()
+            .join(" < ")
+    );
     println!("Paper's HPO pick: EdgeConv/Mean — compare its rank above.");
     let rd = RunDir::new("ablation_gnn").expect("runs dir");
     write_csv(

@@ -3,14 +3,16 @@
 //! classical algebraic preconditioners).
 
 use mcmcmi_bench::{parse_profile, write_csv, RunDir};
-use mcmcmi_krylov::{
-    solve, IdentityPrecond, Ilu0, JacobiPrecond, SolveOptions, SolverType,
-};
+use mcmcmi_krylov::{solve, IdentityPrecond, Ilu0, JacobiPrecond, SolveOptions, SolverType};
 use mcmcmi_mcmc::{BuildConfig, McmcInverse, McmcParams};
 
 fn main() {
     let profile = parse_profile();
-    let opts = SolveOptions { tol: 1e-8, max_iter: 2000, restart: 50 };
+    let opts = SolveOptions {
+        tol: 1e-8,
+        max_iter: 2000,
+        restart: 50,
+    };
     let params = McmcParams::new(0.5, 0.0625, 0.0625);
     println!("Ablation A1 — GMRES iterations by preconditioner (MCMC at α=0.5, ε=δ=1/16)");
     println!(
@@ -24,7 +26,11 @@ fn main() {
         let ones = vec![1.0; n];
         let b = a.spmv_alloc(&ones);
         let it = |r: mcmcmi_krylov::SolveResult| {
-            if r.converged { r.iterations.to_string() } else { format!(">{}", r.iterations) }
+            if r.converged {
+                r.iterations.to_string()
+            } else {
+                format!(">{}", r.iterations)
+            }
         };
         let none = solve(&a, &b, &IdentityPrecond::new(n), SolverType::Gmres, opts);
         let jac = solve(&a, &b, &JacobiPrecond::new(&a), SolverType::Gmres, opts);

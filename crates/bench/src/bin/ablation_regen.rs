@@ -8,7 +8,11 @@ use mcmcmi_mcmc::{regenerative_inverse, BuildConfig, McmcInverse, McmcParams, Re
 
 fn main() {
     let profile = parse_profile();
-    let opts = SolveOptions { tol: 1e-8, max_iter: 2000, restart: 50 };
+    let opts = SolveOptions {
+        tol: 1e-8,
+        max_iter: 2000,
+        restart: 50,
+    };
     println!("Ablation A2 — classic vs regenerative MCMC inversion (GMRES iterations)");
     println!(
         "{:<32} {:>7} | {:>8} {:>10} {:>12} | {:>10} {:>12}",
@@ -36,7 +40,11 @@ fn main() {
         let budget = (classic.transitions / n).max(1);
         let regen = regenerative_inverse(
             &a,
-            RegenerativeConfig { alpha: 0.5, budget, ..Default::default() },
+            RegenerativeConfig {
+                alpha: 0.5,
+                budget,
+                ..Default::default()
+            },
         );
         let it_regen = solve(&a, &b, &regen, SolverType::Gmres, opts);
 
@@ -65,7 +73,14 @@ fn main() {
     let rd = RunDir::new("ablation_regen").expect("runs dir");
     write_csv(
         &rd.path(&format!("regen_{}.csv", profile.name)),
-        &["matrix", "baseline", "classic_iters", "classic_work", "regen_iters", "budget_per_row"],
+        &[
+            "matrix",
+            "baseline",
+            "classic_iters",
+            "classic_work",
+            "regen_iters",
+            "budget_per_row",
+        ],
         &rows,
     )
     .expect("write csv");

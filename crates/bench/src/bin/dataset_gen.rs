@@ -12,7 +12,10 @@ fn main() {
     let ds = load_or_build_dataset(&profile, &matrices);
 
     println!("\n§4.2 dataset summary ({} profile)", profile.name);
-    println!("{:<32} {:>6} {:>6} {:>6} {:>6} | {:>8} {:>8}", "matrix", "GMRES", "BiCG", "CG", "total", "mean(y)", "min(y)");
+    println!(
+        "{:<32} {:>6} {:>6} {:>6} {:>6} | {:>8} {:>8}",
+        "matrix", "GMRES", "BiCG", "CG", "total", "mean(y)", "min(y)"
+    );
     for name in &ds.matrix_names {
         let recs: Vec<_> = ds.records.iter().filter(|r| &r.matrix == name).collect();
         let count = |s: SolverType| recs.iter().filter(|r| r.solver == s).count();

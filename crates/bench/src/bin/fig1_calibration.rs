@@ -45,15 +45,25 @@ fn curve_for(
 
 fn print_curve(label: &str, curve: &[CalibrationPoint]) {
     println!("\n{label}:");
-    println!("  {:>8} {:>10} {:>10} {:>10}", "τ", "observed", "wilson lo", "wilson hi");
+    println!(
+        "  {:>8} {:>10} {:>10} {:>10}",
+        "τ", "observed", "wilson lo", "wilson hi"
+    );
     for p in curve {
-        let marker = if p.observed + 1e-12 < p.expected { "under" } else { "over/ok" };
+        let marker = if p.observed + 1e-12 < p.expected {
+            "under"
+        } else {
+            "over/ok"
+        };
         println!(
             "  {:>8.2} {:>10.3} {:>10.3} {:>10.3}   {marker}",
             p.expected, p.observed, p.wilson_lo, p.wilson_hi
         );
     }
-    println!("  expected calibration error: {:.4}", expected_calibration_error(curve));
+    println!(
+        "  expected calibration error: {:.4}",
+        expected_calibration_error(curve)
+    );
 }
 
 fn main() {
@@ -78,8 +88,10 @@ fn main() {
     // Per-α breakdown: the paper highlights α ∈ {4, 5} approaching the
     // diagonal after the BO round.
     let mut csv_rows = Vec::new();
-    for (label, model) in [("pre_bo", &mut models.pre_bo), ("bo_enhanced", &mut models.bo_enhanced)]
-    {
+    for (label, model) in [
+        ("pre_bo", &mut models.pre_bo),
+        ("bo_enhanced", &mut models.bo_enhanced),
+    ] {
         for alpha in [None, Some(1.0), Some(2.0), Some(4.0), Some(5.0)] {
             let curve = curve_for(model, &test, &grid, alpha);
             let tag = alpha.map_or("all".to_string(), |a| format!("{a}"));
@@ -116,11 +128,25 @@ fn main() {
     let rd = RunDir::new("fig1").expect("runs dir");
     write_csv(
         &rd.path(&format!("calibration_{}.csv", profile.name)),
-        &["model", "alpha", "tau", "observed", "wilson_lo", "wilson_hi", "n"],
+        &[
+            "model",
+            "alpha",
+            "tau",
+            "observed",
+            "wilson_lo",
+            "wilson_hi",
+            "n",
+        ],
         &csv_rows,
     )
     .expect("write csv");
-    write_json(&rd.path(&format!("calibration_{}.json", profile.name)), &(pre, post))
-        .expect("write json");
-    println!("written: runs/fig1/calibration_{}.{{csv,json}}", profile.name);
+    write_json(
+        &rd.path(&format!("calibration_{}.json", profile.name)),
+        &(pre, post),
+    )
+    .expect("write json");
+    println!(
+        "written: runs/fig1/calibration_{}.{{csv,json}}",
+        profile.name
+    );
 }

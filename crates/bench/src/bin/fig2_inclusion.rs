@@ -33,7 +33,10 @@ fn inclusion_map(
                 r.params.alpha,
                 r.params.eps,
                 r.params.delta,
-                Cell { included: mu >= lo && mu <= hi, y_mean: r.y_mean },
+                Cell {
+                    included: mu >= lo && mu <= hi,
+                    y_mean: r.y_mean,
+                },
             )
         })
         .collect()
@@ -113,7 +116,11 @@ fn main() {
     let (mb, ma) = (mcmcmi_stats::mean(&below), mcmcmi_stats::mean(&above));
     println!(
         "  α ∈ {{4,5}}: mean y for ε ≤ δ: {mb:.3} vs ε > δ: {ma:.3}  ({})",
-        if mb <= ma { "ε ⪅ δ preferable ✓ (matches paper)" } else { "structure differs ✗" }
+        if mb <= ma {
+            "ε ⪅ δ preferable ✓ (matches paper)"
+        } else {
+            "structure differs ✗"
+        }
     );
     println!(
         "\nShape check (paper: BO-enhanced achieves substantially higher inclusion): {pre_rate:.2} → {post_rate:.2} ({})",
@@ -137,7 +144,14 @@ fn main() {
         .collect();
     write_csv(
         &rd.path(&format!("inclusion_{}.csv", profile.name)),
-        &["alpha", "eps", "delta", "pre_bo_included", "bo_enhanced_included", "y_mean"],
+        &[
+            "alpha",
+            "eps",
+            "delta",
+            "pre_bo_included",
+            "bo_enhanced_included",
+            "y_mean",
+        ],
         &rows,
     )
     .expect("write csv");

@@ -75,9 +75,14 @@ fn main() {
     let explore = summarise("BO exploration ξ=1.0 (half)", &models.round_explore.records);
     let all = [&grid_summary, &balanced, &explore];
 
-    let lo = all.iter().map(|s| s.box_stats.min).fold(f64::INFINITY, f64::min);
+    let lo = all
+        .iter()
+        .map(|s| s.box_stats.min)
+        .fold(f64::INFINITY, f64::min);
     let hi = all.iter().map(|s| s.box_stats.max).fold(0.0f64, f64::max);
-    println!("\nBox plot of per-x_M sample medians of y (axis {lo:.2} … {hi:.2}; lower is better):");
+    println!(
+        "\nBox plot of per-x_M sample medians of y (axis {lo:.2} … {hi:.2}; lower is better):"
+    );
     for s in all {
         ascii_box(s, lo, hi);
     }
@@ -102,7 +107,10 @@ fn main() {
         );
         println!(
             "      observations at best x_M*: {:?}",
-            s.best_observations.iter().map(|y| (y * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+            s.best_observations
+                .iter()
+                .map(|y| (y * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -113,16 +121,18 @@ fn main() {
         "  1. BO best (half budget) ≤ grid best: {:.3} vs {:.3}  ({})",
         best_bo,
         grid_summary.best_median,
-        if best_bo <= grid_summary.best_median * 1.02 { "holds ✓" } else { "fails ✗" }
+        if best_bo <= grid_summary.best_median * 1.02 {
+            "holds ✓"
+        } else {
+            "fails ✗"
+        }
     );
     let reduction = 100.0 * (1.0 - best_bo);
     println!(
         "  2. step reduction via MCMC preconditioning at BO's best x_M*: {reduction:.1}% (paper: up to ~25%)"
     );
     let vs_grid = 100.0 * (grid_summary.best_median - best_bo) / grid_summary.best_median;
-    println!(
-        "  3. BO best is {vs_grid:.1}% fewer steps than grid best (paper: ~10% fewer)"
-    );
+    println!("  3. BO best is {vs_grid:.1}% fewer steps than grid best (paper: ~10% fewer)");
 
     let rd = RunDir::new("fig3").expect("runs dir");
     write_json(

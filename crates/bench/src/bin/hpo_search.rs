@@ -6,7 +6,9 @@ use mcmcmi_autodiff::{AdamConfig, AggKind};
 use mcmcmi_bench::harness::load_or_build_dataset;
 use mcmcmi_bench::parse_profile;
 use mcmcmi_gnn::{train_surrogate, ConvKind, Surrogate, SurrogateConfig, TrainConfig};
-use mcmcmi_hpo::{run_successive_halving, AshaConfig, ParamKind, SearchSpace, TpeConfig, TpeSampler};
+use mcmcmi_hpo::{
+    run_successive_halving, AshaConfig, ParamKind, SearchSpace, TpeConfig, TpeSampler,
+};
 
 fn decode(cfg: &[f64], base: SurrogateConfig) -> (SurrogateConfig, f64, f64) {
     let conv = match cfg[2] as usize {
@@ -23,7 +25,13 @@ fn decode(cfg: &[f64], base: SurrogateConfig) -> (SurrogateConfig, f64, f64) {
     };
     let hidden = [32usize, 64, 128][cfg[4] as usize];
     (
-        SurrogateConfig { conv, agg, gnn_hidden: hidden, dropout: cfg[1], ..base },
+        SurrogateConfig {
+            conv,
+            agg,
+            gnn_hidden: hidden,
+            dropout: cfg[1],
+            ..base
+        },
         cfg[0], // lr
         cfg[5], // weight decay
     )
@@ -47,7 +55,11 @@ fn main() {
     let asha = if profile.name == "full" {
         AshaConfig::default() // 20 / 3 / 150, the paper's settings
     } else {
-        AshaConfig { grace: 4, reduction: 3, max_resource: 16 }
+        AshaConfig {
+            grace: 4,
+            reduction: 3,
+            max_resource: 16,
+        }
     };
     println!(
         "HPO demo — TPE ({n_trials} trials) + successive halving (grace {}, η {}, max {})",
@@ -55,7 +67,13 @@ fn main() {
     );
 
     // TPE proposes the trial configurations up front.
-    let mut tpe = TpeSampler::new(space, TpeConfig { seed: profile.seed, ..Default::default() });
+    let mut tpe = TpeSampler::new(
+        space,
+        TpeConfig {
+            seed: profile.seed,
+            ..Default::default()
+        },
+    );
     let configs: Vec<Vec<f64>> = (0..n_trials).map(|_| tpe.suggest()).collect();
 
     let outcomes = run_successive_halving(n_trials, asha, |trial, resource| {
@@ -64,14 +82,21 @@ fn main() {
         let tc = TrainConfig {
             epochs: resource,
             patience: 0,
-            adam: AdamConfig { lr, weight_decay: wd, ..Default::default() },
+            adam: AdamConfig {
+                lr,
+                weight_decay: wd,
+                ..Default::default()
+            },
             ..profile.train
         };
         let report = train_surrogate(&mut s, &sds, tc);
         report.best_val_loss
     });
 
-    println!("\n{:<6} {:>9} {:>10} {:>9} | configuration", "trial", "resource", "val loss", "finished");
+    println!(
+        "\n{:<6} {:>9} {:>10} {:>9} | configuration",
+        "trial", "resource", "val loss", "finished"
+    );
     for o in &outcomes {
         let (scfg, lr, wd) = decode(&configs[o.trial], profile.surrogate);
         println!(
@@ -94,6 +119,8 @@ fn main() {
             "\nselected architecture: {:?}/{:?}, hidden {}, lr {:.3e}, dropout {:.3}, wd {:.2e}",
             scfg.conv, scfg.agg, scfg.gnn_hidden, lr, scfg.dropout, wd
         );
-        println!("(paper's HPO on the real dataset selected EdgeConv/Mean, hidden 256, lr 1.848e-3)");
+        println!(
+            "(paper's HPO on the real dataset selected EdgeConv/Mean, hidden 256, lr 1.848e-3)"
+        );
     }
 }

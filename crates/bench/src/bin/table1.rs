@@ -19,9 +19,10 @@ fn measured_kappa(id: PaperMatrix, a: &Csr, full: bool) -> (Option<f64>, &'stati
         Laplace32 => (Some(analytic_laplace_cond_2d(32)), "analytic"),
         Laplace64 => (Some(analytic_laplace_cond_2d(64)), "analytic"),
         Laplace128 => (Some(analytic_laplace_cond_2d(128)), "analytic"),
-        _ if a.nrows() <= 1024 => {
-            (cond_dense(&a.to_dense(), CondOptions::default()), "dense LU")
-        }
+        _ if a.nrows() <= 1024 => (
+            cond_dense(&a.to_dense(), CondOptions::default()),
+            "dense LU",
+        ),
         _ if full => (kappa_sparse(a), "ILU+GMRES inverse iteration"),
         _ => (None, "generator target (run with --full to estimate)"),
     }
@@ -32,7 +33,11 @@ fn kappa_sparse(a: &Csr) -> Option<f64> {
     let ilu = Ilu0::new(a).ok()?;
     let at = a.transpose();
     let ilu_t = Ilu0::new(&at).ok()?;
-    let opts = SolveOptions { tol: 1e-8, max_iter: 4000, restart: 100 };
+    let opts = SolveOptions {
+        tol: 1e-8,
+        max_iter: 4000,
+        restart: 100,
+    };
     let solve_a = |b: &[f64]| {
         let r = solve(a, b, &ilu, SolverType::Gmres, opts);
         r.converged.then_some(r.x)
@@ -46,8 +51,16 @@ fn kappa_sparse(a: &Csr) -> Option<f64> {
         solve_a,
         solve_at,
         CondOptions {
-            power: PowerOptions { max_iter: 200, tol: 1e-8, seed: 11 },
-            inverse: PowerOptions { max_iter: 25, tol: 1e-4, seed: 13 },
+            power: PowerOptions {
+                max_iter: 200,
+                tol: 1e-8,
+                seed: 11,
+            },
+            inverse: PowerOptions {
+                max_iter: 25,
+                tol: 1e-4,
+                seed: 13,
+            },
         },
     )
 }
@@ -95,7 +108,15 @@ fn main() {
     let rd = RunDir::new("table1").expect("runs dir");
     write_csv(
         &rd.path(&format!("table1_{}.csv", profile.name)),
-        &["matrix", "n", "symmetric", "kappa_paper", "kappa_ours", "phi_paper", "phi_ours"],
+        &[
+            "matrix",
+            "n",
+            "symmetric",
+            "kappa_paper",
+            "kappa_ours",
+            "phi_paper",
+            "phi_ours",
+        ],
         &rows,
     )
     .expect("write csv");

@@ -51,10 +51,7 @@ pub struct EvaluatedGrid {
 }
 
 /// Load-or-build the grid dataset for a profile.
-pub fn load_or_build_dataset(
-    profile: &Profile,
-    matrices: &[(String, Csr, bool)],
-) -> PaperDataset {
+pub fn load_or_build_dataset(profile: &Profile, matrices: &[(String, Csr, bool)]) -> PaperDataset {
     let cache = RunDir::new(&format!("cache-{}", profile.name)).expect("runs dir");
     let path = cache.path("dataset.json");
     if let Ok(ds) = PaperDataset::load_json(&path) {
@@ -78,7 +75,11 @@ pub fn load_or_build_dataset(
         profile.divergence_rows,
         profile.seed,
     );
-    eprintln!("[harness] dataset built: {} records in {:.1?}", ds.len(), t0.elapsed());
+    eprintln!(
+        "[harness] dataset built: {} records in {:.1?}",
+        ds.len(),
+        t0.elapsed()
+    );
     ds.save_json(&path).expect("cache dataset");
     ds
 }
@@ -103,10 +104,12 @@ pub fn fit_models(profile: &Profile) -> FittedModels {
         }
     }
 
-    eprintln!("[harness] training Pre-BO model ({} samples)", dataset.len());
+    eprintln!(
+        "[harness] training Pre-BO model ({} samples)",
+        dataset.len()
+    );
     let t0 = std::time::Instant::now();
-    let mut pre_bo =
-        Recommender::fit(&dataset, &matrices, profile.surrogate, profile.train);
+    let mut pre_bo = Recommender::fit(&dataset, &matrices, profile.surrogate, profile.train);
     eprintln!(
         "[harness] Pre-BO trained in {:.1?} (best val loss {:.4} @ epoch {})",
         t0.elapsed(),
@@ -121,7 +124,10 @@ pub fn fit_models(profile: &Profile) -> FittedModels {
     let y_min = pre_bo.predicted_min(&test_matrix, SolverType::Gmres, profile.seed);
     eprintln!("[harness] EI incumbent (predicted min on target): {y_min:.3}");
     let runner = profile.runner();
-    eprintln!("[harness] BO round (balanced, ξ=0.05): {} recommendations", profile.bo_batch);
+    eprintln!(
+        "[harness] BO round (balanced, ξ=0.05): {} recommendations",
+        profile.bo_batch
+    );
     let round_balanced = pre_bo.bo_round(
         &runner,
         &test_matrix,
@@ -155,14 +161,25 @@ pub fn fit_models(profile: &Profile) -> FittedModels {
     // Retrain with the new targeted data (the BO-enhanced model).
     let mut enhanced_ds = dataset.clone();
     enhanced_ds.matrix_names.push(test_name.clone());
-    enhanced_ds.records.extend(round_balanced.records.iter().cloned());
-    enhanced_ds.records.extend(round_explore.records.iter().cloned());
+    enhanced_ds
+        .records
+        .extend(round_balanced.records.iter().cloned());
+    enhanced_ds
+        .records
+        .extend(round_explore.records.iter().cloned());
     let mut enhanced_matrices = matrices.clone();
     enhanced_matrices.push((test_name, test_matrix, false));
-    eprintln!("[harness] retraining → BO-enhanced model ({} samples)", enhanced_ds.len());
+    eprintln!(
+        "[harness] retraining → BO-enhanced model ({} samples)",
+        enhanced_ds.len()
+    );
     let t1 = std::time::Instant::now();
-    let bo_enhanced =
-        Recommender::fit(&enhanced_ds, &enhanced_matrices, profile.surrogate, profile.train);
+    let bo_enhanced = Recommender::fit(
+        &enhanced_ds,
+        &enhanced_matrices,
+        profile.surrogate,
+        profile.train,
+    );
     eprintln!("[harness] BO-enhanced trained in {:.1?}", t1.elapsed());
 
     let mc = ModelCache {
@@ -173,7 +190,13 @@ pub fn fit_models(profile: &Profile) -> FittedModels {
     };
     write_json(&model_path, &mc).expect("cache models");
 
-    FittedModels { pre_bo, bo_enhanced, round_balanced, round_explore, dataset }
+    FittedModels {
+        pre_bo,
+        bo_enhanced,
+        round_balanced,
+        round_explore,
+        dataset,
+    }
 }
 
 /// Evaluate (or load) the 64-point grid on the test matrix.
@@ -182,7 +205,10 @@ pub fn grid_evaluation(profile: &Profile) -> EvaluatedGrid {
     let path = cache.path("eval_grid.json");
     if let Ok(text) = std::fs::read_to_string(&path) {
         if let Ok(g) = serde_json::from_str::<EvaluatedGrid>(&text) {
-            eprintln!("[harness] loaded cached evaluation grid ({} cells)", g.records.len());
+            eprintln!(
+                "[harness] loaded cached evaluation grid ({} cells)",
+                g.records.len()
+            );
             return g;
         }
     }

@@ -47,9 +47,17 @@ impl Profile {
             train_matrices: PaperMatrix::lite_training_set(),
             test_matrix: PaperMatrix::UnsteadyAdvDiffOrder2,
             surrogate: SurrogateConfig::lite(mcmcmi_core::features::N_MATRIX_FEATURES, 6),
-            train: TrainConfig { epochs: 40, patience: 8, ..Default::default() },
+            train: TrainConfig {
+                epochs: 40,
+                patience: 8,
+                ..Default::default()
+            },
             measure: MeasureConfig {
-                solve: SolveOptions { tol: 1e-8, max_iter: 2000, restart: 300 },
+                solve: SolveOptions {
+                    tol: 1e-8,
+                    max_iter: 2000,
+                    restart: 300,
+                },
                 ..Default::default()
             },
             divergence_rows: 4,
@@ -79,9 +87,17 @@ impl Profile {
             ],
             test_matrix: PaperMatrix::UnsteadyAdvDiffOrder2,
             surrogate: SurrogateConfig::paper(mcmcmi_core::features::N_MATRIX_FEATURES, 6),
-            train: TrainConfig { epochs: 150, patience: 20, ..Default::default() },
+            train: TrainConfig {
+                epochs: 150,
+                patience: 20,
+                ..Default::default()
+            },
             measure: MeasureConfig {
-                solve: SolveOptions { tol: 1e-8, max_iter: 4000, restart: 300 },
+                solve: SolveOptions {
+                    tol: 1e-8,
+                    max_iter: 4000,
+                    restart: 300,
+                },
                 ..Default::default()
             },
             divergence_rows: 6,

@@ -5,10 +5,10 @@
 //! owns the standardiser, the cached graph embedding, and the chain rule
 //! (`∂/∂raw = ∂/∂std / σ_col`) so gradients arrive in physical coordinates.
 
+use mcmcmi_autodiff::Tensor;
 use mcmcmi_bayesopt::SurrogateModel;
 use mcmcmi_gnn::Surrogate;
 use mcmcmi_krylov::SolverType;
-use mcmcmi_autodiff::Tensor;
 use mcmcmi_stats::Standardizer;
 
 /// Physical-space view of the trained surrogate for one (matrix, solver).
@@ -32,8 +32,18 @@ impl<'a> GnnSurrogateAdapter<'a> {
         xm_std: &'a Standardizer,
         solver: SolverType,
     ) -> Self {
-        assert_eq!(xm_std.dim(), 6, "GnnSurrogateAdapter: expected 6-dim x_M standardiser");
-        Self { surrogate, h_g, xa_std, xm_std, solver }
+        assert_eq!(
+            xm_std.dim(),
+            6,
+            "GnnSurrogateAdapter: expected 6-dim x_M standardiser"
+        );
+        Self {
+            surrogate,
+            h_g,
+            xa_std,
+            xm_std,
+            solver,
+        }
     }
 
     fn raw6(&self, x: &[f64]) -> Vec<f64> {
@@ -49,22 +59,29 @@ impl SurrogateModel for GnnSurrogateAdapter<'_> {
     }
 
     fn predict(&mut self, x: &[f64]) -> (f64, f64) {
-        assert_eq!(x.len(), 3, "GnnSurrogateAdapter::predict: expected (α, ε, δ)");
+        assert_eq!(
+            x.len(),
+            3,
+            "GnnSurrogateAdapter::predict: expected (α, ε, δ)"
+        );
         let std6 = self.xm_std.transform(&self.raw6(x));
         self.surrogate.predict(&self.h_g, &self.xa_std, &std6)
     }
 
     fn predict_grad(&mut self, x: &[f64]) -> (f64, f64, Vec<f64>, Vec<f64>) {
-        assert_eq!(x.len(), 3, "GnnSurrogateAdapter::predict_grad: expected (α, ε, δ)");
+        assert_eq!(
+            x.len(),
+            3,
+            "GnnSurrogateAdapter::predict_grad: expected (α, ε, δ)"
+        );
         let raw = self.raw6(x);
         let std6 = self.xm_std.transform(&raw);
-        let (mu, sigma, dmu6, dsg6) =
-            self.surrogate.predict_grad(&self.h_g, &self.xa_std, &std6);
+        let (mu, sigma, dmu6, dsg6) = self.surrogate.predict_grad(&self.h_g, &self.xa_std, &std6);
         // Chain rule through z = (x − m)/s: ∂f/∂x_i = ∂f/∂z_i / s_i.
         // Recover per-column scale from the standardiser by transforming two
         // probe points (avoids exposing internals).
-        let probe0 = self.xm_std.transform(&vec![0.0; 6]);
-        let probe1 = self.xm_std.transform(&vec![1.0; 6]);
+        let probe0 = self.xm_std.transform(&[0.0; 6]);
+        let probe1 = self.xm_std.transform(&[1.0; 6]);
         let inv_scale: Vec<f64> = probe1.iter().zip(&probe0).map(|(a, b)| a - b).collect();
         let dmu: Vec<f64> = (0..3).map(|i| dmu6[i] * inv_scale[i]).collect();
         let dsigma: Vec<f64> = (0..3).map(|i| dsg6[i] * inv_scale[i]).collect();
@@ -93,7 +110,14 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..20)
             .map(|k| {
                 let t = k as f64 / 19.0;
-                vec![1.0 + 4.0 * t, 0.1 + 0.8 * t, 0.05 + 0.9 * t, 1.0 - t, t, 0.0]
+                vec![
+                    1.0 + 4.0 * t,
+                    0.1 + 0.8 * t,
+                    0.05 + 0.9 * t,
+                    1.0 - t,
+                    t,
+                    0.0,
+                ]
             })
             .collect();
         let xm_std = Standardizer::fit(&rows);
@@ -145,8 +169,7 @@ mod tests {
             ad.predict(&x)
         };
         let p_bicg = {
-            let mut ad =
-                GnnSurrogateAdapter::new(&mut s, h_g, xa, &xm_std, SolverType::BiCgStab);
+            let mut ad = GnnSurrogateAdapter::new(&mut s, h_g, xa, &xm_std, SolverType::BiCgStab);
             ad.predict(&x)
         };
         assert_ne!(p_gmres, p_bicg);

@@ -96,9 +96,8 @@ impl PaperDataset {
                 let baseline = *baselines
                     .entry(solver)
                     .or_insert_with(|| runner.baseline_steps(a, solver));
-                let (y_mean, y_std, ms) = runner.measure_replicated_with_baseline(
-                    a, p, solver, reps, cell_seed, baseline,
-                );
+                let (y_mean, y_std, ms) = runner
+                    .measure_replicated_with_baseline(a, p, solver, reps, cell_seed, baseline);
                 ds.records.push(DatasetRecord {
                     matrix: name.clone(),
                     solver,
@@ -129,8 +128,10 @@ impl PaperDataset {
     ) -> (SurrogateDataset, Standardizer, Standardizer) {
         assert!(!self.is_empty(), "to_surrogate_dataset: empty dataset");
         // Fit standardisers.
-        let xa_rows: Vec<Vec<f64>> =
-            matrices.iter().map(|(_, a, _)| matrix_features(a)).collect();
+        let xa_rows: Vec<Vec<f64>> = matrices
+            .iter()
+            .map(|(_, a, _)| matrix_features(a))
+            .collect();
         let xa_std = Standardizer::fit(&xa_rows);
         let xm_rows: Vec<Vec<f64>> = self.records.iter().map(Self::raw_xm).collect();
         let xm_std = Standardizer::fit(&xm_rows);
@@ -158,8 +159,7 @@ impl PaperDataset {
     /// Persist to a JSON file.
     pub fn save_json(&self, path: &std::path::Path) -> std::io::Result<()> {
         let file = std::fs::File::create(path)?;
-        serde_json::to_writer(std::io::BufWriter::new(file), self)
-            .map_err(std::io::Error::other)
+        serde_json::to_writer(std::io::BufWriter::new(file), self).map_err(std::io::Error::other)
     }
 
     /// Load from a JSON file.
@@ -184,7 +184,11 @@ mod tests {
 
     fn fast_runner() -> MeasurementRunner {
         MeasurementRunner::new(MeasureConfig {
-            solve: mcmcmi_krylov::SolveOptions { tol: 1e-6, max_iter: 300, restart: 30 },
+            solve: mcmcmi_krylov::SolveOptions {
+                tol: 1e-6,
+                max_iter: 300,
+                restart: 30,
+            },
             ..Default::default()
         })
     }
@@ -233,8 +237,7 @@ mod tests {
         // Standardised xm columns should have near-zero mean.
         let dim = sds.samples[0].xm.len();
         for d in 0..dim {
-            let m: f64 =
-                sds.samples.iter().map(|s| s.xm[d]).sum::<f64>() / sds.len() as f64;
+            let m: f64 = sds.samples.iter().map(|s| s.xm[d]).sum::<f64>() / sds.len() as f64;
             assert!(m.abs() < 1e-8, "column {d} mean {m}");
         }
     }

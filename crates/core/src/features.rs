@@ -28,7 +28,11 @@ pub fn matrix_features(a: &Csr) -> Vec<f64> {
         let diag = a.diag();
         let scaled_rows: Vec<f64> = (0..n)
             .map(|i| {
-                let d = if diag[i].abs() > 1e-300 { diag[i].abs() } else { 1.0 };
+                let d = if diag[i].abs() > 1e-300 {
+                    diag[i].abs()
+                } else {
+                    1.0
+                };
                 a.row_values(i)
                     .iter()
                     .zip(a.row_indices(i))
@@ -81,7 +85,14 @@ pub fn matrix_features(a: &Csr) -> Vec<f64> {
                 .map(|d| if d.abs() > 1e-300 { d.abs() } else { 1.0 })
                 .collect(),
         };
-        let (rho, _) = power_iteration(&op, PowerOptions { max_iter: 16, tol: 1e-4, seed: 3 });
+        let (rho, _) = power_iteration(
+            &op,
+            PowerOptions {
+                max_iter: 16,
+                tol: 1e-4,
+                seed: 3,
+            },
+        );
         // Fall back to the row-sum bound when the iteration stagnates at 0.
         if rho > 0.0 {
             rho

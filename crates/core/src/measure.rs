@@ -21,7 +21,11 @@ pub struct MeasureConfig {
 impl Default for MeasureConfig {
     fn default() -> Self {
         Self {
-            solve: SolveOptions { tol: 1e-8, max_iter: 2000, restart: 50 },
+            solve: SolveOptions {
+                tol: 1e-8,
+                max_iter: 2000,
+                restart: 50,
+            },
             build: BuildConfig::default(),
             y_cap: 5.0,
         }
@@ -81,7 +85,13 @@ impl MeasurementRunner {
     /// once per (matrix, solver).
     pub fn baseline_steps(&self, a: &Csr, solver: SolverType) -> usize {
         let b = self.rhs(a);
-        let r = solve(a, &b, &IdentityPrecond::new(a.nrows()), solver, self.cfg.solve);
+        let r = solve(
+            a,
+            &b,
+            &IdentityPrecond::new(a.nrows()),
+            solver,
+            self.cfg.solve,
+        );
         r.iterations.max(1)
     }
 
@@ -95,7 +105,10 @@ impl MeasurementRunner {
         baseline: usize,
         seed: u64,
     ) -> Measurement {
-        let build_cfg = BuildConfig { seed, ..self.cfg.build };
+        let build_cfg = BuildConfig {
+            seed,
+            ..self.cfg.build
+        };
         let outcome = McmcInverse::new(build_cfg).build(a, params);
         let b = self.rhs(a);
         let result = if solver == SolverType::Cg {
@@ -106,7 +119,11 @@ impl MeasurementRunner {
         } else {
             solve(a, &b, &outcome.precond, solver, self.cfg.solve)
         };
-        let steps_with = if result.converged { result.iterations } else { self.cfg.solve.max_iter };
+        let steps_with = if result.converged {
+            result.iterations
+        } else {
+            self.cfg.solve.max_iter
+        };
         let y = (steps_with as f64 / baseline as f64).min(self.cfg.y_cap);
         Measurement {
             y,
@@ -226,7 +243,9 @@ mod tests {
         assert!(mean > 0.0);
         assert!(std >= 0.0);
         // All replicates share the same baseline.
-        assert!(ms.windows(2).all(|w| w[0].steps_without == w[1].steps_without));
+        assert!(ms
+            .windows(2)
+            .all(|w| w[0].steps_without == w[1].steps_without));
     }
 
     #[test]
@@ -241,7 +260,10 @@ mod tests {
             baseline,
             2,
         );
-        assert!(m.converged, "CG with symmetrised MCMC inverse should converge");
+        assert!(
+            m.converged,
+            "CG with symmetrised MCMC inverse should converge"
+        );
     }
 
     #[test]
@@ -261,7 +283,11 @@ mod tests {
         // give a real iteration count.
         let a = mcmcmi_matgen::unsteady_adv_diff(10, mcmcmi_matgen::AdvDiffOrder::One);
         let r = MeasurementRunner::new(MeasureConfig {
-            solve: SolveOptions { tol: 1e-8, max_iter: 500, restart: 200 },
+            solve: SolveOptions {
+                tol: 1e-8,
+                max_iter: 500,
+                restart: 200,
+            },
             ..Default::default()
         });
         assert!(r.baseline_steps(&a, SolverType::Gmres) > 10);

@@ -32,7 +32,13 @@ pub struct PipelineConfig {
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        Self { reps: 10, bo_batch: 32, xi: 0.05, train: TrainConfig::default(), seed: 0 }
+        Self {
+            reps: 10,
+            bo_batch: 32,
+            xi: 0.05,
+            train: TrainConfig::default(),
+            seed: 0,
+        }
     }
 }
 
@@ -80,7 +86,12 @@ impl Recommender {
         let (sds, xa_std, xm_std) = dataset.to_surrogate_dataset(matrices);
         let mut surrogate = Surrogate::new(surrogate_cfg);
         let train_report = train_surrogate(&mut surrogate, &sds, train_cfg);
-        Self { surrogate, xa_std, xm_std, train_report }
+        Self {
+            surrogate,
+            xa_std,
+            xm_std,
+            train_report,
+        }
     }
 
     /// Training trajectory of the most recent fit.
@@ -114,12 +125,7 @@ impl Recommender {
     }
 
     /// Predict `(μ̂, σ̂)` for given physical parameters on a matrix.
-    pub fn predict(
-        &mut self,
-        a: &Csr,
-        solver: SolverType,
-        params: McmcParams,
-    ) -> (f64, f64) {
+    pub fn predict(&mut self, a: &Csr, solver: SolverType, params: McmcParams) -> (f64, f64) {
         let graph = MatrixGraph::from_csr(a);
         let h_g = self.surrogate.embed_graph(&graph);
         let xa = self.xa_std.transform(&matrix_features(a));
@@ -148,8 +154,11 @@ impl Recommender {
         use rand::SeedableRng;
         let mut best = f64::INFINITY;
         for _ in 0..12 {
-            let x0: Vec<f64> =
-                lo.iter().zip(&hi).map(|(&l, &h)| rng.gen_range(l..=h)).collect();
+            let x0: Vec<f64> = lo
+                .iter()
+                .zip(&hi)
+                .map(|(&l, &h)| rng.gen_range(l..=h))
+                .collect();
             let r = mcmcmi_bayesopt::lbfgsb_minimize(
                 |x| {
                     let (mu, _s, dmu, _ds) = adapter.predict_grad(x);
@@ -187,7 +196,11 @@ impl Recommender {
             &lo,
             &hi,
             16,
-            ProposeConfig { xi, seed, ..Default::default() },
+            ProposeConfig {
+                xi,
+                seed,
+                ..Default::default()
+            },
         );
         (McmcParams::from_clamped(&x), ei)
     }
@@ -240,20 +253,19 @@ impl Recommender {
         let xa = self.xa_std.transform(&matrix_features(a));
         let (lo, hi) = McmcParams::search_box();
         let candidates = {
-            let mut adapter = GnnSurrogateAdapter::new(
-                &mut self.surrogate,
-                h_g,
-                xa,
-                &self.xm_std,
-                solver,
-            );
+            let mut adapter =
+                GnnSurrogateAdapter::new(&mut self.surrogate, h_g, xa, &self.xm_std, solver);
             propose_batch(
                 &mut adapter,
                 y_min,
                 &lo,
                 &hi,
                 cfg.bo_batch,
-                ProposeConfig { xi: cfg.xi, seed: cfg.seed, ..Default::default() },
+                ProposeConfig {
+                    xi: cfg.xi,
+                    seed: cfg.seed,
+                    ..Default::default()
+                },
             )
         };
         let mut records = Vec::with_capacity(candidates.len());
@@ -282,7 +294,11 @@ impl Recommender {
             });
         }
         let (best_params, best_median) = best.expect("bo_round: empty batch");
-        BoRoundOutcome { records, best_params, best_median }
+        BoRoundOutcome {
+            records,
+            best_params,
+            best_median,
+        }
     }
 }
 
@@ -308,7 +324,11 @@ mod tests {
 
     fn fast_runner() -> MeasurementRunner {
         MeasurementRunner::new(MeasureConfig {
-            solve: SolveOptions { tol: 1e-6, max_iter: 300, restart: 30 },
+            solve: SolveOptions {
+                tol: 1e-6,
+                max_iter: 300,
+                restart: 30,
+            },
             ..Default::default()
         })
     }
@@ -325,7 +345,12 @@ mod tests {
     }
 
     fn fast_train_cfg() -> TrainConfig {
-        TrainConfig { epochs: 8, batch_size: 32, patience: 0, ..Default::default() }
+        TrainConfig {
+            epochs: 8,
+            batch_size: 32,
+            patience: 0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -341,8 +366,11 @@ mod tests {
         let mut rec = Recommender::fit(&ds, &matrices, tiny_surrogate_cfg(), fast_train_cfg());
 
         // Prediction API produces a valid Gaussian.
-        let (mu, sigma) =
-            rec.predict(&matrices[0].1, SolverType::Gmres, McmcParams::new(1.0, 0.25, 0.25));
+        let (mu, sigma) = rec.predict(
+            &matrices[0].1,
+            SolverType::Gmres,
+            McmcParams::new(1.0, 0.25, 0.25),
+        );
         assert!(mu >= 0.0 && sigma > 0.0);
 
         // Recommendation lands inside the box.
@@ -375,8 +403,7 @@ mod tests {
         mats2.push(("target".into(), target.clone(), false));
         ds2.matrix_names.push("target".into());
         ds2.records.extend(round.records.clone());
-        let mut enhanced =
-            Recommender::fit(&ds2, &mats2, tiny_surrogate_cfg(), fast_train_cfg());
+        let mut enhanced = Recommender::fit(&ds2, &mats2, tiny_surrogate_cfg(), fast_train_cfg());
         let (mu2, sigma2) =
             enhanced.predict(&target, SolverType::Gmres, McmcParams::new(1.0, 0.25, 0.25));
         assert!(mu2 >= 0.0 && sigma2 > 0.0);

@@ -23,8 +23,16 @@ pub struct CondOptions {
 impl Default for CondOptions {
     fn default() -> Self {
         Self {
-            power: PowerOptions { max_iter: 300, tol: 1e-9, seed: 11 },
-            inverse: PowerOptions { max_iter: 120, tol: 1e-7, seed: 13 },
+            power: PowerOptions {
+                max_iter: 300,
+                tol: 1e-9,
+                seed: 11,
+            },
+            inverse: PowerOptions {
+                max_iter: 120,
+                tol: 1e-7,
+                seed: 13,
+            },
         }
     }
 }
@@ -56,7 +64,12 @@ pub fn cond_dense(a: &Mat, opts: CondOptions) -> Option<f64> {
         return None;
     }
     let lu2 = lu.clone();
-    cond_estimate(a, move |b| lu.solve(b), move |b| lu2.solve_transpose(b), opts)
+    cond_estimate(
+        a,
+        move |b| lu.solve(b),
+        move |b| lu2.solve_transpose(b),
+        opts,
+    )
 }
 
 #[cfg(test)]
@@ -116,6 +129,9 @@ mod tests {
         let lmax = 2.0 - 2.0 * (n as f64 * h).cos();
         let analytic = lmax / lmin;
         let k = cond_dense(&a, CondOptions::default()).unwrap();
-        assert!((k - analytic).abs() / analytic < 1e-3, "got {k}, want {analytic}");
+        assert!(
+            (k - analytic).abs() / analytic < 1e-3,
+            "got {k}, want {analytic}"
+        );
     }
 }

@@ -52,7 +52,11 @@ pub struct PowerOptions {
 
 impl Default for PowerOptions {
     fn default() -> Self {
-        Self { max_iter: 200, tol: 1e-8, seed: 7 }
+        Self {
+            max_iter: 200,
+            tol: 1e-8,
+            seed: 7,
+        }
     }
 }
 

@@ -72,7 +72,12 @@ impl Lu {
                 }
             }
         }
-        Self { lu, perm, swaps, singular }
+        Self {
+            lu,
+            perm,
+            swaps,
+            singular,
+        }
     }
 
     /// Whether a zero (or non-finite) pivot was hit during elimination.
@@ -154,7 +159,11 @@ impl Lu {
             return 0.0;
         }
         let n = self.order();
-        let mut d = if self.swaps % 2 == 0 { 1.0 } else { -1.0 };
+        let mut d = if self.swaps.is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         for i in 0..n {
             d *= self.lu.get(i, i);
         }
@@ -187,7 +196,9 @@ mod tests {
 
     fn residual_inf(a: &Mat, x: &[f64], b: &[f64]) -> f64 {
         let ax = a.matvec_alloc(x);
-        ax.iter().zip(b).fold(0.0_f64, |m, (p, q)| m.max((p - q).abs()))
+        ax.iter()
+            .zip(b)
+            .fold(0.0_f64, |m, (p, q)| m.max((p - q).abs()))
     }
 
     #[test]
@@ -219,7 +230,11 @@ mod tests {
 
     #[test]
     fn det_of_diagonal() {
-        let a = Mat::from_rows(&[vec![2.0, 0.0, 0.0], vec![0.0, 3.0, 0.0], vec![0.0, 0.0, 4.0]]);
+        let a = Mat::from_rows(&[
+            vec![2.0, 0.0, 0.0],
+            vec![0.0, 3.0, 0.0],
+            vec![0.0, 0.0, 4.0],
+        ]);
         assert!((Lu::new(&a).det() - 24.0).abs() < 1e-12);
     }
 
@@ -263,7 +278,9 @@ mod tests {
         let n = 24;
         let mut state = 0x9e3779b97f4a7c15_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         let mut a = Mat::zeros(n, n);

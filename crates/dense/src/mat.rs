@@ -19,7 +19,11 @@ pub struct Mat {
 impl Mat {
     /// Zero matrix of shape `nrows × ncols`.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        Self {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -36,7 +40,11 @@ impl Mat {
     /// # Panics
     /// Panics if `data.len() != nrows * ncols`.
     pub fn from_vec(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), nrows * ncols, "Mat::from_vec: shape/data mismatch");
+        assert_eq!(
+            data.len(),
+            nrows * ncols,
+            "Mat::from_vec: shape/data mismatch"
+        );
         Self { nrows, ncols, data }
     }
 

@@ -226,11 +226,7 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_a() {
-        let a = Mat::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ]);
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
         let qr = Qr::new(&a);
         let q = qr.thin_q();
         // Extract R from the packed factor.

@@ -8,8 +8,7 @@ fn arb_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
 }
 
 fn arb_square(n: usize) -> impl Strategy<Value = Mat> {
-    proptest::collection::vec(-5.0f64..5.0, n * n..=n * n)
-        .prop_map(move |d| Mat::from_vec(n, n, d))
+    proptest::collection::vec(-5.0f64..5.0, n * n..=n * n).prop_map(move |d| Mat::from_vec(n, n, d))
 }
 
 /// Diagonally boosted copy (guaranteed nonsingular).

@@ -73,7 +73,13 @@ impl Mlp {
                 false,
             ));
         }
-        Self { weights, biases, layer_norm, activate_last, dims: dims.to_vec() }
+        Self {
+            weights,
+            biases,
+            layer_norm,
+            activate_last,
+            dims: dims.to_vec(),
+        }
     }
 
     /// Output dimensionality.
@@ -115,7 +121,14 @@ pub struct EdgeConvLayer {
 impl EdgeConvLayer {
     /// Allocate with message MLP `[2·d_in, d_out]` (single affine + norm +
     /// ReLU, as in DGCNN).
-    pub fn new(ps: &mut ParamSet, name: &str, d_in: usize, d_out: usize, agg: AggKind, seed: u64) -> Self {
+    pub fn new(
+        ps: &mut ParamSet,
+        name: &str,
+        d_in: usize,
+        d_out: usize,
+        agg: AggKind,
+        seed: u64,
+    ) -> Self {
         let mlp = Mlp::new(ps, name, &[2 * d_in, d_out], true, true, seed);
         Self { mlp, agg }
     }
@@ -162,7 +175,13 @@ impl GineLayer {
             false,
         );
         let mlp = Mlp::new(ps, name, &[d_in, d_out], true, true, seed);
-        Self { edge_w, edge_b, mlp, eps: 0.1, d_in }
+        Self {
+            edge_w,
+            edge_b,
+            mlp,
+            eps: 0.1,
+            d_in,
+        }
     }
 
     /// Output dimensionality.
@@ -200,7 +219,11 @@ impl GcnLayer {
     /// Allocate the layer.
     pub fn new(ps: &mut ParamSet, name: &str, d_in: usize, d_out: usize, seed: u64) -> Self {
         let w = ps.register(format!("{name}.w"), xavier_uniform(d_out, d_in, seed), true);
-        let b = ps.register(format!("{name}.b"), mcmcmi_autodiff::Tensor::zeros(1, d_out), false);
+        let b = ps.register(
+            format!("{name}.b"),
+            mcmcmi_autodiff::Tensor::zeros(1, d_out),
+            false,
+        );
         Self { w, b, d_out }
     }
 
@@ -261,23 +284,40 @@ impl GatV2Layer {
             xavier_uniform(d_out, 2 * d_in, seed ^ 0x11),
             true,
         );
-        let b_att =
-            ps.register(format!("{name}.b_att"), mcmcmi_autodiff::Tensor::zeros(1, d_out), false);
+        let b_att = ps.register(
+            format!("{name}.b_att"),
+            mcmcmi_autodiff::Tensor::zeros(1, d_out),
+            false,
+        );
         let a_vec = ps.register(
             format!("{name}.a"),
             xavier_uniform(1, d_out, seed ^ 0x22),
             true,
         );
-        let a_bias =
-            ps.register(format!("{name}.a_b"), mcmcmi_autodiff::Tensor::zeros(1, 1), false);
+        let a_bias = ps.register(
+            format!("{name}.a_b"),
+            mcmcmi_autodiff::Tensor::zeros(1, 1),
+            false,
+        );
         let w_proj = ps.register(
             format!("{name}.w_proj"),
             xavier_uniform(d_out, d_in, seed ^ 0x33),
             true,
         );
-        let b_proj =
-            ps.register(format!("{name}.b_proj"), mcmcmi_autodiff::Tensor::zeros(1, d_out), false);
-        Self { w_att, b_att, a_vec, a_bias, w_proj, b_proj, d_out }
+        let b_proj = ps.register(
+            format!("{name}.b_proj"),
+            mcmcmi_autodiff::Tensor::zeros(1, d_out),
+            false,
+        );
+        Self {
+            w_att,
+            b_att,
+            a_vec,
+            a_bias,
+            w_proj,
+            b_proj,
+            d_out,
+        }
     }
 
     /// Output dimensionality.
@@ -297,7 +337,8 @@ impl GatV2Layer {
         let negpart = g.relu(negated);
         let scaled_neg = g.scale(negpart, -0.2);
         let lrelu = g.add(pos, scaled_neg);
-        let score = g.linear(lrelu, bound.var(self.a_vec), bound.var(self.a_bias)); // E×1
+        // E×1 attention logits.
+        let score = g.linear(lrelu, bound.var(self.a_vec), bound.var(self.a_bias));
         // Numerically stable segment softmax: subtract the per-receiver max
         // as a constant (softmax is shift-invariant, so treating the max as
         // detached leaves gradients exact).
@@ -309,7 +350,13 @@ impl GatV2Layer {
         let shift: Vec<f64> = data
             .edge_dst
             .iter()
-            .map(|&d| if seg_max[d].is_finite() { -seg_max[d] } else { 0.0 })
+            .map(|&d| {
+                if seg_max[d].is_finite() {
+                    -seg_max[d]
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let shift_leaf = g.leaf(mcmcmi_autodiff::Tensor::from_vec(n_edges, 1, shift));
         let shifted = g.add(score, shift_leaf);
@@ -317,7 +364,8 @@ impl GatV2Layer {
         let denom = g.scatter_agg(e_scores, &data.edge_dst, data.n_nodes, AggKind::Sum);
         let denom_edges = g.row_gather(denom, &data.edge_dst);
         let inv = g.recip(denom_edges);
-        let weights = g.mul_elem(e_scores, inv); // E×1, sums to 1 per receiver
+        // E×1 weights, summing to 1 per receiver.
+        let weights = g.mul_elem(e_scores, inv);
         // Weighted aggregation of projected sender features.
         let proj = g.linear(xj, bound.var(self.w_proj), bound.var(self.b_proj));
         let weighted = g.mul_broadcast_col(proj, weights);
@@ -338,9 +386,22 @@ pub struct PnaLayer {
 impl PnaLayer {
     /// Allocate: message MLP `2·d_in → d_out`, tower `3·d_out → d_out`.
     pub fn new(ps: &mut ParamSet, name: &str, d_in: usize, d_out: usize, seed: u64) -> Self {
-        let msg = Mlp::new(ps, &format!("{name}.msg"), &[2 * d_in, d_out], true, true, seed);
-        let tower =
-            Mlp::new(ps, &format!("{name}.tower"), &[3 * d_out, d_out], true, true, seed ^ 0x77);
+        let msg = Mlp::new(
+            ps,
+            &format!("{name}.msg"),
+            &[2 * d_in, d_out],
+            true,
+            true,
+            seed,
+        );
+        let tower = Mlp::new(
+            ps,
+            &format!("{name}.tower"),
+            &[3 * d_out, d_out],
+            true,
+            true,
+            seed ^ 0x77,
+        );
         Self { msg, tower }
     }
 
@@ -505,7 +566,10 @@ mod tests {
         let grads = g.backward(loss);
         let collected = ps.collect_grads(&bound, &grads);
         let nonzero = collected.iter().filter(|t| t.norm() > 0.0).count();
-        assert!(nonzero >= 3, "only {nonzero} GATv2 parameters received gradient");
+        assert!(
+            nonzero >= 3,
+            "only {nonzero} GATv2 parameters received gradient"
+        );
     }
 
     #[test]
@@ -532,7 +596,10 @@ mod tests {
         for (k1, k2) in [(AggKind::Mean, AggKind::Sum), (AggKind::Sum, AggKind::Max)] {
             let mut ps = ParamSet::new();
             let l1 = EdgeConvLayer::new(&mut ps, "a", 1, 4, k1, 9);
-            let l2 = EdgeConvLayer { mlp: l1.mlp.clone(), agg: k2 };
+            let l2 = EdgeConvLayer {
+                mlp: l1.mlp.clone(),
+                agg: k2,
+            };
             let run = |layer: &EdgeConvLayer| {
                 let mut g = Graph::new();
                 let bound = ps.bind(&mut g);

@@ -78,7 +78,9 @@ impl ParamSet {
 
     /// Insert every tensor into the tape as a leaf.
     pub fn bind(&self, g: &mut Graph) -> BoundParams {
-        BoundParams { vars: self.tensors.iter().map(|t| g.leaf(t.clone())).collect() }
+        BoundParams {
+            vars: self.tensors.iter().map(|t| g.leaf(t.clone())).collect(),
+        }
     }
 
     /// Collect gradients for every parameter (zeros where none flowed),

@@ -108,7 +108,10 @@ pub struct SurrogateSnapshot {
 impl Surrogate {
     /// Build a freshly initialised surrogate.
     pub fn new(cfg: SurrogateConfig) -> Self {
-        assert!(cfg.gnn_layers >= 1, "Surrogate: need at least one GNN layer");
+        assert!(
+            cfg.gnn_layers >= 1,
+            "Surrogate: need at least one GNN layer"
+        );
         let mut ps = ParamSet::new();
         let seed = cfg.seed;
         let conv = match cfg.conv {
@@ -185,10 +188,12 @@ impl Surrogate {
             ),
         };
         // FC stacks: [in, hidden × layers].
-        let xa_dims: Vec<usize> =
-            std::iter::once(cfg.xa_dim).chain(std::iter::repeat_n(cfg.xa_hidden, cfg.xa_layers)).collect();
-        let xm_dims: Vec<usize> =
-            std::iter::once(cfg.xm_dim).chain(std::iter::repeat_n(cfg.xm_hidden, cfg.xm_layers)).collect();
+        let xa_dims: Vec<usize> = std::iter::once(cfg.xa_dim)
+            .chain(std::iter::repeat_n(cfg.xa_hidden, cfg.xa_layers))
+            .collect();
+        let xm_dims: Vec<usize> = std::iter::once(cfg.xm_dim)
+            .chain(std::iter::repeat_n(cfg.xm_hidden, cfg.xm_layers))
+            .collect();
         let xa_mlp = Mlp::new(&mut ps, "xa", &xa_dims, true, true, seed ^ 0x1111);
         let xm_mlp = Mlp::new(&mut ps, "xm", &xm_dims, true, true, seed ^ 0x2222);
         let comb_in = cfg.gnn_hidden + cfg.xa_hidden + cfg.xm_hidden;
@@ -197,11 +202,19 @@ impl Surrogate {
             .collect();
         let comb_mlp = Mlp::new(&mut ps, "comb", &comb_dims, true, true, seed ^ 0x3333);
         let head_mu = (
-            ps.register("head_mu.w", mcmcmi_autodiff::xavier_uniform(1, cfg.comb_hidden, seed ^ 0x44), true),
+            ps.register(
+                "head_mu.w",
+                mcmcmi_autodiff::xavier_uniform(1, cfg.comb_hidden, seed ^ 0x44),
+                true,
+            ),
             ps.register("head_mu.b", Tensor::zeros(1, 1), false),
         );
         let head_sigma = (
-            ps.register("head_sigma.w", mcmcmi_autodiff::xavier_uniform(1, cfg.comb_hidden, seed ^ 0x55), true),
+            ps.register(
+                "head_sigma.w",
+                mcmcmi_autodiff::xavier_uniform(1, cfg.comb_hidden, seed ^ 0x55),
+                true,
+            ),
             ps.register("head_sigma.b", Tensor::full(1, 1, -1.0), false),
         );
         Self {
@@ -234,7 +247,10 @@ impl Surrogate {
 
     /// Snapshot for persistence.
     pub fn snapshot(&self) -> SurrogateSnapshot {
-        SurrogateSnapshot { config: self.cfg, params: self.params.clone() }
+        SurrogateSnapshot {
+            config: self.cfg,
+            params: self.params.clone(),
+        }
     }
 
     /// Restore from a snapshot.
@@ -345,14 +361,24 @@ impl Surrogate {
             let len = g.value(h).len();
             let p = self.cfg.dropout;
             let mask: Vec<f64> = (0..len)
-                .map(|_| if self.dropout_rng.gen::<f64>() < p { 0.0 } else { 1.0 })
+                .map(|_| {
+                    if self.dropout_rng.gen::<f64>() < p {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                })
                 .collect();
             h = g.dropout(h, &mask, p);
         }
         // Heads (Eq. 1): μ̂ = ReLU(Wh + b), σ̂ = softplus(Wh + b).
         let mu_lin = g.linear(h, bound.var(self.head_mu.0), bound.var(self.head_mu.1));
         let mu = g.relu(mu_lin);
-        let sg_lin = g.linear(h, bound.var(self.head_sigma.0), bound.var(self.head_sigma.1));
+        let sg_lin = g.linear(
+            h,
+            bound.var(self.head_sigma.0),
+            bound.var(self.head_sigma.1),
+        );
         let sigma = g.softplus(sg_lin);
         (mu, sigma)
     }
@@ -371,8 +397,7 @@ impl Surrogate {
         let mut g = Graph::new();
         let bound = self.params.bind(&mut g);
         let xm_var = g.leaf(Tensor::row_vector(xm));
-        let (mu, sigma) =
-            self.forward_with_embedding(&mut g, &bound, h_g, xa, xm_var, 1, false);
+        let (mu, sigma) = self.forward_with_embedding(&mut g, &bound, h_g, xa, xm_var, 1, false);
         (g.value(mu).scalar(), g.value(sigma).scalar())
     }
 
@@ -388,8 +413,7 @@ impl Surrogate {
         let mut g = Graph::new();
         let bound = self.params.bind(&mut g);
         let xm_var = g.leaf(Tensor::row_vector(xm));
-        let (mu, sigma) =
-            self.forward_with_embedding(&mut g, &bound, h_g, xa, xm_var, 1, false);
+        let (mu, sigma) = self.forward_with_embedding(&mut g, &bound, h_g, xa, xm_var, 1, false);
         let mu_val = g.value(mu).scalar();
         let sigma_val = g.value(sigma).scalar();
         let gmu = g.backward(mu);
@@ -424,7 +448,13 @@ mod tests {
         let mut s = Surrogate::new(small_cfg());
         let data = toy_data();
         let xa = [0.1, -0.2, 0.3, 0.0, 1.0];
-        let xm = Tensor::from_vec(2, 6, vec![1.0, 0.5, 0.5, 1.0, 0.0, 0.0, 2.0, 0.25, 0.125, 0.0, 1.0, 0.0]);
+        let xm = Tensor::from_vec(
+            2,
+            6,
+            vec![
+                1.0, 0.5, 0.5, 1.0, 0.0, 0.0, 2.0, 0.25, 0.125, 0.0, 1.0, 0.0,
+            ],
+        );
         let mut g = Graph::new();
         let bound = s.params.bind(&mut g);
         let xm_var = g.leaf(xm);
@@ -471,7 +501,11 @@ mod tests {
             let nmu = (mu_p - mu_m) / (2.0 * h);
             let nsg = (sg_p - sg_m) / (2.0 * h);
             assert!((dmu[k] - nmu).abs() < 1e-5, "dmu[{k}]: {} vs {nmu}", dmu[k]);
-            assert!((dsigma[k] - nsg).abs() < 1e-5, "dsigma[{k}]: {} vs {nsg}", dsigma[k]);
+            assert!(
+                (dsigma[k] - nsg).abs() < 1e-5,
+                "dsigma[{k}]: {} vs {nsg}",
+                dsigma[k]
+            );
         }
     }
 
@@ -511,7 +545,10 @@ mod tests {
             ConvKind::GatV2,
             ConvKind::Pna,
         ] {
-            let cfg = SurrogateConfig { conv, ..small_cfg() };
+            let cfg = SurrogateConfig {
+                conv,
+                ..small_cfg()
+            };
             let mut s = Surrogate::new(cfg);
             let data = toy_data();
             let h = s.embed_graph(&data);
@@ -522,7 +559,10 @@ mod tests {
 
     #[test]
     fn dropout_only_active_in_training_mode() {
-        let mut s = Surrogate::new(SurrogateConfig { dropout: 0.5, ..small_cfg() });
+        let mut s = Surrogate::new(SurrogateConfig {
+            dropout: 0.5,
+            ..small_cfg()
+        });
         let data = toy_data();
         let xa = [0.1; 5];
         let xm = [1.0, 0.5, 0.5, 1.0, 0.0, 0.0];

@@ -44,7 +44,10 @@ impl SurrogateDataset {
 
     /// Add a labelled sample.
     pub fn push_sample(&mut self, s: GraphSample) {
-        assert!(s.matrix_idx < self.graphs.len(), "sample references unknown matrix");
+        assert!(
+            s.matrix_idx < self.graphs.len(),
+            "sample references unknown matrix"
+        );
         self.samples.push(s);
     }
 
@@ -93,7 +96,11 @@ impl Default for TrainConfig {
         Self {
             epochs: 60,
             batch_size: 128,
-            adam: AdamConfig { lr: 1.848e-3, weight_decay: 1e-4, ..Default::default() },
+            adam: AdamConfig {
+                lr: 1.848e-3,
+                weight_decay: 1e-4,
+                ..Default::default()
+            },
             clip: 5.0,
             val_fraction: 0.2,
             patience: 12,
@@ -116,11 +123,7 @@ pub struct TrainReport {
 }
 
 /// Eq.-2 loss over a set of samples, without gradient tracking.
-pub fn evaluate_loss(
-    surrogate: &mut Surrogate,
-    ds: &SurrogateDataset,
-    indices: &[usize],
-) -> f64 {
+pub fn evaluate_loss(surrogate: &mut Surrogate, ds: &SurrogateDataset, indices: &[usize]) -> f64 {
     if indices.is_empty() {
         return 0.0;
     }
@@ -156,10 +159,19 @@ pub fn train_surrogate(
     assert!(!ds.is_empty(), "train_surrogate: empty dataset");
     let (train_idx, val_idx) = ds.split(cfg.val_fraction, cfg.seed);
     let mut adam = Adam::new(cfg.adam, surrogate.params().tensors());
-    let clip = GradClip { max_norm: if cfg.clip > 0.0 { cfg.clip } else { f64::INFINITY } };
+    let clip = GradClip {
+        max_norm: if cfg.clip > 0.0 {
+            cfg.clip
+        } else {
+            f64::INFINITY
+        },
+    };
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xabcd);
 
-    let mut report = TrainReport { best_val_loss: f64::INFINITY, ..Default::default() };
+    let mut report = TrainReport {
+        best_val_loss: f64::INFINITY,
+        ..Default::default()
+    };
     let mut best_params: Option<Vec<Tensor>> = None;
     let mut since_best = 0usize;
 
@@ -210,7 +222,11 @@ pub fn train_surrogate(
                 );
             }
         }
-        report.train_loss.push(if batches > 0 { epoch_loss / batches as f64 } else { 0.0 });
+        report.train_loss.push(if batches > 0 {
+            epoch_loss / batches as f64
+        } else {
+            0.0
+        });
 
         let vl = if val_idx.is_empty() {
             *report.train_loss.last().unwrap()
@@ -251,10 +267,7 @@ mod tests {
     /// the first xm component, different offset per matrix.
     fn synthetic_dataset() -> SurrogateDataset {
         let mut ds = SurrogateDataset::default();
-        let m0 = ds.add_matrix(
-            MatrixGraph::from_csr(&laplace_1d(8)),
-            vec![0.0, 1.0, -1.0],
-        );
+        let m0 = ds.add_matrix(MatrixGraph::from_csr(&laplace_1d(8)), vec![0.0, 1.0, -1.0]);
         let m1 = ds.add_matrix(
             MatrixGraph::from_csr(&pdd_real_sparse(10, 3)),
             vec![1.0, -1.0, 0.5],
@@ -291,7 +304,11 @@ mod tests {
             epochs: 40,
             batch_size: 16,
             patience: 0,
-            adam: AdamConfig { lr: 5e-3, weight_decay: 0.0, ..Default::default() },
+            adam: AdamConfig {
+                lr: 5e-3,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let report = train_surrogate(&mut s, &ds, cfg);
@@ -311,7 +328,11 @@ mod tests {
             epochs: 80,
             batch_size: 16,
             patience: 0,
-            adam: AdamConfig { lr: 5e-3, weight_decay: 0.0, ..Default::default() },
+            adam: AdamConfig {
+                lr: 5e-3,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
             ..Default::default()
         };
         train_surrogate(&mut s, &ds, cfg);
@@ -320,14 +341,21 @@ mod tests {
         let h_g = s.embed_graph(&ds.graphs[0]);
         let (lo, _) = s.predict(&h_g, &ds.xa[0], &[0.1, 0.9, 0.5]);
         let (hi, _) = s.predict(&h_g, &ds.xa[0], &[0.9, 0.1, 0.5]);
-        assert!(hi > lo, "prediction not increasing in the signal: {lo} vs {hi}");
+        assert!(
+            hi > lo,
+            "prediction not increasing in the signal: {lo} vs {hi}"
+        );
     }
 
     #[test]
     fn early_stopping_restores_best_weights() {
         let ds = synthetic_dataset();
         let mut s = tiny_surrogate();
-        let cfg = TrainConfig { epochs: 30, patience: 3, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 30,
+            patience: 3,
+            ..Default::default()
+        };
         let report = train_surrogate(&mut s, &ds, cfg);
         // Validation loss of the restored model equals the recorded best.
         let (_, val_idx) = ds.split(cfg.val_fraction, cfg.seed);
@@ -356,6 +384,11 @@ mod tests {
     #[should_panic(expected = "unknown matrix")]
     fn sample_with_bad_matrix_index_rejected() {
         let mut ds = SurrogateDataset::default();
-        ds.push_sample(GraphSample { matrix_idx: 0, xm: vec![], y_mean: 0.0, y_std: 0.0 });
+        ds.push_sample(GraphSample {
+            matrix_idx: 0,
+            xm: vec![],
+            y_mean: 0.0,
+            y_std: 0.0,
+        });
     }
 }

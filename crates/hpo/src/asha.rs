@@ -19,14 +19,21 @@ pub struct AshaConfig {
 
 impl Default for AshaConfig {
     fn default() -> Self {
-        Self { grace: 20, reduction: 3, max_resource: 150 }
+        Self {
+            grace: 20,
+            reduction: 3,
+            max_resource: 150,
+        }
     }
 }
 
 impl AshaConfig {
     /// The rung resource levels: grace, grace·η, … capped at max.
     pub fn rungs(&self) -> Vec<usize> {
-        assert!(self.grace >= 1 && self.reduction >= 2, "AshaConfig: invalid settings");
+        assert!(
+            self.grace >= 1 && self.reduction >= 2,
+            "AshaConfig: invalid settings"
+        );
         let mut out = Vec::new();
         let mut r = self.grace;
         loop {
@@ -74,10 +81,18 @@ pub fn run_successive_halving<F>(
 where
     F: FnMut(usize, usize) -> f64,
 {
-    assert!(n_trials > 0, "run_successive_halving: need at least one trial");
+    assert!(
+        n_trials > 0,
+        "run_successive_halving: need at least one trial"
+    );
     let rungs = cfg.rungs();
     let mut outcomes: Vec<TrialOutcome> = (0..n_trials)
-        .map(|t| TrialOutcome { trial: t, resource: 0, loss: f64::INFINITY, finished: false })
+        .map(|t| TrialOutcome {
+            trial: t,
+            resource: 0,
+            loss: f64::INFINITY,
+            finished: false,
+        })
         .collect();
     let mut alive: Vec<usize> = (0..n_trials).collect();
 
@@ -126,7 +141,11 @@ mod tests {
 
     #[test]
     fn rungs_respect_max() {
-        let cfg = AshaConfig { grace: 10, reduction: 4, max_resource: 100 };
+        let cfg = AshaConfig {
+            grace: 10,
+            reduction: 4,
+            max_resource: 100,
+        };
         assert_eq!(cfg.rungs(), vec![10, 40, 100]);
     }
 
@@ -135,9 +154,8 @@ mod tests {
         // Trial t's loss curve: base_t + 10/resource. Trial 3 has the best
         // asymptote and decent early performance ⇒ must win.
         let bases = [0.5, 0.8, 0.4, 0.1, 0.9, 0.55, 0.7, 0.65, 0.45];
-        let outcomes = run_successive_halving(9, AshaConfig::default(), |t, r| {
-            bases[t] + 10.0 / r as f64
-        });
+        let outcomes =
+            run_successive_halving(9, AshaConfig::default(), |t, r| bases[t] + 10.0 / r as f64);
         assert_eq!(winner(&outcomes), Some(3));
     }
 

@@ -57,7 +57,10 @@ impl SearchSpace {
             }
             ParamKind::Choice { n } => assert!(n >= 1, "Choice: need at least one option"),
         }
-        self.specs.push(ParamSpec { name: name.into(), kind });
+        self.specs.push(ParamSpec {
+            name: name.into(),
+            kind,
+        });
         self
     }
 
@@ -77,9 +80,7 @@ impl SearchSpace {
             .iter()
             .map(|s| match s.kind {
                 ParamKind::Uniform { lo, hi } => rng.gen_range(lo..=hi),
-                ParamKind::LogUniform { lo, hi } => {
-                    (rng.gen_range(lo.ln()..=hi.ln())).exp()
-                }
+                ParamKind::LogUniform { lo, hi } => (rng.gen_range(lo.ln()..=hi.ln())).exp(),
                 ParamKind::Choice { n } => rng.gen_range(0..n) as f64,
             })
             .collect()
@@ -92,9 +93,7 @@ impl SearchSpace {
                 ParamKind::Uniform { lo, hi } | ParamKind::LogUniform { lo, hi } => {
                     v >= lo && v <= hi
                 }
-                ParamKind::Choice { n } => {
-                    v >= 0.0 && v < n as f64 && v.fract() == 0.0
-                }
+                ParamKind::Choice { n } => v >= 0.0 && v < n as f64 && v.fract() == 0.0,
             })
     }
 }

@@ -25,7 +25,12 @@ pub struct TpeConfig {
 
 impl Default for TpeConfig {
     fn default() -> Self {
-        Self { gamma: 0.25, n_candidates: 24, n_startup: 10, seed: 0 }
+        Self {
+            gamma: 0.25,
+            n_candidates: 24,
+            n_startup: 10,
+            seed: 0,
+        }
     }
 }
 
@@ -41,7 +46,12 @@ impl TpeSampler {
     /// New sampler over a space.
     pub fn new(space: SearchSpace, cfg: TpeConfig) -> Self {
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-        Self { space, cfg, observations: Vec::new(), rng }
+        Self {
+            space,
+            cfg,
+            observations: Vec::new(),
+            rng,
+        }
     }
 
     /// Record an observation (lower loss is better).
@@ -71,15 +81,22 @@ impl TpeSampler {
         // Split good/bad by loss quantile.
         let mut sorted: Vec<usize> = (0..self.observations.len()).collect();
         sorted.sort_by(|&a, &b| {
-            self.observations[a].1.partial_cmp(&self.observations[b].1).unwrap()
+            self.observations[a]
+                .1
+                .partial_cmp(&self.observations[b].1)
+                .unwrap()
         });
-        let n_good = ((self.cfg.gamma * sorted.len() as f64).ceil() as usize)
-            .clamp(1, sorted.len() - 1);
+        let n_good =
+            ((self.cfg.gamma * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len() - 1);
         // Owned copies keep the borrow checker happy while the RNG mutates.
-        let good: Vec<Vec<f64>> =
-            sorted[..n_good].iter().map(|&i| self.observations[i].0.clone()).collect();
-        let bad: Vec<Vec<f64>> =
-            sorted[n_good..].iter().map(|&i| self.observations[i].0.clone()).collect();
+        let good: Vec<Vec<f64>> = sorted[..n_good]
+            .iter()
+            .map(|&i| self.observations[i].0.clone())
+            .collect();
+        let bad: Vec<Vec<f64>> = sorted[n_good..]
+            .iter()
+            .map(|&i| self.observations[i].0.clone())
+            .collect();
 
         // Draw candidates from the good density, keep the best ratio.
         let mut best: Option<(Vec<f64>, f64)> = None;
@@ -102,7 +119,11 @@ impl TpeSampler {
             .map(|(d, spec)| match spec.kind {
                 ParamKind::Uniform { lo, hi } | ParamKind::LogUniform { lo, hi } => {
                     let log_scale = matches!(spec.kind, ParamKind::LogUniform { .. });
-                    let (tlo, thi) = if log_scale { (lo.ln(), hi.ln()) } else { (lo, hi) };
+                    let (tlo, thi) = if log_scale {
+                        (lo.ln(), hi.ln())
+                    } else {
+                        (lo, hi)
+                    };
                     let centres: Vec<f64> = good
                         .iter()
                         .map(|x| if log_scale { x[d].ln() } else { x[d] })
@@ -153,7 +174,11 @@ impl TpeSampler {
             match spec.kind {
                 ParamKind::Uniform { lo, hi } | ParamKind::LogUniform { lo, hi } => {
                     let log_scale = matches!(spec.kind, ParamKind::LogUniform { .. });
-                    let (tlo, thi) = if log_scale { (lo.ln(), hi.ln()) } else { (lo, hi) };
+                    let (tlo, thi) = if log_scale {
+                        (lo.ln(), hi.ln())
+                    } else {
+                        (lo, hi)
+                    };
                     let xv = if log_scale { x[d].ln() } else { x[d] };
                     let centres: Vec<f64> = group
                         .iter()
@@ -237,8 +262,13 @@ mod tests {
         };
         let tpe_bests: Vec<f64> = (0..7u64)
             .map(|seed| {
-                let mut tpe =
-                    TpeSampler::new(toy_space(), TpeConfig { seed, ..Default::default() });
+                let mut tpe = TpeSampler::new(
+                    toy_space(),
+                    TpeConfig {
+                        seed,
+                        ..Default::default()
+                    },
+                );
                 let mut best = f64::INFINITY;
                 for _ in 0..budget {
                     let s = tpe.suggest();
@@ -261,12 +291,21 @@ mod tests {
             })
             .collect();
         let (tm, rm) = (median(tpe_bests), median(rand_bests));
-        assert!(tm <= rm * 1.1, "TPE median {tm} should not lose to random median {rm}");
+        assert!(
+            tm <= rm * 1.1,
+            "TPE median {tm} should not lose to random median {rm}"
+        );
     }
 
     #[test]
     fn suggestions_concentrate_near_optimum_after_observations() {
-        let mut tpe = TpeSampler::new(toy_space(), TpeConfig { seed: 9, ..Default::default() });
+        let mut tpe = TpeSampler::new(
+            toy_space(),
+            TpeConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        );
         for _ in 0..80 {
             let s = tpe.suggest();
             let l = loss(&s);
@@ -296,8 +335,13 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let run = |seed| {
-            let mut tpe =
-                TpeSampler::new(toy_space(), TpeConfig { seed, ..Default::default() });
+            let mut tpe = TpeSampler::new(
+                toy_space(),
+                TpeConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             let mut hist = Vec::new();
             for _ in 0..30 {
                 let s = tpe.suggest();

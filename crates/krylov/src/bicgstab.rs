@@ -126,7 +126,10 @@ pub fn bicgstab<P: Preconditioner>(
         breakdown,
     }
     .finalize(a, b);
-    SolveResult { converged: !result.breakdown && result.rel_residual <= opts.tol * 10.0, ..result }
+    SolveResult {
+        converged: !result.breakdown && result.rel_residual <= opts.tol * 10.0,
+        ..result
+    }
 }
 
 #[cfg(test)]
@@ -180,7 +183,12 @@ mod tests {
     #[test]
     fn zero_rhs_short_circuits() {
         let a = laplace_1d(8);
-        let r = bicgstab(&a, &vec![0.0; 8], &IdentityPrecond::new(8), SolveOptions::default());
+        let r = bicgstab(
+            &a,
+            &[0.0; 8],
+            &IdentityPrecond::new(8),
+            SolveOptions::default(),
+        );
         assert!(r.converged);
         assert_eq!(r.iterations, 0);
     }
@@ -189,7 +197,10 @@ mod tests {
     fn iteration_cap_respected() {
         let a = mcmcmi_matgen::fd_laplace_2d(24);
         let n = a.nrows();
-        let opts = SolveOptions { max_iter: 3, ..Default::default() };
+        let opts = SolveOptions {
+            max_iter: 3,
+            ..Default::default()
+        };
         let r = bicgstab(&a, &vec![1.0; n], &IdentityPrecond::new(n), opts);
         assert!(!r.converged);
         assert!(r.iterations <= 3);

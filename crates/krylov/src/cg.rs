@@ -70,7 +70,10 @@ pub fn cg<P: Preconditioner>(a: &Csr, b: &[f64], precond: &P, opts: SolveOptions
         breakdown,
     }
     .finalize(a, b);
-    SolveResult { converged: !result.breakdown && result.rel_residual <= opts.tol * 10.0, ..result }
+    SolveResult {
+        converged: !result.breakdown && result.rel_residual <= opts.tol * 10.0,
+        ..result
+    }
 }
 
 #[cfg(test)]
@@ -135,7 +138,12 @@ mod tests {
     #[test]
     fn zero_rhs() {
         let a = laplace_1d(6);
-        let r = cg(&a, &vec![0.0; 6], &IdentityPrecond::new(6), SolveOptions::default());
+        let r = cg(
+            &a,
+            &[0.0; 6],
+            &IdentityPrecond::new(6),
+            SolveOptions::default(),
+        );
         assert!(r.converged);
         assert_eq!(r.iterations, 0);
     }
@@ -144,7 +152,10 @@ mod tests {
     fn cap_respected() {
         let a = fd_laplace_2d(32);
         let n = a.nrows();
-        let opts = SolveOptions { max_iter: 5, ..Default::default() };
+        let opts = SolveOptions {
+            max_iter: 5,
+            ..Default::default()
+        };
         let r = cg(&a, &vec![1.0; n], &IdentityPrecond::new(n), opts);
         assert!(!r.converged);
         assert_eq!(r.iterations, 5);

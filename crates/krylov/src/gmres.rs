@@ -155,7 +155,10 @@ pub fn gmres<P: Preconditioner>(
         breakdown,
     }
     .finalize(a, b);
-    SolveResult { converged: !result.breakdown && result.rel_residual <= opts.tol * 10.0, ..result }
+    SolveResult {
+        converged: !result.breakdown && result.rel_residual <= opts.tol * 10.0,
+        ..result
+    }
 }
 
 /// Stable Givens rotation coefficients `(c, s)` annihilating `b` in `(a, b)`.
@@ -179,11 +182,20 @@ mod givens_tests {
 
     #[test]
     fn rotation_annihilates_second_component() {
-        for &(a, b) in &[(3.0, 4.0), (1e-8, 5.0), (7.0, 0.0), (-2.0, 1.0), (0.5, -0.5)] {
+        for &(a, b) in &[
+            (3.0, 4.0),
+            (1e-8, 5.0),
+            (7.0, 0.0),
+            (-2.0, 1.0),
+            (0.5, -0.5),
+        ] {
             let (c, s) = givens(a, b);
             // c² + s² = 1 and the rotated second component vanishes.
             assert!((c * c + s * s - 1.0).abs() < 1e-12, "({a},{b})");
-            assert!((-s * a + c * b).abs() < 1e-10 * (1.0 + a.abs() + b.abs()), "({a},{b})");
+            assert!(
+                (-s * a + c * b).abs() < 1e-10 * (1.0 + a.abs() + b.abs()),
+                "({a},{b})"
+            );
         }
     }
 }
@@ -233,7 +245,12 @@ mod tests {
         let plain = gmres(&a, &b, &IdentityPrecond::new(n), SolveOptions::default());
         let jac = gmres(&a, &b, &JacobiPrecond::new(&a), SolveOptions::default());
         assert!(jac.converged);
-        assert!(jac.iterations < plain.iterations, "{} !< {}", jac.iterations, plain.iterations);
+        assert!(
+            jac.iterations < plain.iterations,
+            "{} !< {}",
+            jac.iterations,
+            plain.iterations
+        );
     }
 
     #[test]
@@ -241,7 +258,10 @@ mod tests {
         let a = fd_laplace_2d(32);
         let n = a.nrows();
         let b = vec![1.0; n];
-        let opts = SolveOptions { max_iter: 7, ..Default::default() };
+        let opts = SolveOptions {
+            max_iter: 7,
+            ..Default::default()
+        };
         let r = gmres(&a, &b, &IdentityPrecond::new(n), opts);
         assert!(!r.converged);
         assert_eq!(r.iterations, 7);
@@ -253,10 +273,18 @@ mod tests {
         let n = a.nrows();
         let xs: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
         let b = a.spmv_alloc(&xs);
-        let opts = SolveOptions { restart: 10, tol: 1e-10, max_iter: 5000 };
+        let opts = SolveOptions {
+            restart: 10,
+            tol: 1e-10,
+            max_iter: 5000,
+        };
         let r = gmres(&a, &b, &IdentityPrecond::new(n), opts);
         assert!(r.converged);
-        assert!(r.iterations > 10, "must need multiple restarts, got {}", r.iterations);
+        assert!(
+            r.iterations > 10,
+            "must need multiple restarts, got {}",
+            r.iterations
+        );
     }
 
     #[test]

@@ -91,7 +91,12 @@ impl Ic0 {
                 }
             }
         }
-        Ok(Self { n, indptr, cols, vals })
+        Ok(Self {
+            n,
+            indptr,
+            cols,
+            vals,
+        })
     }
 
     /// Apply `z = L⁻ᵀ L⁻¹ z` in place.
@@ -187,6 +192,9 @@ mod tests {
     #[test]
     fn rejects_rectangular() {
         let coo = mcmcmi_sparse::Coo::new(3, 2);
-        assert!(matches!(Ic0::new(&coo.to_csr()), Err(FactorError::NotSquare)));
+        assert!(matches!(
+            Ic0::new(&coo.to_csr()),
+            Err(FactorError::NotSquare)
+        ));
     }
 }

@@ -107,7 +107,13 @@ impl Ilu0 {
                 return Err(FactorError::ZeroPivot(i));
             }
         }
-        Ok(Self { n, indptr, cols, vals, diag_pos })
+        Ok(Self {
+            n,
+            indptr,
+            cols,
+            vals,
+            diag_pos,
+        })
     }
 
     /// Apply `z = U⁻¹ L⁻¹ z` in place (forward then backward substitution).
@@ -187,7 +193,10 @@ mod tests {
         let mut coo = mcmcmi_sparse::Coo::new(2, 2);
         coo.push(0, 1, 1.0);
         coo.push(1, 0, 1.0);
-        assert_eq!(Ilu0::new(&coo.to_csr()), Err(FactorError::MissingDiagonal(0)));
+        assert_eq!(
+            Ilu0::new(&coo.to_csr()),
+            Err(FactorError::MissingDiagonal(0))
+        );
     }
 
     #[test]

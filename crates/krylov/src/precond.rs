@@ -54,7 +54,13 @@ impl JacobiPrecond {
         let inv_diag = a
             .diag()
             .into_iter()
-            .map(|d| if d.abs() > f64::MIN_POSITIVE { 1.0 / d } else { 1.0 })
+            .map(|d| {
+                if d.abs() > f64::MIN_POSITIVE {
+                    1.0 / d
+                } else {
+                    1.0
+                }
+            })
             .collect();
         Self { inv_diag }
     }
@@ -62,7 +68,11 @@ impl JacobiPrecond {
 
 impl Preconditioner for JacobiPrecond {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
-        assert_eq!(r.len(), self.inv_diag.len(), "JacobiPrecond: dimension mismatch");
+        assert_eq!(
+            r.len(),
+            self.inv_diag.len(),
+            "JacobiPrecond: dimension mismatch"
+        );
         for ((zi, &ri), &di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
             *zi = ri * di;
         }

@@ -49,7 +49,11 @@ pub struct SolveOptions {
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        Self { tol: 1e-8, max_iter: 5000, restart: 50 }
+        Self {
+            tol: 1e-8,
+            max_iter: 5000,
+            restart: 50,
+        }
     }
 }
 
@@ -105,7 +109,11 @@ pub fn solve<P: Preconditioner>(
 ) -> SolveResult {
     assert_eq!(a.nrows(), a.ncols(), "solve: matrix must be square");
     assert_eq!(a.nrows(), b.len(), "solve: rhs dimension mismatch");
-    assert_eq!(a.nrows(), precond.dim(), "solve: preconditioner dimension mismatch");
+    assert_eq!(
+        a.nrows(),
+        precond.dim(),
+        "solve: preconditioner dimension mismatch"
+    );
     match solver {
         SolverType::Gmres => crate::gmres::gmres(a, b, precond, opts),
         SolverType::BiCgStab => crate::bicgstab::bicgstab(a, b, precond, opts),

@@ -26,7 +26,7 @@ pub fn chebyshev_diff_matrix(n: usize) -> Mat {
     let m = n + 1;
     let c = |i: usize| -> f64 {
         let ci = if i == 0 || i == n { 2.0 } else { 1.0 };
-        ci * if i % 2 == 0 { 1.0 } else { -1.0 }
+        ci * if i.is_multiple_of(2) { 1.0 } else { -1.0 }
     };
     let mut d = Mat::zeros(m, m);
     for i in 0..m {
@@ -79,7 +79,10 @@ pub enum AdvDiffOrder {
 /// (ε) and perturbation (α) trade off exactly as in §4.4. Deterministic:
 /// no RNG anywhere.
 pub fn unsteady_adv_diff(points: usize, order: AdvDiffOrder) -> Csr {
-    assert!(points >= 4, "unsteady_adv_diff: need at least 4 points per direction");
+    assert!(
+        points >= 4,
+        "unsteady_adv_diff: need at least 4 points per direction"
+    );
     // ρ ≈ 2.5–3: the Jacobi splitting of A itself is *super*-critical
     // (‖row of C‖₁ > 1 — walks diverge, as on any non-dominant FEM system),
     // and the α-perturbation divides it by (1 + α): α ∈ {1, 2} stays
@@ -230,7 +233,12 @@ mod tests {
         let f: Vec<f64> = x.iter().map(|&t| t * t).collect();
         let df = d.matvec_alloc(&f);
         for (k, &t) in x.iter().enumerate() {
-            assert!((df[k] - 2.0 * t).abs() < 1e-10, "at {t}: {} vs {}", df[k], 2.0 * t);
+            assert!(
+                (df[k] - 2.0 * t).abs() < 1e-10,
+                "at {t}: {} vs {}",
+                df[k],
+                2.0 * t
+            );
         }
     }
 

@@ -87,8 +87,19 @@ pub struct ConvectionDiffusionParams {
 /// transport), κ tuned through the coefficient `contrast`, fill through the
 /// `wide` stencil.
 pub fn convection_diffusion_2d(p: ConvectionDiffusionParams) -> Csr {
-    let ConvectionDiffusionParams { nx, ny, eps, aniso, wind, contrast, wide } = p;
-    assert!(nx >= 2 && ny >= 2, "convection_diffusion_2d: grid too small");
+    let ConvectionDiffusionParams {
+        nx,
+        ny,
+        eps,
+        aniso,
+        wind,
+        contrast,
+        wide,
+    } = p;
+    assert!(
+        nx >= 2 && ny >= 2,
+        "convection_diffusion_2d: grid too small"
+    );
     let n = nx * ny;
     let hx = 1.0 / (nx as f64 + 1.0);
     let hy = 1.0 / (ny as f64 + 1.0);
@@ -106,8 +117,16 @@ pub fn convection_diffusion_2d(p: ConvectionDiffusionParams) -> Csr {
             let bx = wind * (pi * y).sin() * (pi * x).cos();
             let by = -wind * (pi * x).sin() * (pi * y).cos();
             // Upwind convection contributions.
-            let (cw, ce) = if bx >= 0.0 { (bx / hx, 0.0) } else { (0.0, -bx / hx) };
-            let (cs, cn) = if by >= 0.0 { (by / hy, 0.0) } else { (0.0, -by / hy) };
+            let (cw, ce) = if bx >= 0.0 {
+                (bx / hx, 0.0)
+            } else {
+                (0.0, -bx / hx)
+            };
+            let (cs, cn) = if by >= 0.0 {
+                (by / hy, 0.0)
+            } else {
+                (0.0, -by / hy)
+            };
             let mut diag = 2.0 * kx + 2.0 * ky + cw + ce + cs + cn;
             // Dirichlet boundaries: missing neighbours are simply dropped
             // (their contribution belongs to the right-hand side).
@@ -166,7 +185,10 @@ pub fn convection_diffusion_2d(p: ConvectionDiffusionParams) -> Csr {
 /// semi-Lagrangian/spectral-damping climate dynamical cores, and what drives
 /// the row degree to ~90 (φ ≈ 0.0044 at this size).
 pub fn stretched_climate_operator(nlat: usize, nlon: usize, halo: usize, eps: f64) -> Csr {
-    assert!(nlat >= 3 && nlon >= 2 * halo + 1, "stretched_climate_operator: grid too small");
+    assert!(
+        nlat >= 3 && nlon > 2 * halo,
+        "stretched_climate_operator: grid too small"
+    );
     let n = nlat * nlon;
     let idx = |i: usize, j: usize| i * nlon + j;
     let mut coo = Coo::with_capacity(n, n, (2 * halo + 5) * n);
@@ -291,8 +313,7 @@ mod tests {
         assert_eq!(a.nrows(), 13 * 46);
         assert!(!a.is_symmetric(1e-10));
         // Row degree ≈ 2·halo + 3 (zonal stencil + meridional + diag).
-        let mean_deg =
-            a.row_degrees().iter().sum::<usize>() as f64 / a.nrows() as f64;
+        let mean_deg = a.row_degrees().iter().sum::<usize>() as f64 / a.nrows() as f64;
         assert!(mean_deg > 40.0 && mean_deg < 50.0, "mean degree {mean_deg}");
     }
 

@@ -12,10 +12,10 @@ pub mod families;
 pub mod random;
 pub mod suite;
 
+pub use chebyshev::{chebyshev_diff_matrix, chebyshev_points, unsteady_adv_diff, AdvDiffOrder};
 pub use families::{
     convection_diffusion_2d, fd_laplace_2d, laplace_1d, stretched_climate_operator,
     ConvectionDiffusionParams,
 };
-pub use chebyshev::{chebyshev_diff_matrix, chebyshev_points, unsteady_adv_diff, AdvDiffOrder};
 pub use random::{pdd_real_sparse, random_sparse, spd_random};
 pub use suite::{analytic_laplace_cond_2d, PaperMatrix, PaperRow};

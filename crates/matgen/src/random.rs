@@ -7,7 +7,10 @@ use rand_chacha::ChaCha8Rng;
 /// General random sparse matrix: `n × n`, expected fill `density`, entries
 /// uniform in [-1, 1]. No structural guarantees — utility for tests.
 pub fn random_sparse(n: usize, density: f64, seed: u64) -> Csr {
-    assert!((0.0..=1.0).contains(&density), "random_sparse: density in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&density),
+        "random_sparse: density in [0,1]"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut coo = Coo::with_capacity(n, n, (density * (n * n) as f64) as usize + n);
     for i in 0..n {
@@ -149,7 +152,9 @@ mod tests {
         // Positive definite: xᵀAx > 0 for a few random x.
         let n = a.nrows();
         for s in 0..3 {
-            let x: Vec<f64> = (0..n).map(|i| ((i * 7 + s * 13) as f64 * 0.37).sin()).collect();
+            let x: Vec<f64> = (0..n)
+                .map(|i| ((i * 7 + s * 13) as f64 * 0.37).sin())
+                .collect();
             let ax = a.spmv_alloc(&x);
             let q: f64 = x.iter().zip(&ax).map(|(p, v)| p * v).sum();
             assert!(q > 0.0);

@@ -2,8 +2,7 @@
 
 use crate::chebyshev::{unsteady_adv_diff, AdvDiffOrder};
 use crate::families::{
-    convection_diffusion_2d, fd_laplace_2d, stretched_climate_operator,
-    ConvectionDiffusionParams,
+    convection_diffusion_2d, fd_laplace_2d, stretched_climate_operator, ConvectionDiffusionParams,
 };
 use crate::random::pdd_real_sparse;
 use mcmcmi_sparse::Csr;
@@ -101,17 +100,20 @@ impl PaperMatrix {
             NonsymR3A11 => ("nonsym_r3_a11", 20_930, false, 1.9e4, 0.0044),
             A00512 => ("a00512", 512, false, 1.9e3, 0.059),
             A08192 => ("a08192", 8_192, false, 3.2e5, 0.0007),
-            UnsteadyAdvDiffOrder1 => {
-                ("unsteady_adv_diff_order1_0001", 225, false, 4.1e6, 0.646)
-            }
-            UnsteadyAdvDiffOrder2 => {
-                ("unsteady_adv_diff_order2_0001", 225, false, 6.6e6, 0.646)
-            }
+            UnsteadyAdvDiffOrder1 => ("unsteady_adv_diff_order1_0001", 225, false, 4.1e6, 0.646),
+            UnsteadyAdvDiffOrder2 => ("unsteady_adv_diff_order2_0001", 225, false, 6.6e6, 0.646),
             PddRealSparseN64 => ("PDD_RealSparse_N64", 64, false, 1.3e1, 0.1),
             PddRealSparseN128 => ("PDD_RealSparse_N128", 128, false, 5.0, 0.1),
             PddRealSparseN256 => ("PDD_RealSparse_N256", 256, false, 7.0, 0.1),
         };
-        PaperRow { id: self, name, n, symmetric, kappa, phi }
+        PaperRow {
+            id: self,
+            name,
+            n,
+            symmetric,
+            kappa,
+            phi,
+        }
     }
 
     /// Generate the synthetic equivalent of this matrix (deterministic).

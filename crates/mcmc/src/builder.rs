@@ -24,7 +24,12 @@ pub struct BuildConfig {
 
 impl Default for BuildConfig {
     fn default() -> Self {
-        Self { filling_factor: 2.0, trunc_threshold: 1e-9, max_walk_len: 10_000, seed: 0 }
+        Self {
+            filling_factor: 2.0,
+            trunc_threshold: 1e-9,
+            max_walk_len: 10_000,
+            seed: 0,
+        }
     }
 }
 
@@ -221,8 +226,11 @@ mod tests {
         let p1 = builder.build(&a, McmcParams::new(1.0, 0.25, 0.25));
         let p2 = builder.build(&a, McmcParams::new(1.0, 0.25, 0.25));
         assert_eq!(p1.precond.matrix(), p2.precond.matrix());
-        let p3 = McmcInverse::new(BuildConfig { seed: 99, ..Default::default() })
-            .build(&a, McmcParams::new(1.0, 0.25, 0.25));
+        let p3 = McmcInverse::new(BuildConfig {
+            seed: 99,
+            ..Default::default()
+        })
+        .build(&a, McmcParams::new(1.0, 0.25, 0.25));
         assert_ne!(p1.precond.matrix(), p3.precond.matrix());
     }
 
@@ -233,7 +241,10 @@ mod tests {
         let builder = McmcInverse::new(BuildConfig::default());
         let reference = builder.build(&a, params).precond.matrix().clone();
         for threads in [1usize, 2, 5] {
-            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
             let got = pool.install(|| builder.build(&a, params));
             assert_eq!(
                 got.precond.matrix(),
@@ -246,8 +257,8 @@ mod tests {
     #[test]
     fn fill_budget_is_respected() {
         let a = fd_laplace_2d(12);
-        let out = McmcInverse::new(BuildConfig::default())
-            .build(&a, McmcParams::new(1.0, 0.05, 0.01));
+        let out =
+            McmcInverse::new(BuildConfig::default()).build(&a, McmcParams::new(1.0, 0.05, 0.01));
         let p = out.precond.matrix();
         // Global budget: filling factor 2 ⇒ nnz(P) ≤ 2·nnz(A) + n slack.
         assert!(
@@ -268,14 +279,14 @@ mod tests {
             coo.push(i, (i + 5) % 16, -2.5);
         }
         let a = coo.to_csr();
-        let out = McmcInverse::new(BuildConfig::default())
-            .build(&a, McmcParams::new(0.001, 0.125, 1e-3));
+        let out =
+            McmcInverse::new(BuildConfig::default()).build(&a, McmcParams::new(0.001, 0.125, 1e-3));
         assert!(out.noncontractive_fraction > 0.9);
         assert!(out.blown_up_chains > 0);
         assert!(out.likely_divergent());
         // Large α cures it.
-        let ok = McmcInverse::new(BuildConfig::default())
-            .build(&a, McmcParams::new(5.0, 0.125, 1e-3));
+        let ok =
+            McmcInverse::new(BuildConfig::default()).build(&a, McmcParams::new(5.0, 0.125, 1e-3));
         assert_eq!(ok.noncontractive_fraction, 0.0);
         assert!(!ok.likely_divergent());
     }
@@ -291,8 +302,7 @@ mod tests {
         let builder = McmcInverse::new(BuildConfig::default());
         let moderate = builder.build(&a, McmcParams::new(0.1, 0.0625, 0.03125));
         let huge = builder.build(&a, McmcParams::new(50.0, 0.0625, 0.03125));
-        let it_mod =
-            gmres(&a, &b, &moderate.precond, SolveOptions::default()).iterations;
+        let it_mod = gmres(&a, &b, &moderate.precond, SolveOptions::default()).iterations;
         let it_huge = gmres(&a, &b, &huge.precond, SolveOptions::default()).iterations;
         assert!(it_mod < it_huge, "moderate α {it_mod} !< huge α {it_huge}");
     }
@@ -306,8 +316,11 @@ mod tests {
         let a = mcmcmi_matgen::unsteady_adv_diff(8, mcmcmi_matgen::AdvDiffOrder::One);
         let builder = McmcInverse::new(BuildConfig::default());
         for seed in 0..4u64 {
-            let out = McmcInverse::new(BuildConfig { seed, ..Default::default() })
-                .build(&a, McmcParams::new(1.0, 0.25, 0.5));
+            let out = McmcInverse::new(BuildConfig {
+                seed,
+                ..Default::default()
+            })
+            .build(&a, McmcParams::new(1.0, 0.25, 0.5));
             assert!(out.precond.matrix().check_invariants().is_ok());
             let _ = &builder;
         }
@@ -316,8 +329,8 @@ mod tests {
     #[test]
     fn precond_dim_matches_matrix() {
         let a = pdd_real_sparse(32, 1);
-        let out = McmcInverse::new(BuildConfig::default())
-            .build(&a, McmcParams::new(1.0, 0.5, 0.5));
+        let out =
+            McmcInverse::new(BuildConfig::default()).build(&a, McmcParams::new(1.0, 0.5, 0.5));
         assert_eq!(out.precond.dim(), 32);
         assert!(out.transitions > 0);
         assert_eq!(out.chains_per_row, 2);

@@ -24,9 +24,15 @@ impl McmcParams {
     /// # Panics
     /// Panics if `alpha < 0`, or `eps`/`delta` outside `(0, 1]`.
     pub fn new(alpha: f64, eps: f64, delta: f64) -> Self {
-        assert!(alpha >= 0.0 && alpha.is_finite(), "McmcParams: alpha must be >= 0");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "McmcParams: alpha must be >= 0"
+        );
         assert!(eps > 0.0 && eps <= 1.0, "McmcParams: eps must be in (0,1]");
-        assert!(delta > 0.0 && delta <= 1.0, "McmcParams: delta must be in (0,1]");
+        assert!(
+            delta > 0.0 && delta <= 1.0,
+            "McmcParams: delta must be in (0,1]"
+        );
         Self { alpha, eps, delta }
     }
 

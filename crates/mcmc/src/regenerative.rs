@@ -69,6 +69,16 @@ pub fn regenerative_inverse(a: &Csr, cfg: RegenerativeConfig) -> SparsePrecond {
             let mut touched: Vec<usize> = Vec::with_capacity(64);
             let mut spent = 0usize;
             let mut cycles = 0usize;
+            // Absorbing start row: every cycle would end after step 0
+            // without spending budget, so the regeneration loop below would
+            // never terminate — and the estimator is exactly e_i anyway.
+            let (start_rs, start_re) = walk_row_range(&walk, i);
+            if start_rs == start_re {
+                cycles = 1;
+                touched.push(i);
+                scratch[i] = 1.0;
+                spent = cfg.budget;
+            }
             // Regenerate chains from the row start until budget exhaustion;
             // always complete the final cycle so the estimator stays
             // (nearly) unbiased across cycles.
@@ -170,18 +180,31 @@ mod tests {
         let plain = gmres(&a, &b, &IdentityPrecond::new(n), SolveOptions::default());
         let p = regenerative_inverse(
             &a,
-            RegenerativeConfig { alpha: 0.1, budget: 30_000, ..Default::default() },
+            RegenerativeConfig {
+                alpha: 0.1,
+                budget: 30_000,
+                ..Default::default()
+            },
         );
         let pre = gmres(&a, &b, &p, SolveOptions::default());
         assert!(pre.converged);
-        assert!(pre.iterations < plain.iterations, "{} !< {}", pre.iterations, plain.iterations);
+        assert!(
+            pre.iterations < plain.iterations,
+            "{} !< {}",
+            pre.iterations,
+            plain.iterations
+        );
     }
 
     #[test]
     fn regenerative_matches_exact_inverse_on_small_system() {
         use mcmcmi_dense::Lu;
         let a = mcmcmi_matgen::laplace_1d(8);
-        let cfg = RegenerativeConfig { alpha: 0.5, budget: 400_000, ..Default::default() };
+        let cfg = RegenerativeConfig {
+            alpha: 0.5,
+            budget: 400_000,
+            ..Default::default()
+        };
         let p = regenerative_inverse(&a, cfg);
         let mut dense = a.to_dense();
         for i in 0..8 {
@@ -200,11 +223,19 @@ mod tests {
         let b = vec![1.0; n];
         let small = regenerative_inverse(
             &a,
-            RegenerativeConfig { alpha: 0.1, budget: 30, ..Default::default() },
+            RegenerativeConfig {
+                alpha: 0.1,
+                budget: 30,
+                ..Default::default()
+            },
         );
         let large = regenerative_inverse(
             &a,
-            RegenerativeConfig { alpha: 0.1, budget: 20_000, ..Default::default() },
+            RegenerativeConfig {
+                alpha: 0.1,
+                budget: 20_000,
+                ..Default::default()
+            },
         );
         let it_small = gmres(&a, &b, &small, SolveOptions::default()).iterations;
         let it_large = gmres(&a, &b, &large, SolveOptions::default()).iterations;

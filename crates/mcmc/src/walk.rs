@@ -66,7 +66,12 @@ impl WalkMatrix {
             let dii = if aii != 0.0 {
                 (1.0 + alpha) * aii
             } else {
-                alpha * a.row_values(i).iter().map(|v| v.abs()).sum::<f64>().max(1.0)
+                alpha
+                    * a.row_values(i)
+                        .iter()
+                        .map(|v| v.abs())
+                        .sum::<f64>()
+                        .max(1.0)
             };
             if dii.abs() < f64::MIN_POSITIVE {
                 // Degenerate row: identity action.
@@ -93,7 +98,15 @@ impl WalkMatrix {
             rowsum.push(s);
             indptr.push(cols.len());
         }
-        Self { n, indptr, cols, vals, cum, rowsum, inv_diag }
+        Self {
+            n,
+            indptr,
+            cols,
+            vals,
+            cum,
+            rowsum,
+            inv_diag,
+        }
     }
 
     /// Dimension.
@@ -179,7 +192,8 @@ impl WalkMatrix {
         debug_assert_eq!(scratch.len(), self.n);
         let mut stats = RowWalkStats::default();
         // Per-row deterministic stream: independent of scheduling.
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1)));
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1)));
         const BLOWUP: f64 = 1e12;
         for _ in 0..n_chains {
             let mut k = i;

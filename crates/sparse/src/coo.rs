@@ -18,7 +18,13 @@ pub struct Coo {
 impl Coo {
     /// Empty builder of the given shape.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Empty builder with capacity for `cap` entries.
@@ -54,7 +60,10 @@ impl Coo {
     /// # Panics
     /// Panics if the indices are out of bounds.
     pub fn push(&mut self, i: usize, j: usize, v: f64) {
-        assert!(i < self.nrows && j < self.ncols, "Coo::push: index out of bounds");
+        assert!(
+            i < self.nrows && j < self.ncols,
+            "Coo::push: index out of bounds"
+        );
         self.rows.push(i);
         self.cols.push(j);
         self.vals.push(v);

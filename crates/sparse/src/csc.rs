@@ -29,7 +29,13 @@ impl Csc {
             data.extend_from_slice(t.row_values(j));
         }
         indptr[t.nrows()] = indices.len();
-        Self { nrows: a.nrows(), ncols: a.ncols(), indptr, indices, data }
+        Self {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// Convert back to CSR.
@@ -93,7 +99,13 @@ mod tests {
 
     fn sample() -> Csr {
         let mut coo = Coo::new(3, 4);
-        for &(i, j, v) in &[(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+        for &(i, j, v) in &[
+            (0, 0, 1.0),
+            (0, 3, 2.0),
+            (1, 1, 3.0),
+            (2, 0, 4.0),
+            (2, 2, 5.0),
+        ] {
             coo.push(i, j, v);
         }
         coo.to_csr()

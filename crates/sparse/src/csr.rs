@@ -32,8 +32,15 @@ impl Csr {
         indices: Vec<usize>,
         data: Vec<f64>,
     ) -> Self {
-        let m = Self { nrows, ncols, indptr, indices, data };
-        m.check_invariants().expect("Csr::from_raw: invalid CSR arrays");
+        let m = Self {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            data,
+        };
+        m.check_invariants()
+            .expect("Csr::from_raw: invalid CSR arrays");
         m
     }
 
@@ -88,7 +95,13 @@ impl Csr {
             }
             indptr.push(indices.len());
         }
-        Self { nrows: a.nrows(), ncols: a.ncols(), indptr, indices, data }
+        Self {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// CSR → dense conversion (for tests and small exact computations).
@@ -241,7 +254,13 @@ impl Csr {
             }
         }
         // Rows were visited in increasing i, so each output row is sorted.
-        Csr { nrows: self.ncols, ncols: self.nrows, indptr: counts, indices, data }
+        Csr {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            indptr: counts,
+            indices,
+            data,
+        }
     }
 
     /// Main diagonal as a vector (zeros where absent).
@@ -356,7 +375,11 @@ impl Csr {
                     off += v.abs();
                 }
             }
-            acc += if off == 0.0 { 10.0 } else { (diag / off).min(10.0) };
+            acc += if off == 0.0 {
+                10.0
+            } else {
+                (diag / off).min(10.0)
+            };
         }
         acc / self.nrows as f64
     }
@@ -364,7 +387,9 @@ impl Csr {
     /// Unweighted row degrees `deg(i) = |{j : a_ij ≠ 0}|` — the paper's
     /// graph-node feature.
     pub fn row_degrees(&self) -> Vec<usize> {
-        (0..self.nrows).map(|i| self.indptr[i + 1] - self.indptr[i]).collect()
+        (0..self.nrows)
+            .map(|i| self.indptr[i + 1] - self.indptr[i])
+            .collect()
     }
 
     /// Scale all values in place.
@@ -400,7 +425,13 @@ mod tests {
         //  [0, 3, 0],
         //  [4, 0, 5]]
         let mut coo = Coo::new(3, 3);
-        for &(i, j, v) in &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+        for &(i, j, v) in &[
+            (0, 0, 1.0),
+            (0, 2, 2.0),
+            (1, 1, 3.0),
+            (2, 0, 4.0),
+            (2, 2, 5.0),
+        ] {
             coo.push(i, j, v);
         }
         coo.to_csr()

@@ -7,8 +7,7 @@ use proptest::prelude::*;
 fn arb_matrix() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
     (1usize..20, 1usize..20).prop_flat_map(|(m, n)| {
         let triplet = (0..m, 0..n, -10.0f64..10.0);
-        proptest::collection::vec(triplet, 0..60)
-            .prop_map(move |ts| (m, n, ts))
+        proptest::collection::vec(triplet, 0..60).prop_map(move |ts| (m, n, ts))
     })
 }
 

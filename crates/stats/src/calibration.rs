@@ -44,12 +44,19 @@ pub fn calibration_curve(
     wilson_level: f64,
 ) -> Vec<CalibrationPoint> {
     assert!(!mu.is_empty(), "calibration_curve: empty input");
-    assert_eq!(mu.len(), sigma.len(), "calibration_curve: mu/sigma length mismatch");
+    assert_eq!(
+        mu.len(),
+        sigma.len(),
+        "calibration_curve: mu/sigma length mismatch"
+    );
     assert_eq!(mu.len(), y.len(), "calibration_curve: mu/y length mismatch");
     let n = mu.len();
     taus.iter()
         .map(|&tau| {
-            assert!(tau > 0.0 && tau < 1.0, "calibration_curve: tau must be in (0,1)");
+            assert!(
+                tau > 0.0 && tau < 1.0,
+                "calibration_curve: tau must be in (0,1)"
+            );
             let z = norm_quantile(0.5 * (1.0 + tau));
             let covered = mu
                 .iter()
@@ -77,7 +84,11 @@ pub fn expected_calibration_error(curve: &[CalibrationPoint]) -> f64 {
     if curve.is_empty() {
         return 0.0;
     }
-    curve.iter().map(|p| (p.observed - p.expected).abs()).sum::<f64>() / curve.len() as f64
+    curve
+        .iter()
+        .map(|p| (p.observed - p.expected).abs())
+        .sum::<f64>()
+        / curve.len() as f64
 }
 
 #[cfg(test)]
@@ -151,8 +162,20 @@ mod tests {
     #[test]
     fn ece_zero_for_ideal_curve() {
         let curve = vec![
-            CalibrationPoint { expected: 0.5, observed: 0.5, wilson_lo: 0.4, wilson_hi: 0.6, n: 10 },
-            CalibrationPoint { expected: 0.9, observed: 0.9, wilson_lo: 0.8, wilson_hi: 0.95, n: 10 },
+            CalibrationPoint {
+                expected: 0.5,
+                observed: 0.5,
+                wilson_lo: 0.4,
+                wilson_hi: 0.6,
+                n: 10,
+            },
+            CalibrationPoint {
+                expected: 0.9,
+                observed: 0.9,
+                wilson_lo: 0.8,
+                wilson_hi: 0.95,
+                n: 10,
+            },
         ];
         assert_eq!(expected_calibration_error(&curve), 0.0);
     }

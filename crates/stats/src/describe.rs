@@ -106,7 +106,16 @@ impl BoxStats {
             whisker_hi = med;
         }
         outliers.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
-        Self { min, whisker_lo, q1, median: med, q3, whisker_hi, max, outliers }
+        Self {
+            min,
+            whisker_lo,
+            q1,
+            median: med,
+            q3,
+            whisker_hi,
+            max,
+            outliers,
+        }
     }
 }
 

@@ -40,7 +40,10 @@ pub fn norm_cdf(x: f64) -> f64 {
 /// # Panics
 /// Panics if `p` is outside (0, 1).
 pub fn norm_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "norm_quantile: p must be in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "norm_quantile: p must be in (0,1), got {p}"
+    );
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,
@@ -129,7 +132,9 @@ mod tests {
 
     #[test]
     fn quantile_inverts_cdf() {
-        for &p in &[0.001, 0.01, 0.025, 0.1, 0.25, 0.5, 0.75, 0.9, 0.975, 0.99, 0.999] {
+        for &p in &[
+            0.001, 0.01, 0.025, 0.1, 0.25, 0.5, 0.75, 0.9, 0.975, 0.99, 0.999,
+        ] {
             let x = norm_quantile(p);
             assert!((norm_cdf(x) - p).abs() < 1e-12, "p={p}, x={x}");
         }

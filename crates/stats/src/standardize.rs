@@ -119,7 +119,11 @@ mod tests {
 
     #[test]
     fn roundtrip_is_exact() {
-        let rows = vec![vec![1.0, -4.0, 10.0], vec![2.0, 6.0, -3.0], vec![0.5, 1.0, 2.0]];
+        let rows = vec![
+            vec![1.0, -4.0, 10.0],
+            vec![2.0, 6.0, -3.0],
+            vec![0.5, 1.0, 2.0],
+        ];
         let s = Standardizer::fit(&rows);
         for r in &rows {
             let back = s.inverse_transform(&s.transform(r));

@@ -32,7 +32,10 @@ pub fn t_cdf(t: f64, nu: f64) -> f64 {
 /// # Panics
 /// Panics if `p` is outside (0, 1) or `nu <= 0`.
 pub fn t_quantile(p: f64, nu: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "t_quantile: p must be in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "t_quantile: p must be in (0,1), got {p}"
+    );
     assert!(nu > 0.0, "t_quantile: degrees of freedom must be positive");
     if (p - 0.5).abs() < 1e-16 {
         return 0.0;
@@ -69,7 +72,10 @@ pub fn t_quantile(p: f64, nu: f64) -> f64 {
 /// Panics if `n < 2` or `level` outside (0, 1).
 pub fn t_interval(mean: f64, sample_std: f64, n: usize, level: f64) -> (f64, f64) {
     assert!(n >= 2, "t_interval: need at least two samples");
-    assert!(level > 0.0 && level < 1.0, "t_interval: level must be in (0,1)");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "t_interval: level must be in (0,1)"
+    );
     let nu = (n - 1) as f64;
     let tq = t_quantile(0.5 * (1.0 + level), nu);
     let half = tq * sample_std / (n as f64).sqrt();

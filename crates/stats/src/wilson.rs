@@ -18,7 +18,10 @@ use crate::normal::norm_quantile;
 pub fn wilson_interval(successes: usize, n: usize, level: f64) -> (f64, f64) {
     assert!(n > 0, "wilson_interval: n must be positive");
     assert!(successes <= n, "wilson_interval: successes > n");
-    assert!(level > 0.0 && level < 1.0, "wilson_interval: level must be in (0,1)");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "wilson_interval: level must be in (0,1)"
+    );
     let z = norm_quantile(0.5 * (1.0 + level));
     let nf = n as f64;
     let p = successes as f64 / nf;

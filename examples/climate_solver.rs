@@ -6,9 +6,9 @@
 //! cargo run --release --example climate_solver
 //! ```
 
-use mcmcmi_krylov::{solve, IdentityPrecond, SolveOptions, SolverType};
-use mcmcmi_matgen::PaperMatrix;
-use mcmcmi_mcmc::{BuildConfig, McmcInverse, McmcParams};
+use mcmcmi::krylov::{solve, IdentityPrecond, SolveOptions, SolverType};
+use mcmcmi::matgen::PaperMatrix;
+use mcmcmi::mcmc::{BuildConfig, McmcInverse, McmcParams};
 
 fn main() {
     println!("generating nonsym_r3_a11 surrogate (climate-type operator)…");
@@ -23,13 +23,20 @@ fn main() {
     );
     let n = a.nrows();
     let b = a.spmv_alloc(&vec![1.0; n]);
-    let opts = SolveOptions { tol: 1e-8, max_iter: 1500, restart: 50 };
+    let opts = SolveOptions {
+        tol: 1e-8,
+        max_iter: 1500,
+        restart: 50,
+    };
 
     let t1 = std::time::Instant::now();
     let plain = solve(&a, &b, &IdentityPrecond::new(n), SolverType::BiCgStab, opts);
     println!(
         "unpreconditioned BiCGStab: {} iterations, converged = {}, rel. residual {:.2e}, {:.1?}",
-        plain.iterations, plain.converged, plain.rel_residual, t1.elapsed()
+        plain.iterations,
+        plain.converged,
+        plain.rel_residual,
+        t1.elapsed()
     );
 
     // MCMC preconditioner: every row's chains are independent, so the build
@@ -39,7 +46,10 @@ fn main() {
     // parameter sensitivity the paper's tuner exists for). α = 3 contracts.
     let params = McmcParams::new(3.0, 0.125, 0.125);
     for threads in [1usize, 4, rayon::current_num_threads()] {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
         let t = std::time::Instant::now();
         let outcome = pool.install(|| McmcInverse::new(BuildConfig::default()).build(&a, params));
         println!(

@@ -6,9 +6,9 @@
 //! cargo run --release --example laplace_study
 //! ```
 
-use mcmcmi_krylov::{solve, IdentityPrecond, SolveOptions, SolverType};
-use mcmcmi_matgen::{analytic_laplace_cond_2d, fd_laplace_2d};
-use mcmcmi_mcmc::{BuildConfig, McmcInverse, McmcParams};
+use mcmcmi::krylov::{solve, IdentityPrecond, SolveOptions, SolverType};
+use mcmcmi::matgen::{analytic_laplace_cond_2d, fd_laplace_2d};
+use mcmcmi::mcmc::{BuildConfig, McmcInverse, McmcParams};
 
 fn main() {
     println!("2D FD Laplacians: κ = O(h⁻²) and CG iteration growth");
@@ -29,7 +29,11 @@ fn main() {
             // CG needs a symmetric preconditioner: symmetrise (paper §4.1).
             let sym = outcome.precond.symmetrized();
             let r = solve(&a, &b, &sym, SolverType::Cg, opts);
-            cols.push(if r.converged { r.iterations.to_string() } else { "—".into() });
+            cols.push(if r.converged {
+                r.iterations.to_string()
+            } else {
+                "—".into()
+            });
         }
         println!(
             "1/{:<6} {:>7} {:>10.1} {:>8} | {:>8} {:>8} {:>8}",

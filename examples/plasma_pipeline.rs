@@ -6,21 +6,31 @@
 //! cargo run --release --example plasma_pipeline
 //! ```
 
-use mcmcmi::core::{
-    MeasureConfig, MeasurementRunner, PaperDataset, PipelineConfig, Recommender,
-};
-use mcmcmi_gnn::{SurrogateConfig, TrainConfig};
-use mcmcmi_krylov::SolverType;
-use mcmcmi_matgen::{convection_diffusion_2d, ConvectionDiffusionParams, PaperMatrix};
-use mcmcmi_sparse::Csr;
-use mcmcmi_stats::median;
+use mcmcmi::core::{MeasureConfig, MeasurementRunner, PaperDataset, PipelineConfig, Recommender};
+use mcmcmi::gnn::{SurrogateConfig, TrainConfig};
+use mcmcmi::krylov::SolverType;
+use mcmcmi::matgen::{convection_diffusion_2d, ConvectionDiffusionParams, PaperMatrix};
+use mcmcmi::sparse::Csr;
+use mcmcmi::stats::median;
 
 fn main() {
     // 1. Training corpus: three small systems from the paper's suite.
     let matrices: Vec<(String, Csr, bool)> = vec![
-        ("2DFDLaplace_16".into(), PaperMatrix::Laplace16.generate(), true),
-        ("PDD_RealSparse_N128".into(), PaperMatrix::PddRealSparseN128.generate(), false),
-        ("PDD_RealSparse_N256".into(), PaperMatrix::PddRealSparseN256.generate(), false),
+        (
+            "2DFDLaplace_16".into(),
+            PaperMatrix::Laplace16.generate(),
+            true,
+        ),
+        (
+            "PDD_RealSparse_N128".into(),
+            PaperMatrix::PddRealSparseN128.generate(),
+            false,
+        ),
+        (
+            "PDD_RealSparse_N256".into(),
+            PaperMatrix::PddRealSparseN256.generate(),
+            false,
+        ),
     ];
     let runner = MeasurementRunner::new(MeasureConfig::default());
     println!("building grid dataset (4×4×4 × 2 solvers × 3 reps per matrix)…");
@@ -35,7 +45,11 @@ fn main() {
         &ds,
         &matrices,
         SurrogateConfig::lite(mcmcmi::core::features::N_MATRIX_FEATURES, 6),
-        TrainConfig { epochs: 25, patience: 6, ..Default::default() },
+        TrainConfig {
+            epochs: 25,
+            patience: 6,
+            ..Default::default()
+        },
     );
     println!(
         "  best validation loss {:.4} (epoch {}) in {:.1?}",
@@ -54,10 +68,17 @@ fn main() {
         contrast: 10.0,
         wide: false,
     });
-    println!("\nunseen target: nonsymmetric plasma-like system, n = {}", target.nrows());
+    println!(
+        "\nunseen target: nonsymmetric plasma-like system, n = {}",
+        target.nrows()
+    );
 
     // 4. One BO round: 8 EI-maximising recommendations, measured.
-    let y_min = ds.records.iter().map(|r| r.y_mean).fold(f64::INFINITY, f64::min);
+    let y_min = ds
+        .records
+        .iter()
+        .map(|r| r.y_mean)
+        .fold(f64::INFINITY, f64::min);
     let round = rec.bo_round(
         &runner,
         &target,

@@ -6,9 +6,9 @@
 //! ```
 
 use mcmcmi::core::{MeasureConfig, MeasurementRunner};
-use mcmcmi_krylov::{solve, IdentityPrecond, SolveOptions, SolverType};
-use mcmcmi_matgen::fd_laplace_2d;
-use mcmcmi_mcmc::{BuildConfig, McmcInverse, McmcParams};
+use mcmcmi::krylov::{solve, IdentityPrecond, SolveOptions, SolverType};
+use mcmcmi::matgen::fd_laplace_2d;
+use mcmcmi::mcmc::{BuildConfig, McmcInverse, McmcParams};
 
 fn main() {
     // 1. A test system: the 2D finite-difference Laplacian from the paper's

@@ -1,0 +1,337 @@
+//! Offline, API-compatible subset of `rayon`.
+//!
+//! Implements the slice of the rayon API this workspace uses —
+//! `par_iter_mut().enumerate().for_each(..)` over slices,
+//! `(0..n).into_par_iter().map(..).collect()`, `ThreadPoolBuilder`,
+//! `ThreadPool::install`, and `current_num_threads` — with genuine
+//! parallelism on `std::thread::scope`. Work is split into one contiguous
+//! chunk per thread, so results are assembled in input order and the output
+//! is bit-identical for any thread count (the property the MCMC builder's
+//! determinism contract relies on).
+//!
+//! Thread-count resolution order: innermost `ThreadPool::install` >
+//! `RAYON_NUM_THREADS` > `std::thread::available_parallelism()`.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel operations started from this thread will use.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALLED_THREADS.with(|c| c.get()) {
+        return n;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => current_num_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A "pool" is a thread-count scope: `install` pins the count for the
+/// duration of the closure on the calling thread. Threads themselves are
+/// spawned per parallel operation (scoped), not kept resident.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
+/// Evenly split `len` items into `parts` contiguous chunk lengths.
+fn chunk_lengths(len: usize, parts: usize) -> Vec<usize> {
+    let parts = parts.max(1).min(len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    (0..parts)
+        .map(|i| base + usize::from(i < extra))
+        .filter(|&c| c > 0)
+        .collect()
+}
+
+/// Run `f(start..end)` for each chunk on its own scoped thread and collect
+/// the per-chunk outputs in chunk order.
+fn run_chunked<T: Send>(len: usize, f: impl Fn(Range<usize>) -> T + Sync) -> Vec<T> {
+    let threads = current_num_threads();
+    if threads <= 1 || len <= 1 {
+        return if len == 0 {
+            Vec::new()
+        } else {
+            vec![f(0..len)]
+        };
+    }
+    let lens = chunk_lengths(len, threads);
+    let mut bounds = Vec::with_capacity(lens.len());
+    let mut start = 0usize;
+    for l in &lens {
+        bounds.push(start..start + l);
+        start += l;
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .into_iter()
+            .map(|range| scope.spawn(|| f(range)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Index-space parallel iterator: (0..n).into_par_iter().map(f).collect()
+// ---------------------------------------------------------------------------
+
+pub trait IntoParallelIterator {
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange(self)
+    }
+}
+
+pub struct ParRange(Range<usize>);
+
+impl ParRange {
+    pub fn map<T, F>(self, f: F) -> ParRangeMap<F>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        ParRangeMap { range: self.0, f }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let start = self.0.start;
+        let len = self.0.len();
+        run_chunked(len, |chunk| {
+            for i in chunk {
+                f(start + i);
+            }
+        });
+    }
+}
+
+pub struct ParRangeMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+pub trait FromParallelIterator<T> {
+    fn from_chunks(chunks: Vec<Vec<T>>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_chunks(chunks: Vec<Vec<T>>) -> Self {
+        let total = chunks.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for c in chunks {
+            out.extend(c);
+        }
+        out
+    }
+}
+
+impl<T: Send, F: Fn(usize) -> T + Sync> ParRangeMap<F> {
+    pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+        let start = self.range.start;
+        let len = self.range.len();
+        let f = &self.f;
+        let chunks = run_chunked(len, |chunk| chunk.map(|i| f(start + i)).collect::<Vec<T>>());
+        C::from_chunks(chunks)
+    }
+
+    pub fn sum<S: std::iter::Sum<T> + std::iter::Sum<S> + Send>(self) -> S {
+        let start = self.range.start;
+        let len = self.range.len();
+        let f = &self.f;
+        let partials = run_chunked(len, |chunk| chunk.map(|i| f(start + i)).sum::<S>());
+        partials.into_iter().sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutable slice parallel iterator: v.par_iter_mut().enumerate().for_each(..)
+// ---------------------------------------------------------------------------
+
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    pub fn enumerate(self) -> ParEnumerateMut<'a, T> {
+        ParEnumerateMut { slice: self.slice }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        self.enumerate().for_each(|(_, item)| f(item));
+    }
+}
+
+pub struct ParEnumerateMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> ParEnumerateMut<'_, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync,
+    {
+        let len = self.slice.len();
+        let threads = current_num_threads();
+        if threads <= 1 || len <= 1 {
+            for (i, item) in self.slice.iter_mut().enumerate() {
+                f((i, item));
+            }
+            return;
+        }
+        let lens = chunk_lengths(len, threads);
+        std::thread::scope(|scope| {
+            let mut rest = self.slice;
+            let mut base = 0usize;
+            for l in lens {
+                let (head, tail) = rest.split_at_mut(l);
+                rest = tail;
+                let start = base;
+                base += l;
+                let f = &f;
+                scope.spawn(move || {
+                    for (off, item) in head.iter_mut().enumerate() {
+                        f((start + off, item));
+                    }
+                });
+            }
+        });
+    }
+}
+
+pub mod prelude {
+    pub use super::{FromParallelIterator, IntoParallelIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_touches_every_index_once() {
+        let mut v = vec![0usize; 777];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i + 1);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let nested = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| assert_eq!(nested.install(current_num_threads), 1));
+    }
+
+    #[test]
+    fn identical_results_across_thread_counts() {
+        let reference: Vec<f64> = (0..500).map(|i| (i as f64).sin()).collect();
+        for threads in [1usize, 2, 7] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let got: Vec<f64> =
+                pool.install(|| (0..500).into_par_iter().map(|i| (i as f64).sin()).collect());
+            assert_eq!(got, reference);
+        }
+    }
+
+    #[test]
+    fn chunk_lengths_cover_exactly() {
+        for len in [0usize, 1, 5, 16, 97] {
+            for parts in [1usize, 2, 3, 8, 100] {
+                let lens = chunk_lengths(len, parts);
+                assert_eq!(lens.iter().sum::<usize>(), len);
+                assert!(lens.iter().all(|&l| l > 0) || len == 0);
+            }
+        }
+    }
+}

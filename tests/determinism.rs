@@ -11,7 +11,10 @@ fn mcmc_build_identical_across_thread_counts() {
     let builder = McmcInverse::new(BuildConfig::default());
     let reference = builder.build(&a, params).precond.matrix().clone();
     for threads in [1usize, 3, 8] {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
         let got = pool.install(|| builder.build(&a, params));
         assert_eq!(got.precond.matrix(), &reference, "thread count {threads}");
     }
@@ -71,7 +74,11 @@ fn surrogate_training_deterministic() {
         dropout: 0.1,
         ..SurrogateConfig::lite(2, 2)
     };
-    let tcfg = TrainConfig { epochs: 5, patience: 0, ..Default::default() };
+    let tcfg = TrainConfig {
+        epochs: 5,
+        patience: 0,
+        ..Default::default()
+    };
     let run = || {
         let mut s = Surrogate::new(cfg);
         let rep = train_surrogate(&mut s, &ds, tcfg);

@@ -1,9 +1,7 @@
 //! Cross-crate integration: the full Algorithm-1 pipeline on a miniature
 //! problem set, from matrix generation to a measured recommendation.
 
-use mcmcmi::core::{
-    MeasureConfig, MeasurementRunner, PaperDataset, PipelineConfig, Recommender,
-};
+use mcmcmi::core::{MeasureConfig, MeasurementRunner, PaperDataset, PipelineConfig, Recommender};
 use mcmcmi::gnn::{SurrogateConfig, TrainConfig};
 use mcmcmi::krylov::{SolveOptions, SolverType};
 use mcmcmi::matgen::{laplace_1d, pdd_real_sparse};
@@ -12,7 +10,11 @@ use mcmcmi::sparse::Csr;
 
 fn runner() -> MeasurementRunner {
     MeasurementRunner::new(MeasureConfig {
-        solve: SolveOptions { tol: 1e-6, max_iter: 400, restart: 30 },
+        solve: SolveOptions {
+            tol: 1e-6,
+            max_iter: 400,
+            restart: 30,
+        },
         ..Default::default()
     })
 }
@@ -27,7 +29,12 @@ fn tiny_cfgs() -> (SurrogateConfig, TrainConfig) {
             dropout: 0.0,
             ..SurrogateConfig::lite(mcmcmi::core::features::N_MATRIX_FEATURES, 6)
         },
-        TrainConfig { epochs: 10, batch_size: 32, patience: 0, ..Default::default() },
+        TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            patience: 0,
+            ..Default::default()
+        },
     )
 }
 
@@ -53,14 +60,24 @@ fn pipeline_produces_useful_recommendation() {
 
     // Recommend for an unseen diagonally dominant matrix and measure it.
     let target = pdd_real_sparse(56, 11);
-    let y_min = ds.records.iter().map(|x| x.y_mean).fold(f64::INFINITY, f64::min);
+    let y_min = ds
+        .records
+        .iter()
+        .map(|x| x.y_mean)
+        .fold(f64::INFINITY, f64::min);
     let round = rec.bo_round(
         &r,
         &target,
         "target",
         SolverType::Gmres,
         y_min,
-        PipelineConfig { reps: 2, bo_batch: 4, xi: 0.05, train: tcfg, seed: 7 },
+        PipelineConfig {
+            reps: 2,
+            bo_batch: 4,
+            xi: 0.05,
+            train: tcfg,
+            seed: 7,
+        },
     );
     assert_eq!(round.records.len(), 4);
     // The recommended parameters stay in the search box and produce a
@@ -76,22 +93,31 @@ fn pipeline_produces_useful_recommendation() {
 fn enhanced_model_changes_predictions_on_target() {
     // Retraining with targeted records must move the model's predictions on
     // that matrix (the mechanism behind the paper's BO-enhanced model).
-    let matrices: Vec<(String, Csr, bool)> =
-        vec![("pdd48".into(), pdd_real_sparse(48, 3), false)];
+    let matrices: Vec<(String, Csr, bool)> = vec![("pdd48".into(), pdd_real_sparse(48, 3), false)];
     let r = runner();
     let ds = PaperDataset::build(&r, &matrices, 2, 0, 0);
     let (scfg, tcfg) = tiny_cfgs();
     let mut pre = Recommender::fit(&ds, &matrices, scfg, tcfg);
 
     let target = pdd_real_sparse(40, 9);
-    let y_min = ds.records.iter().map(|x| x.y_mean).fold(f64::INFINITY, f64::min);
+    let y_min = ds
+        .records
+        .iter()
+        .map(|x| x.y_mean)
+        .fold(f64::INFINITY, f64::min);
     let round = pre.bo_round(
         &r,
         &target,
         "target",
         SolverType::Gmres,
         y_min,
-        PipelineConfig { reps: 2, bo_batch: 3, xi: 1.0, train: tcfg, seed: 3 },
+        PipelineConfig {
+            reps: 2,
+            bo_batch: 3,
+            xi: 1.0,
+            train: tcfg,
+            seed: 3,
+        },
     );
 
     let mut ds2 = ds.clone();

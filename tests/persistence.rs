@@ -15,20 +15,20 @@ fn tmpdir() -> std::path::PathBuf {
         .duration_since(std::time::UNIX_EPOCH)
         .unwrap()
         .as_nanos();
-    let d = std::env::temp_dir().join(format!(
-        "mcmcmi_persist_{}_{nanos}",
-        std::process::id()
-    ));
+    let d = std::env::temp_dir().join(format!("mcmcmi_persist_{}_{nanos}", std::process::id()));
     std::fs::create_dir_all(&d).unwrap();
     d
 }
 
 #[test]
 fn dataset_json_roundtrip_preserves_everything() {
-    let matrices: Vec<(String, Csr, bool)> =
-        vec![("pdd32".into(), pdd_real_sparse(32, 7), false)];
+    let matrices: Vec<(String, Csr, bool)> = vec![("pdd32".into(), pdd_real_sparse(32, 7), false)];
     let runner = MeasurementRunner::new(MeasureConfig {
-        solve: SolveOptions { tol: 1e-6, max_iter: 200, restart: 25 },
+        solve: SolveOptions {
+            tol: 1e-6,
+            max_iter: 200,
+            restart: 25,
+        },
         ..Default::default()
     });
     let ds = PaperDataset::build(&runner, &matrices, 2, 1, 0);
@@ -47,10 +47,13 @@ fn dataset_json_roundtrip_preserves_everything() {
 
 #[test]
 fn recommender_snapshot_roundtrip_preserves_predictions() {
-    let matrices: Vec<(String, Csr, bool)> =
-        vec![("pdd32".into(), pdd_real_sparse(32, 7), false)];
+    let matrices: Vec<(String, Csr, bool)> = vec![("pdd32".into(), pdd_real_sparse(32, 7), false)];
     let runner = MeasurementRunner::new(MeasureConfig {
-        solve: SolveOptions { tol: 1e-6, max_iter: 200, restart: 25 },
+        solve: SolveOptions {
+            tol: 1e-6,
+            max_iter: 200,
+            restart: 25,
+        },
         ..Default::default()
     });
     let ds = PaperDataset::build(&runner, &matrices, 1, 0, 0);
@@ -62,7 +65,11 @@ fn recommender_snapshot_roundtrip_preserves_predictions() {
         dropout: 0.0,
         ..SurrogateConfig::lite(mcmcmi::core::features::N_MATRIX_FEATURES, 6)
     };
-    let tcfg = TrainConfig { epochs: 4, patience: 0, ..Default::default() };
+    let tcfg = TrainConfig {
+        epochs: 4,
+        patience: 0,
+        ..Default::default()
+    };
     let mut rec = Recommender::fit(&ds, &matrices, scfg, tcfg);
 
     let probe = McmcParams::new(1.5, 0.3, 0.2);

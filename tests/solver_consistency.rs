@@ -15,7 +15,10 @@ fn all_solvers_agree_with_lu_on_spd_system() {
     let xs: Vec<f64> = (0..n).map(|i| ((i * 3) as f64 * 0.17).sin()).collect();
     let b = a.spmv_alloc(&xs);
     let exact = Lu::new(&a.to_dense()).solve(&b).unwrap();
-    let opts = SolveOptions { tol: 1e-10, ..Default::default() };
+    let opts = SolveOptions {
+        tol: 1e-10,
+        ..Default::default()
+    };
     for solver in [SolverType::Gmres, SolverType::BiCgStab, SolverType::Cg] {
         let r = solve(&a, &b, &IdentityPrecond::new(n), solver, opts);
         assert!(r.converged, "{solver:?}");
@@ -31,10 +34,13 @@ fn preconditioned_solution_matches_unpreconditioned() {
     let a = fd_laplace_2d(12);
     let n = a.nrows();
     let b = a.spmv_alloc(&vec![1.0; n]);
-    let opts = SolveOptions { tol: 1e-10, ..Default::default() };
+    let opts = SolveOptions {
+        tol: 1e-10,
+        ..Default::default()
+    };
     let plain = solve(&a, &b, &IdentityPrecond::new(n), SolverType::Gmres, opts);
-    let p = McmcInverse::new(BuildConfig::default())
-        .build(&a, McmcParams::new(0.1, 0.0625, 0.03125));
+    let p =
+        McmcInverse::new(BuildConfig::default()).build(&a, McmcParams::new(0.1, 0.0625, 0.03125));
     let pre = solve(&a, &b, &p.precond, SolverType::Gmres, opts);
     assert!(plain.converged && pre.converged);
     for (x, y) in plain.x.iter().zip(&pre.x) {
