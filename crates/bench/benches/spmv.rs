@@ -18,7 +18,8 @@ fn bench_spmv(c: &mut Criterion) {
             b.iter(|| a.spmv_par(black_box(&x), &mut y));
         });
     }
-    // Wide-stencil climate-like operator (much heavier rows).
+    // Wide-stencil climate-like operator (much heavier rows — the skewed
+    // degree distribution the nnz-balanced partitioning targets).
     let a = stretched_climate_operator(13, 46, 22, 1.0);
     let n = a.nrows();
     let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).cos()).collect();
@@ -28,6 +29,9 @@ fn bench_spmv(c: &mut Criterion) {
     });
     group.bench_function(BenchmarkId::new("parallel/climate", n), |b| {
         b.iter(|| a.spmv_par(black_box(&x), &mut y));
+    });
+    group.bench_function(BenchmarkId::new("auto/climate", n), |b| {
+        b.iter(|| a.spmv_auto(black_box(&x), &mut y));
     });
     group.finish();
 }

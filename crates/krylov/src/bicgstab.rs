@@ -73,7 +73,7 @@ pub fn bicgstab<P: Preconditioner>(
         }
         rho = rho_new;
         // v = PA p
-        a.spmv(&p, &mut tmp);
+        a.spmv_auto(&p, &mut tmp);
         precond.apply(&tmp, &mut v);
         let rhv = dot(&r_hat, &v);
         if rhv.abs() < 1e-300 || !rhv.is_finite() {
@@ -90,7 +90,7 @@ pub fn bicgstab<P: Preconditioner>(
             break;
         }
         // t = PA s
-        a.spmv(&s, &mut tmp);
+        a.spmv_auto(&s, &mut tmp);
         precond.apply(&tmp, &mut t);
         let tt = dot(&t, &t);
         if tt.abs() < 1e-300 || !tt.is_finite() {

@@ -36,7 +36,7 @@ pub fn cg<P: Preconditioner>(a: &Csr, b: &[f64], precond: &P, opts: SolveOptions
 
     while iters < opts.max_iter {
         iters += 1;
-        a.spmv(&p, &mut ap);
+        a.spmv_auto(&p, &mut ap);
         let pap = dot(&p, &ap);
         if pap.abs() < 1e-300 || !pap.is_finite() {
             breakdown = true;

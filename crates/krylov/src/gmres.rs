@@ -3,6 +3,12 @@
 //! Arnoldi with modified Gram–Schmidt; the Hessenberg least-squares problem
 //! is solved incrementally with Givens rotations, so each inner iteration is
 //! O(restart · n) plus one SpMV and one preconditioner application.
+//!
+//! Matvecs go through [`Csr::spmv_auto`] (nnz-balanced parallel path above
+//! a size threshold, bit-identical to serial), and the solver itself runs
+//! out of a workspace allocated once up front — the inner and restart
+//! loops perform no allocations of their own (the parallel SpMV path
+//! allocates its per-call chunk bookkeeping when it engages).
 
 use crate::precond::Preconditioner;
 use crate::solver::{SolveOptions, SolveResult};
@@ -51,11 +57,12 @@ pub fn gmres<P: Preconditioner>(
     let mut g = vec![0.0f64; m + 1];
     let mut w = vec![0.0; n];
     let mut aw = vec![0.0; n];
+    let mut y = vec![0.0f64; m]; // back-substitution buffer, reused per restart
 
     let mut breakdown = false;
     'outer: while total_iters < opts.max_iter {
         // r = P(b − Ax)
-        a.spmv(&x, &mut aw);
+        a.spmv_auto(&x, &mut aw);
         for ((wi, &bi), &ai) in w.iter_mut().zip(b).zip(&aw) {
             *wi = bi - ai;
         }
@@ -79,7 +86,7 @@ pub fn gmres<P: Preconditioner>(
             }
             total_iters += 1;
             // w = P(A v_k)
-            a.spmv(&v[k], &mut aw);
+            a.spmv_auto(&v[k], &mut aw);
             precond.apply(&aw, &mut w);
             // Modified Gram–Schmidt.
             for i in 0..=k {
@@ -125,7 +132,6 @@ pub fn gmres<P: Preconditioner>(
 
         // Back-substitute y from the triangularised Hessenberg, update x.
         if k_used > 0 {
-            let mut y = vec![0.0f64; k_used];
             for i in (0..k_used).rev() {
                 let mut s = g[i];
                 for j in (i + 1)..k_used {
@@ -138,7 +144,7 @@ pub fn gmres<P: Preconditioner>(
                 }
                 y[i] = s / d;
             }
-            for (j, &yj) in y.iter().enumerate() {
+            for (j, &yj) in y.iter().enumerate().take(k_used) {
                 mcmcmi_dense::axpy(yj, &v[j], &mut x);
             }
         } else {

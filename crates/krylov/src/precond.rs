@@ -116,7 +116,8 @@ impl SparsePrecond {
 
 impl Preconditioner for SparsePrecond {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
-        self.p.spmv(r, z);
+        // Auto-parallel above the size threshold; bit-identical to serial.
+        self.p.spmv_auto(r, z);
     }
     fn dim(&self) -> usize {
         self.p.nrows()

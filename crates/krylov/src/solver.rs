@@ -78,7 +78,7 @@ impl SolveResult {
     /// recursive or preconditioned residual; callers want the real thing).
     pub(crate) fn finalize(mut self, a: &Csr, b: &[f64]) -> Self {
         let mut r = vec![0.0; b.len()];
-        a.spmv(&self.x, &mut r);
+        a.spmv_auto(&self.x, &mut r);
         for (ri, &bi) in r.iter_mut().zip(b) {
             *ri = bi - *ri;
         }

@@ -1,4 +1,11 @@
 //! Preconditioner assembly: parallel walks → sparsified approximate inverse.
+//!
+//! The build is allocation-disciplined: each Rayon worker owns one reusable
+//! [`RowWorkspace`] (`map_init`), so the dense scratch vector is allocated
+//! once per worker instead of once per row, and only the entries a row's
+//! walks actually touched are re-zeroed between rows — O(nnz_touched) reset
+//! instead of O(n), eliminating the O(n²) aggregate allocation/zeroing the
+//! naive per-row `vec![0.0; n]` costs.
 
 use crate::params::McmcParams;
 use crate::walk::WalkMatrix;
@@ -6,6 +13,33 @@ use mcmcmi_krylov::SparsePrecond;
 use mcmcmi_sparse::Csr;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Per-worker reusable walk state: a dense tally vector plus the list of
+/// indices written, so the scratch can be reset sparsely after each row.
+pub(crate) struct RowWorkspace {
+    pub scratch: Vec<f64>,
+    pub touched: Vec<usize>,
+}
+
+impl RowWorkspace {
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            scratch: vec![0.0; n],
+            touched: Vec::with_capacity(64),
+        }
+    }
+
+    /// Zero exactly the entries recorded in `touched` and clear the list.
+    /// `touched` covers every written index (the walk loop records an index
+    /// on its first write, and again if cancellation zeroed it in between),
+    /// so the scratch is all-zero again afterwards.
+    pub(crate) fn reset(&mut self) {
+        for &j in &self.touched {
+            self.scratch[j] = 0.0;
+        }
+        self.touched.clear();
+    }
+}
 
 /// Matrix-independent build settings (the paper fixes these across the whole
 /// study: filling factor 2·φ(A), truncation threshold 1e−9).
@@ -101,52 +135,59 @@ impl McmcInverse {
 
         let rows: Vec<RowOut> = (0..n)
             .into_par_iter()
-            .map(|i| {
-                let mut scratch = vec![0.0f64; n];
-                let mut touched: Vec<usize> = Vec::with_capacity(64);
-                let stats = walk.walk_row(
-                    i,
-                    chains,
-                    params.delta,
-                    cfg.max_walk_len,
-                    cfg.seed,
-                    &mut scratch,
-                    &mut touched,
-                );
-                // Harvest: P row = (tally/chains) · D̂⁻¹ (column scaling).
-                // `touched` may contain duplicates when weight cancellation
-                // zeroes an entry that is later revisited — dedup first.
-                touched.sort_unstable();
-                touched.dedup();
-                let inv_diag = walk.inv_diag();
-                let mut entries: Vec<(usize, f64)> = touched
-                    .iter()
-                    .map(|&j| (j, scratch[j] / chains as f64 * inv_diag[j]))
-                    .filter(|&(_, v)| v.abs() >= cfg.trunc_threshold && v.is_finite())
-                    .collect();
-                // Keep the largest |entries| within the row budget.
-                let budget = budgets[i];
-                if entries.len() > budget {
-                    entries.select_nth_unstable_by(budget - 1, |a, b| {
-                        b.1.abs().partial_cmp(&a.1.abs()).unwrap()
-                    });
-                    entries.truncate(budget);
-                }
-                entries.sort_unstable_by_key(|&(j, _)| j);
-                RowOut {
-                    cols: entries.iter().map(|&(j, _)| j).collect(),
-                    vals: entries.iter().map(|&(_, v)| v).collect(),
-                    transitions: stats.transitions,
-                    capped: stats.capped,
-                    blown: stats.blown_up,
-                }
-            })
+            .map_init(
+                // One workspace per worker: the O(n) scratch is allocated
+                // once per thread, not once per row.
+                || RowWorkspace::new(n),
+                |ws, i| {
+                    let stats = walk.walk_row(
+                        i,
+                        chains,
+                        params.delta,
+                        cfg.max_walk_len,
+                        cfg.seed,
+                        &mut ws.scratch,
+                        &mut ws.touched,
+                    );
+                    // Harvest: P row = (tally/chains) · D̂⁻¹ (column
+                    // scaling). `touched` may contain duplicates when weight
+                    // cancellation zeroes an entry that is later revisited —
+                    // dedup first.
+                    ws.touched.sort_unstable();
+                    ws.touched.dedup();
+                    let inv_diag = walk.inv_diag();
+                    let mut entries: Vec<(usize, f64)> = ws
+                        .touched
+                        .iter()
+                        .map(|&j| (j, ws.scratch[j] / chains as f64 * inv_diag[j]))
+                        .filter(|&(_, v)| v.abs() >= cfg.trunc_threshold && v.is_finite())
+                        .collect();
+                    ws.reset();
+                    // Keep the largest |entries| within the row budget.
+                    let budget = budgets[i];
+                    if entries.len() > budget {
+                        entries.select_nth_unstable_by(budget - 1, |a, b| {
+                            b.1.abs().partial_cmp(&a.1.abs()).unwrap()
+                        });
+                        entries.truncate(budget);
+                    }
+                    entries.sort_unstable_by_key(|&(j, _)| j);
+                    RowOut {
+                        cols: entries.iter().map(|&(j, _)| j).collect(),
+                        vals: entries.iter().map(|&(_, v)| v).collect(),
+                        transitions: stats.transitions,
+                        capped: stats.capped,
+                        blown: stats.blown_up,
+                    }
+                },
+            )
             .collect();
 
-        // Assemble CSR.
+        // Assemble CSR with exact-size preallocation from per-row lengths.
+        let nnz_total: usize = rows.iter().map(|r| r.cols.len()).sum();
         let mut indptr = Vec::with_capacity(n + 1);
-        let mut cols = Vec::new();
-        let mut vals = Vec::new();
+        let mut cols = Vec::with_capacity(nnz_total);
+        let mut vals = Vec::with_capacity(nnz_total);
         indptr.push(0);
         let mut transitions = 0;
         let mut capped = 0;

@@ -24,3 +24,4 @@ pub mod walk;
 pub use builder::{BuildConfig, BuildOutcome, McmcInverse};
 pub use params::McmcParams;
 pub use regenerative::{regenerative_inverse, RegenerativeConfig};
+pub use walk::{RowWalkStats, WalkMatrix};

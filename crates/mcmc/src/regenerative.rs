@@ -61,85 +61,92 @@ pub fn regenerative_inverse(a: &Csr, cfg: RegenerativeConfig) -> SparsePrecond {
 
     let rows: Vec<(Vec<usize>, Vec<f64>)> = (0..n)
         .into_par_iter()
-        .map(|i| {
-            let mut rng = ChaCha8Rng::seed_from_u64(
-                cfg.seed ^ (0xd1b54a32d192ed03u64.wrapping_mul(i as u64 + 1)),
-            );
-            let mut scratch = vec![0.0f64; n];
-            let mut touched: Vec<usize> = Vec::with_capacity(64);
-            let mut spent = 0usize;
-            let mut cycles = 0usize;
-            // Absorbing start row: every cycle would end after step 0
-            // without spending budget, so the regeneration loop below would
-            // never terminate — and the estimator is exactly e_i anyway.
-            let (start_rs, start_re) = walk_row_range(&walk, i);
-            if start_rs == start_re {
-                cycles = 1;
-                touched.push(i);
-                scratch[i] = 1.0;
-                spent = cfg.budget;
-            }
-            // Regenerate chains from the row start until budget exhaustion;
-            // always complete the final cycle so the estimator stays
-            // (nearly) unbiased across cycles.
-            while spent < cfg.budget {
-                cycles += 1;
-                let mut k = i;
-                let mut w = 1.0f64;
-                if scratch[k] == 0.0 {
-                    touched.push(k);
+        .map_init(
+            // Reusable per-worker workspace (see builder.rs): one O(n)
+            // scratch per thread, sparse reset between rows.
+            || crate::builder::RowWorkspace::new(n),
+            |ws, i| {
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    cfg.seed ^ (0xd1b54a32d192ed03u64.wrapping_mul(i as u64 + 1)),
+                );
+                let scratch = &mut ws.scratch;
+                let touched = &mut ws.touched;
+                let mut spent = 0usize;
+                let mut cycles = 0usize;
+                // Absorbing start row: every cycle would end after step 0
+                // without spending budget, so the regeneration loop below would
+                // never terminate — and the estimator is exactly e_i anyway.
+                let (start_rs, start_re) = walk_row_range(&walk, i);
+                if start_rs == start_re {
+                    cycles = 1;
+                    touched.push(i);
+                    scratch[i] = 1.0;
+                    spent = cfg.budget;
                 }
-                scratch[k] += w;
-                loop {
-                    let (rs, re) = walk_row_range(&walk, k);
-                    if rs == re {
-                        break;
-                    }
-                    let (j, mult) = sample_step(&walk, k, &mut rng);
-                    w *= mult;
-                    k = j;
-                    spent += 1;
-                    if w.abs() < DELTA || w.abs() > BLOWUP || !w.is_finite() {
-                        break;
-                    }
+                // Regenerate chains from the row start until budget exhaustion;
+                // always complete the final cycle so the estimator stays
+                // (nearly) unbiased across cycles.
+                while spent < cfg.budget {
+                    cycles += 1;
+                    let mut k = i;
+                    let mut w = 1.0f64;
                     if scratch[k] == 0.0 {
                         touched.push(k);
                     }
                     scratch[k] += w;
-                    if spent >= cfg.budget && k == i {
-                        // Natural regeneration point reached with budget
-                        // spent: stop cleanly.
-                        break;
+                    loop {
+                        let (rs, re) = walk_row_range(&walk, k);
+                        if rs == re {
+                            break;
+                        }
+                        let (j, mult) = sample_step(&walk, k, &mut rng);
+                        w *= mult;
+                        k = j;
+                        spent += 1;
+                        if w.abs() < DELTA || w.abs() > BLOWUP || !w.is_finite() {
+                            break;
+                        }
+                        if scratch[k] == 0.0 {
+                            touched.push(k);
+                        }
+                        scratch[k] += w;
+                        if spent >= cfg.budget && k == i {
+                            // Natural regeneration point reached with budget
+                            // spent: stop cleanly.
+                            break;
+                        }
                     }
                 }
-            }
-            // Dedup: cancellation can zero an entry that is later revisited.
-            touched.sort_unstable();
-            touched.dedup();
-            let inv_diag = walk.inv_diag();
-            let mut entries: Vec<(usize, f64)> = touched
-                .iter()
-                .map(|&j| (j, scratch[j] / cycles as f64 * inv_diag[j]))
-                .filter(|&(_, v)| v.abs() >= cfg.trunc_threshold && v.is_finite())
-                .collect();
-            let budget = budgets[i];
-            if entries.len() > budget {
-                entries.select_nth_unstable_by(budget - 1, |a, b| {
-                    b.1.abs().partial_cmp(&a.1.abs()).unwrap()
-                });
-                entries.truncate(budget);
-            }
-            entries.sort_unstable_by_key(|&(j, _)| j);
-            (
-                entries.iter().map(|&(j, _)| j).collect(),
-                entries.iter().map(|&(_, v)| v).collect(),
-            )
-        })
+                // Dedup: cancellation can zero an entry that is later revisited.
+                touched.sort_unstable();
+                touched.dedup();
+                let inv_diag = walk.inv_diag();
+                let mut entries: Vec<(usize, f64)> = touched
+                    .iter()
+                    .map(|&j| (j, scratch[j] / cycles as f64 * inv_diag[j]))
+                    .filter(|&(_, v)| v.abs() >= cfg.trunc_threshold && v.is_finite())
+                    .collect();
+                ws.reset();
+                let budget = budgets[i];
+                if entries.len() > budget {
+                    entries.select_nth_unstable_by(budget - 1, |a, b| {
+                        b.1.abs().partial_cmp(&a.1.abs()).unwrap()
+                    });
+                    entries.truncate(budget);
+                }
+                entries.sort_unstable_by_key(|&(j, _)| j);
+                (
+                    entries.iter().map(|&(j, _)| j).collect(),
+                    entries.iter().map(|&(_, v)| v).collect(),
+                )
+            },
+        )
         .collect();
 
+    let nnz_total: usize = rows.iter().map(|(c, _)| c.len()).sum();
     let mut indptr = Vec::with_capacity(n + 1);
-    let mut cols = Vec::new();
-    let mut vals = Vec::new();
+    let mut cols = Vec::with_capacity(nnz_total);
+    let mut vals = Vec::with_capacity(nnz_total);
     indptr.push(0);
     for (c, v) in &rows {
         cols.extend_from_slice(c);

@@ -7,26 +7,129 @@
 //! is multiplied by `c_kj / p_kj = sign(c_kj)·S_k`, with `S_k` the row
 //! absolute sum. Chains stop when `|W| < δ`, on absorption (`S_k = 0`), or at
 //! a hard step cap.
+//!
+//! # Transition sampling: Walker/Vose alias tables
+//!
+//! Every transition draws from the *fixed* discrete distribution of its
+//! current row, so the classic repeated-sampling optimisation applies:
+//! [`WalkMatrix::from_perturbed`] precomputes a Walker/Vose **alias table**
+//! per row (O(nnz) once), and [`WalkMatrix::sample_transition`] then costs
+//! O(1) — a single 64-bit draw is split into a slot index (high bits,
+//! multiply-shift) and a 32-bit fixed-point coin flip (low bits) against
+//! the slot's cutoff, replacing the O(log nnz_row) binary search of
+//! inverse-CDF sampling. Slots are packed to 12 bytes (cutoff, donor,
+//! column+sign) so a transition resolves in one or two cache-line touches
+//! with no floating-point arithmetic. The inverse-CDF path is retained as
+//! [`WalkMatrix::sample_transition_invcdf`] purely as a reference/baseline
+//! for benchmarks and distribution-equivalence tests.
+//!
+//! Alias construction (Vose's stable variant): scale the row's MAO
+//! probabilities by the row length `m` so they average 1, split the entries
+//! into a "small" (< 1) and "large" (≥ 1) worklist, and repeatedly pair one
+//! small entry with one large donor — the small entry's slot keeps its own
+//! probability as the cutoff and records the donor as its alias; the donor's
+//! residual mass is pushed back onto the appropriate worklist. Leftovers get
+//! cutoff 1 (no alias ever taken). Construction is branch-deterministic:
+//! worklists are filled in ascending index order, so the table — and hence
+//! every sampled stream — is identical on every run.
+//!
+//! # Determinism contract
+//!
+//! Sampling consumes exactly **one** 64-bit word from the per-row ChaCha
+//! stream per transition, and the stream is keyed by `(seed, row)` only. The
+//! result of a build is therefore bit-identical for any thread count or
+//! scheduling order (`RAYON_NUM_THREADS=1` vs `=8` produce equal
+//! preconditioners; see `tests/determinism.rs`). Note the alias and
+//! inverse-CDF samplers realise the *same distribution* but map uniform
+//! draws to states differently, so swapping samplers changes individual
+//! walk trajectories while leaving all estimator statistics intact.
 
 use mcmcmi_sparse::Csr;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// The Jacobi-splitting iteration matrix `C = I − D̂⁻¹Â` in walk-ready form:
-/// per row, the column indices, signed values, cumulative |value| table for
-/// sampling, and the absolute row sum.
+/// per row, the column indices, signed values, a Walker/Vose alias table for
+/// O(1) sampling (plus the cumulative |value| table for the reference
+/// inverse-CDF path), and the absolute row sum.
 #[derive(Clone, Debug)]
 pub struct WalkMatrix {
     n: usize,
     indptr: Vec<usize>,
     cols: Vec<usize>,
     vals: Vec<f64>,
-    /// Cumulative |vals| within each row, for inverse-CDF sampling.
+    /// Cumulative |vals| within each row — reference inverse-CDF sampler
+    /// only (benchmark baseline and distribution cross-checks).
     cum: Vec<f64>,
+    /// Packed alias table, one slot per entry (aligned with `cols`).
+    alias: Vec<AliasSlot>,
     /// Absolute row sums `S_k` (the weight multiplier magnitude).
     rowsum: Vec<f64>,
     /// Inverse of the perturbed diagonal `D̂⁻¹` (for assembling `P = M·D̂⁻¹`).
     inv_diag: Vec<f64>,
+}
+
+/// Sign flag packed into [`AliasSlot::col_sign`] bit 31.
+const SIGN_BIT: u32 = 1 << 31;
+
+/// One alias-table slot, packed to 12 bytes so a transition touches one
+/// (sometimes two) cache lines and needs **zero floating-point ops** to
+/// resolve: the coin flip is a `u32` compare against the fixed-point
+/// cutoff, and the signed weight multiplier is reconstructed as
+/// `±rowsum[k]` from the sign bit folded into the column word.
+#[derive(Clone, Copy, Debug)]
+struct AliasSlot {
+    /// In-slot acceptance cutoff, fixed point in 2⁻³² units. Saturated
+    /// slots store `u32::MAX` and alias to themselves, so the 2⁻³²
+    /// acceptance shortfall still selects the same entry.
+    prob: u32,
+    /// Donor slot within the row, selected when the coin flip fails.
+    alias: u32,
+    /// Column (next state) in bits 0..31; sign of the entry in bit 31.
+    col_sign: u32,
+}
+
+/// Append the Walker/Vose alias table of one row (`cols`/`vals` are the
+/// row's entries, `s > 0` their absolute sum) to the flat slot array.
+/// Vose runs in f64 and the final cutoffs are quantised to 32-bit fixed
+/// point (≈2⁻³³ rounding per slot — orders of magnitude below any Monte
+/// Carlo error this engine can reach). Worklists are filled in ascending
+/// index order so construction is fully deterministic.
+fn push_row_alias(cols: &[usize], vals: &[f64], s: f64, slots: &mut Vec<AliasSlot>) {
+    let m = cols.len();
+    debug_assert!(m > 0 && s > 0.0);
+    debug_assert!(m <= u32::MAX as usize, "row too wide for u32 alias slots");
+    let scale = m as f64 / s;
+    let mut prob: Vec<f64> = vals.iter().map(|v| v.abs() * scale).collect();
+    let mut alias: Vec<u32> = (0..m as u32).collect();
+    let mut small: Vec<u32> = Vec::new();
+    let mut large: Vec<u32> = Vec::new();
+    for (i, &p) in prob.iter().enumerate() {
+        if p < 1.0 {
+            small.push(i as u32);
+        } else {
+            large.push(i as u32);
+        }
+    }
+    while let (Some(l), Some(&g)) = (small.pop(), large.last()) {
+        alias[l as usize] = g;
+        // Donor g covers slot l's deficit; fold the transfer into g's mass.
+        let residual = (prob[g as usize] + prob[l as usize]) - 1.0;
+        prob[g as usize] = residual;
+        if residual < 1.0 {
+            large.pop();
+            small.push(g);
+        }
+    }
+    // Leftovers (numerically ≈ 1): saturate so the alias is never taken.
+    for &g in large.iter().chain(small.iter()) {
+        prob[g as usize] = 1.0;
+    }
+    slots.extend((0..m).map(|i| AliasSlot {
+        prob: (prob[i] * 4294967296.0).round().min(u32::MAX as f64) as u32,
+        alias: alias[i],
+        col_sign: cols[i] as u32 | if vals[i] < 0.0 { SIGN_BIT } else { 0 },
+    }));
 }
 
 /// Outcome summary of one row's walks.
@@ -57,7 +160,13 @@ impl WalkMatrix {
         let mut indptr = Vec::with_capacity(n + 1);
         let mut cols = Vec::new();
         let mut vals = Vec::new();
+        assert!(
+            n < SIGN_BIT as usize,
+            "WalkMatrix: dimension exceeds 2^31 − 1 (alias slots pack the \
+             column and sign into one u32)"
+        );
         let mut cum = Vec::new();
+        let mut alias = Vec::new();
         let mut rowsum = Vec::with_capacity(n);
         let mut inv_diag = Vec::with_capacity(n);
         indptr.push(0);
@@ -82,6 +191,7 @@ impl WalkMatrix {
             }
             inv_diag.push(1.0 / dii);
             let mut s = 0.0;
+            let row_start = cols.len();
             for (&j, &v) in a.row_indices(i).iter().zip(a.row_values(i)) {
                 // c_ij = −â_ij / â_ii; off-diagonal entries of Â equal A's.
                 if j == i {
@@ -95,15 +205,20 @@ impl WalkMatrix {
                     cum.push(s);
                 }
             }
+            if cols.len() > row_start {
+                push_row_alias(&cols[row_start..], &vals[row_start..], s, &mut alias);
+            }
             rowsum.push(s);
             indptr.push(cols.len());
         }
+        debug_assert_eq!(alias.len(), cols.len());
         Self {
             n,
             indptr,
             cols,
             vals,
             cum,
+            alias,
             rowsum,
             inv_diag,
         }
@@ -140,8 +255,8 @@ impl WalkMatrix {
         (self.indptr[k], self.indptr[k + 1])
     }
 
-    /// Sample one transition from a non-absorbing row `k`; returns
-    /// `(next_state, signed weight multiplier)`.
+    /// Sample one transition from a non-absorbing row `k` with the O(1)
+    /// alias method; returns `(next_state, signed weight multiplier)`.
     ///
     /// # Panics
     /// Panics (in debug builds) if the row is absorbing — check
@@ -151,17 +266,60 @@ impl WalkMatrix {
         self.step(k, rng).expect("sample_transition: absorbing row")
     }
 
-    /// Sample the next state from row `k`; returns `(next_state, signed
-    /// weight multiplier)` or `None` on absorption.
+    /// Reference O(log nnz_row) sampler: inverse-CDF binary search on the
+    /// cumulative table. Same distribution as [`WalkMatrix::sample_transition`]
+    /// (and the same single uniform draw), different draw→state mapping.
+    /// Kept as the benchmark baseline — the production walk loop uses the
+    /// alias path.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the row is absorbing.
+    #[inline]
+    pub fn sample_transition_invcdf<R: Rng>(&self, k: usize, rng: &mut R) -> (usize, f64) {
+        self.step_invcdf(k, rng)
+            .expect("sample_transition_invcdf: absorbing row")
+    }
+
+    /// Sample the next state from row `k` via the alias table; returns
+    /// `(next_state, signed weight multiplier)` or `None` on absorption.
+    /// One `u64` draw, split into disjoint bit ranges: the high 32 bits
+    /// pick the slot by multiply-shift, the low 32 bits are the
+    /// fixed-point coin flip against the slot's cutoff — no float ops
+    /// until the multiplier is produced.
     #[inline]
     fn step<R: Rng>(&self, k: usize, rng: &mut R) -> Option<(usize, f64)> {
         let (rs, re) = (self.indptr[k], self.indptr[k + 1]);
         if rs == re {
             return None;
         }
+        let m = (re - rs) as u64;
+        let r = rng.next_u64();
+        let idx = (((r >> 32) * m) >> 32) as usize;
+        let coin = r as u32;
+        let slot = self.alias[rs + idx];
+        let chosen = if coin < slot.prob {
+            slot
+        } else {
+            self.alias[rs + slot.alias as usize]
+        };
+        let s = self.rowsum[k];
+        let mult = if chosen.col_sign & SIGN_BIT == 0 {
+            s
+        } else {
+            -s
+        };
+        Some(((chosen.col_sign & !SIGN_BIT) as usize, mult))
+    }
+
+    /// Inverse-CDF sampling (binary search on the cumulative table).
+    #[inline]
+    fn step_invcdf<R: Rng>(&self, k: usize, rng: &mut R) -> Option<(usize, f64)> {
+        let (rs, re) = (self.indptr[k], self.indptr[k + 1]);
+        if rs == re {
+            return None;
+        }
         let s = self.rowsum[k];
         let u: f64 = rng.gen::<f64>() * s;
-        // Inverse-CDF lookup via binary search on the cumulative table.
         let row_cum = &self.cum[rs..re];
         let idx = match row_cum.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
             Ok(i) => (i + 1).min(row_cum.len() - 1),
@@ -333,6 +491,146 @@ mod tests {
         // δ tiny so truncation never stops the chain before blow-up.
         let stats = w.walk_row(0, 50, 1e-300, 100_000, 1, &mut scratch, &mut touched);
         assert!(stats.blown_up > 0);
+    }
+
+    /// Implied selection probability of entry `e` of row `k` under the alias
+    /// table: own-slot mass plus donated mass from every slot aliasing to it.
+    fn alias_implied_prob(w: &WalkMatrix, k: usize, e: usize) -> f64 {
+        const FIX: f64 = 4294967296.0; // 2³², the fixed-point scale
+        let (rs, re) = w.row_range(k);
+        let m = (re - rs) as f64;
+        let mut p = w.alias[rs + e].prob as f64 / FIX;
+        for t in 0..(re - rs) {
+            if t != e && w.alias[rs + t].alias as usize == e {
+                p += 1.0 - w.alias[rs + t].prob as f64 / FIX;
+            }
+        }
+        p / m
+    }
+
+    #[test]
+    fn alias_table_reconstructs_mao_probabilities() {
+        // Property: for every row of several suite matrices, the alias
+        // table's implied probabilities equal |c_kj| / S_k up to the 2⁻³²
+        // fixed-point quantisation, and each slot carries its own entry's
+        // column and sign.
+        let mats = [
+            mcmcmi_matgen::pdd_real_sparse(64, 7),
+            mcmcmi_matgen::fd_laplace_2d(8),
+            mcmcmi_matgen::unsteady_adv_diff(8, mcmcmi_matgen::AdvDiffOrder::One),
+        ];
+        for a in &mats {
+            let w = WalkMatrix::from_perturbed(a, 0.5);
+            for k in 0..w.dim() {
+                let (rs, re) = w.row_range(k);
+                let s = w.rowsum(k);
+                for e in 0..(re - rs) {
+                    let expect = w.vals[rs + e].abs() / s;
+                    let got = alias_implied_prob(&w, k, e);
+                    assert!(
+                        (got - expect).abs() < 1e-8,
+                        "row {k} entry {e}: implied {got} vs MAO {expect}"
+                    );
+                    let slot = w.alias[rs + e];
+                    assert_eq!((slot.col_sign & !SIGN_BIT) as usize, w.cols[rs + e]);
+                    assert_eq!(slot.col_sign & SIGN_BIT != 0, w.vals[rs + e] < 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alias_sampler_passes_chi_square_against_mao_distribution() {
+        // One heavily skewed 10-entry row; both samplers must match the MAO
+        // distribution |c_kj|/S_k. χ²₀.₉₉₉(9 dof) = 27.88.
+        let n = 11;
+        let mut coo = Coo::new(n, n);
+        coo.push(0, 0, 20.0);
+        for j in 1..n {
+            // Off-diagonal weights 1, 2, …, 10 — far from uniform.
+            coo.push(0, j, j as f64);
+        }
+        for j in 1..n {
+            coo.push(j, j, 1.0);
+        }
+        let w = WalkMatrix::from_perturbed(&coo.to_csr(), 0.0);
+        let (rs, re) = w.row_range(0);
+        let m = re - rs;
+        assert_eq!(m, 10);
+        let s = w.rowsum(0);
+        let draws = 200_000usize;
+
+        let chi2 = |sampler: &dyn Fn(&WalkMatrix, &mut ChaCha8Rng) -> (usize, f64)| {
+            let mut rng = ChaCha8Rng::seed_from_u64(12345);
+            let mut counts = vec![0usize; n];
+            for _ in 0..draws {
+                let (j, mult) = sampler(&w, &mut rng);
+                assert!((mult.abs() - s).abs() < 1e-15);
+                counts[j] += 1;
+            }
+            let mut stat = 0.0;
+            for e in 0..m {
+                let p = w.vals[rs + e].abs() / s;
+                let expected = p * draws as f64;
+                let d = counts[w.cols[rs + e]] as f64 - expected;
+                stat += d * d / expected;
+            }
+            stat
+        };
+
+        let chi2_alias = chi2(&|w, rng| w.sample_transition(0, rng));
+        let chi2_invcdf = chi2(&|w, rng| w.sample_transition_invcdf(0, rng));
+        assert!(chi2_alias < 27.88, "alias χ² = {chi2_alias}");
+        assert!(chi2_invcdf < 27.88, "invcdf χ² = {chi2_invcdf}");
+    }
+
+    #[test]
+    fn alias_and_invcdf_estimators_agree_statistically() {
+        // Same Neumann-series target through both samplers on a branching
+        // ring: the estimators must agree within Monte Carlo error even
+        // though individual trajectories differ draw-by-draw.
+        let nn = 4usize;
+        let mut coo = Coo::new(nn, nn);
+        for i in 0..nn {
+            coo.push(i, i, 3.0);
+            coo.push(i, (i + 1) % nn, -1.0);
+            coo.push(i, (i + 3) % nn, -0.5);
+        }
+        let w = WalkMatrix::from_perturbed(&coo.to_csr(), 0.5);
+        let chains = 100_000usize;
+        let delta = 1e-4f64;
+
+        // Alias path through the production walk loop.
+        let mut scratch = vec![0.0; nn];
+        let mut touched = Vec::new();
+        w.walk_row(0, chains, delta, 10_000, 9, &mut scratch, &mut touched);
+
+        // Inverse-CDF path, replicating walk_row's contribution rule.
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let mut scratch_inv = vec![0.0; nn];
+        for _ in 0..chains {
+            let mut k = 0usize;
+            let mut wgt = 1.0f64;
+            scratch_inv[k] += wgt;
+            loop {
+                let (rs, re) = w.row_range(k);
+                if rs == re {
+                    break;
+                }
+                let (j, mult) = w.sample_transition_invcdf(k, &mut rng);
+                wgt *= mult;
+                k = j;
+                if wgt.abs() < delta {
+                    break;
+                }
+                scratch_inv[k] += wgt;
+            }
+        }
+        for j in 0..nn {
+            let a = scratch[j] / chains as f64;
+            let b = scratch_inv[j] / chains as f64;
+            assert!((a - b).abs() < 0.02, "col {j}: alias {a} vs invcdf {b}");
+        }
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //! machinery, HTML report, or baseline comparison — this shim exists so the
 //! real benchmark *code* in `crates/bench/benches` stays exactly as it
 //! would be against upstream criterion.
+//!
+//! Quick mode (upstream's `--quick`): pass `-- --quick` to `cargo bench` or
+//! set `CRITERION_QUICK=1`. Each target then runs one short measurement
+//! after warm-up — numbers are noisy but every bench body is exercised,
+//! which is what the CI bench-smoke step needs to keep benches compiling
+//! *and running*.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -37,6 +43,13 @@ impl fmt::Display for BenchmarkId {
     }
 }
 
+/// Quick-smoke mode: single short sample per target (CI rot guard), enabled
+/// by `-- --quick` on the bench command line or `CRITERION_QUICK=1`.
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
 pub struct Bencher {
     /// Median nanoseconds per iteration, recorded by `iter`.
     ns_per_iter: f64,
@@ -45,15 +58,19 @@ pub struct Bencher {
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // Warm-up and calibration: run once, then scale the batch so one
-        // measurement takes on the order of 10 ms.
+        // measurement takes on the order of 10 ms (1 ms in quick mode).
         let t0 = Instant::now();
         black_box(routine());
         let once = t0.elapsed().max(Duration::from_nanos(20));
-        let batch =
-            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let (target, n_samples) = if quick_mode() {
+            (Duration::from_millis(1), 1)
+        } else {
+            (Duration::from_millis(10), 5)
+        };
+        let batch = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
 
-        let mut samples = Vec::with_capacity(5);
-        for _ in 0..5 {
+        let mut samples = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
             let t = Instant::now();
             for _ in 0..batch {
                 black_box(routine());

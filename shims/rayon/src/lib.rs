@@ -2,36 +2,46 @@
 //!
 //! Implements the slice of the rayon API this workspace uses —
 //! `par_iter_mut().enumerate().for_each(..)` over slices,
-//! `(0..n).into_par_iter().map(..).collect()`, `ThreadPoolBuilder`,
-//! `ThreadPool::install`, and `current_num_threads` — with genuine
-//! parallelism on `std::thread::scope`. Work is split into one contiguous
-//! chunk per thread, so results are assembled in input order and the output
-//! is bit-identical for any thread count (the property the MCMC builder's
-//! determinism contract relies on).
+//! `(0..n).into_par_iter().map(..).collect()`, `map_init` (one reusable
+//! state per worker, the zero-allocation hook the MCMC builder's row
+//! workspaces rely on), `Vec::into_par_iter().for_each(..)`,
+//! `ThreadPoolBuilder`, `ThreadPool::install`, and `current_num_threads` —
+//! with genuine parallelism on `std::thread::scope`. Work is split into one
+//! contiguous chunk per thread, so results are assembled in input order and
+//! the output is bit-identical for any thread count (the property the MCMC
+//! builder's determinism contract relies on).
 //!
 //! Thread-count resolution order: innermost `ThreadPool::install` >
 //! `RAYON_NUM_THREADS` > `std::thread::available_parallelism()`.
 
 use std::cell::Cell;
 use std::ops::Range;
+use std::sync::OnceLock;
 
 thread_local! {
     static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
 }
+
+/// Process-wide default thread count, resolved once (like real rayon's
+/// global pool): the environment scan and the `available_parallelism`
+/// syscall are too expensive for per-call hot paths such as `spmv_auto`.
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
 
 /// Number of threads parallel operations started from this thread will use.
 pub fn current_num_threads() -> usize {
     if let Some(n) = INSTALLED_THREADS.with(|c| c.get()) {
         return n;
     }
-    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
+    *DEFAULT_THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
             }
         }
-    }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
 }
 
 #[derive(Debug)]
@@ -172,6 +182,48 @@ impl ParRange {
             }
         });
     }
+
+    /// `map` with one reusable worker state per contiguous chunk: `init` is
+    /// called once per worker thread and the resulting state is threaded
+    /// through every item of that worker's chunk. Upstream rayon calls
+    /// `init` once per *split*; here a split is exactly one contiguous
+    /// chunk, so the semantics coincide. Output order is input order.
+    pub fn map_init<S, T, INIT, F>(self, init: INIT, f: F) -> ParRangeMapInit<INIT, F>
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+        T: Send,
+    {
+        ParRangeMapInit {
+            range: self.0,
+            init,
+            f,
+        }
+    }
+}
+
+pub struct ParRangeMapInit<INIT, F> {
+    range: Range<usize>,
+    init: INIT,
+    f: F,
+}
+
+impl<S, T, INIT, F> ParRangeMapInit<INIT, F>
+where
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+    T: Send,
+{
+    pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+        let start = self.range.start;
+        let len = self.range.len();
+        let (init, f) = (&self.init, &self.f);
+        let chunks = run_chunked(len, |chunk| {
+            let mut state = init();
+            chunk.map(|i| f(&mut state, start + i)).collect::<Vec<T>>()
+        });
+        C::from_chunks(chunks)
+    }
 }
 
 pub struct ParRangeMap<F> {
@@ -209,6 +261,87 @@ impl<T: Send, F: Fn(usize) -> T + Sync> ParRangeMap<F> {
         let f = &self.f;
         let partials = run_chunked(len, |chunk| chunk.map(|i| f(start + i)).sum::<S>());
         partials.into_iter().sum()
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = ParVec<T>;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec(self)
+    }
+}
+
+/// Owned-vector parallel iterator: items are moved into one contiguous chunk
+/// per worker thread. Supports the `for_each`/`map().collect()` subset.
+pub struct ParVec<T>(Vec<T>);
+
+impl<T: Send> ParVec<T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let threads = current_num_threads();
+        let len = self.0.len();
+        if threads <= 1 || len <= 1 {
+            self.0.into_iter().for_each(f);
+            return;
+        }
+        let lens = chunk_lengths(len, threads);
+        let mut items = self.0;
+        // Split off chunks back-to-front so each drains without reshuffling.
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(lens.len());
+        for &l in lens.iter().rev() {
+            let tail = items.split_off(items.len() - l);
+            chunks.push(tail);
+        }
+        std::thread::scope(|scope| {
+            for chunk in chunks {
+                let f = &f;
+                scope.spawn(move || chunk.into_iter().for_each(f));
+            }
+        });
+    }
+
+    pub fn map<U, F>(self, f: F) -> ParVecMap<T, F>
+    where
+        F: Fn(T) -> U + Sync,
+        U: Send,
+    {
+        ParVecMap { items: self.0, f }
+    }
+}
+
+pub struct ParVecMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParVecMap<T, F> {
+    pub fn collect<C: FromParallelIterator<U>>(self) -> C {
+        let threads = current_num_threads();
+        let len = self.items.len();
+        let f = &self.f;
+        if threads <= 1 || len <= 1 {
+            return C::from_chunks(vec![self.items.into_iter().map(f).collect()]);
+        }
+        let lens = chunk_lengths(len, threads);
+        let mut items = self.items;
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(lens.len());
+        for &l in lens.iter().rev() {
+            chunks.push(items.split_off(items.len() - l));
+        }
+        chunks.reverse();
+        let out = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        C::from_chunks(out)
     }
 }
 
@@ -321,6 +454,65 @@ mod tests {
             let got: Vec<f64> =
                 pool.install(|| (0..500).into_par_iter().map(|i| (i as f64).sin()).collect());
             assert_eq!(got, reference);
+        }
+    }
+
+    #[test]
+    fn map_init_reuses_state_and_preserves_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        for threads in [1usize, 2, 6] {
+            inits.store(0, Ordering::SeqCst);
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let got: Vec<usize> = pool.install(|| {
+                (0..200)
+                    .into_par_iter()
+                    .map_init(
+                        || {
+                            inits.fetch_add(1, Ordering::SeqCst);
+                            vec![0usize; 8] // reusable scratch
+                        },
+                        |scratch, i| {
+                            scratch[i % 8] += 1;
+                            i * 3
+                        },
+                    )
+                    .collect()
+            });
+            assert_eq!(got, (0..200).map(|i| i * 3).collect::<Vec<_>>());
+            // One state per worker chunk, never per item.
+            assert!(inits.load(Ordering::SeqCst) <= threads);
+        }
+    }
+
+    #[test]
+    fn vec_into_par_iter_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for threads in [1usize, 3, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let sum = AtomicUsize::new(0);
+            let items: Vec<usize> = (1..=100).collect();
+            pool.install(|| {
+                items.into_par_iter().for_each(|v| {
+                    sum.fetch_add(v, Ordering::Relaxed);
+                })
+            });
+            assert_eq!(sum.load(Ordering::SeqCst), 5050);
+
+            let doubled: Vec<usize> = pool.install(|| {
+                (1..=50usize)
+                    .collect::<Vec<_>>()
+                    .into_par_iter()
+                    .map(|v| v * 2)
+                    .collect()
+            });
+            assert_eq!(doubled, (1..=50).map(|v| v * 2).collect::<Vec<_>>());
         }
     }
 

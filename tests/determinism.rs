@@ -20,6 +20,53 @@ fn mcmc_build_identical_across_thread_counts() {
     }
 }
 
+/// CI runs this file under `RAYON_NUM_THREADS=1` and `=8`; together with
+/// the in-process pool sweep below, that covers the nnz-balanced parallel
+/// SpMV the Krylov solvers route through.
+#[test]
+fn spmv_par_identical_across_thread_counts() {
+    // Wide-stencil operator: skewed degrees exercise the nnz-balanced
+    // partitioning (row-count chunking would split this very differently).
+    let a = mcmcmi::matgen::stretched_climate_operator(13, 46, 22, 1.0);
+    let n = a.nrows();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.013).sin()).collect();
+    let mut reference = vec![0.0; n];
+    a.spmv(&x, &mut reference);
+    for threads in [1usize, 2, 3, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let mut y = vec![0.0; n];
+        pool.install(|| a.spmv_par(&x, &mut y));
+        assert_eq!(y, reference, "spmv_par, thread count {threads}");
+        let mut z = vec![0.0; n];
+        pool.install(|| a.spmv_auto(&x, &mut z));
+        assert_eq!(z, reference, "spmv_auto, thread count {threads}");
+    }
+}
+
+/// The regenerative builder shares the reusable-workspace walk path with
+/// the classic builder; its output must also be schedule-independent.
+#[test]
+fn regenerative_build_identical_across_thread_counts() {
+    use mcmcmi::mcmc::{regenerative_inverse, RegenerativeConfig};
+    let a = mcmcmi::matgen::pdd_real_sparse(80, 4);
+    let cfg = RegenerativeConfig {
+        budget: 500,
+        ..Default::default()
+    };
+    let reference = regenerative_inverse(&a, cfg).matrix().clone();
+    for threads in [1usize, 3, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let got = pool.install(|| regenerative_inverse(&a, cfg));
+        assert_eq!(got.matrix(), &reference, "thread count {threads}");
+    }
+}
+
 #[test]
 fn suite_generation_is_reproducible() {
     for m in PaperMatrix::lite_training_set() {
