@@ -1,0 +1,41 @@
+//! SpMM block-kernel microbenchmarks: one `spmm_auto` traversal versus k
+//! sequential `spmv_auto` calls — the amortization the batched solve path
+//! is built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcmcmi_matgen::{fd_laplace_2d, stretched_climate_operator};
+use std::hint::black_box;
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    let cases = [
+        ("laplace_2d_h64", fd_laplace_2d(64)),
+        ("climate_598", stretched_climate_operator(13, 46, 22, 1.0)),
+    ];
+    for (name, a) in &cases {
+        let n = a.nrows();
+        for k in [2usize, 4, 8] {
+            let xb: Vec<f64> = (0..n * k).map(|t| (t as f64 * 0.003).sin()).collect();
+            let mut yb = vec![0.0; n * k];
+            group.bench_function(BenchmarkId::new(format!("block/{name}"), k), |b| {
+                b.iter(|| a.spmm_auto(black_box(&xb), k, &mut yb));
+            });
+            // Baseline: the same k vectors, one traversal each.
+            let xs: Vec<Vec<f64>> = (0..k)
+                .map(|c| (0..n).map(|i| xb[i * k + c]).collect())
+                .collect();
+            let mut y = vec![0.0; n];
+            group.bench_function(BenchmarkId::new(format!("seq-spmv/{name}"), k), |b| {
+                b.iter(|| {
+                    for x in &xs {
+                        a.spmv_auto(black_box(x), &mut y);
+                    }
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm);
+criterion_main!(benches);

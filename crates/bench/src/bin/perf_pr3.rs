@@ -1,0 +1,462 @@
+//! **PR 3 perf record** — batched multi-RHS solving: SpMM block kernels vs
+//! sequential SpMV, and lockstep `solve_batch` vs sequential single-RHS
+//! solves, with the determinism contract (bit-identical results at any
+//! thread count, batched ≡ sequential) asserted as part of the record.
+//!
+//! Writes `runs/perf_pr3/perf_pr3.json` + `spmm.csv` + `solve_batch.csv`
+//! and extends the top-level `BENCH_perf.json` with a `perf_pr3` section
+//! (per-k throughput and amortization curves) without clobbering the PR 2
+//! record.
+//!
+//! `--smoke`: CI mode — tiny matrices, assert SpMM bit-identity across
+//! thread counts and `solve_batch` ≡ sequential, skip the timed sweep and
+//! all file writes.
+
+use mcmcmi_bench::{write_csv, write_json, RunDir};
+use mcmcmi_krylov::{solve, solve_batch, JacobiPrecond, SolveOptions, SolveSession, SolverType};
+use mcmcmi_matgen::{fd_laplace_2d, stretched_climate_operator, PaperMatrix};
+use mcmcmi_mcmc::{BuildConfig, McmcInverse, McmcParams};
+use mcmcmi_sparse::Csr;
+use serde::Serialize;
+use serde_json::Value;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct SpmmRecord {
+    matrix: String,
+    n: usize,
+    nnz: usize,
+    k: usize,
+    /// k sequential `spmv_auto` calls on contiguous vectors (µs).
+    seq_spmv_us: f64,
+    /// One `spmm_auto` on the n×k block (µs).
+    spmm_us: f64,
+    /// Per-vector throughput ratio: seq_spmv_us / spmm_us.
+    speedup: f64,
+    /// Multiply-add throughput of the block kernel (GFLOP/s, 2·nnz·k flops).
+    spmm_gflops: f64,
+}
+
+#[derive(Serialize)]
+struct SolveBatchRecord {
+    matrix: String,
+    solver: String,
+    n: usize,
+    k: usize,
+    /// Sequential single-RHS session solves, total (ms).
+    seq_ms: f64,
+    /// One lockstep `solve_batch` call, total (ms).
+    batch_ms: f64,
+    /// Amortization: per-RHS cost ratio seq/batch.
+    speedup: f64,
+    /// Iterations of the hardest column (identical for both paths).
+    max_iterations: usize,
+}
+
+#[derive(Serialize)]
+struct Pr3Report {
+    generated_by: String,
+    threads_available: usize,
+    spmm: Vec<SpmmRecord>,
+    solve_batch: Vec<SolveBatchRecord>,
+    spmm_bit_identical_threads_1_vs_8: bool,
+    solve_batch_bit_identical_to_sequential: bool,
+    /// Acceptance: matrices with ≥2× per-vector SpMM throughput at k = 8.
+    spmm_2x_at_k8: Vec<String>,
+}
+
+/// Median-of-3 with one warm-up, in microseconds per call.
+fn time_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            t0.elapsed().as_secs_f64() * 1e6 / reps as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[1]
+}
+
+/// Assert the SpMM determinism contract on one matrix: serial, parallel,
+/// and auto paths bit-identical across thread counts, and every block
+/// column bit-identical to a contiguous SpMV.
+fn assert_spmm_contract(a: &Csr, k: usize) {
+    let n = a.nrows();
+    let xb: Vec<f64> = (0..n * k).map(|t| (t as f64 * 0.0071).sin()).collect();
+    let mut reference = vec![0.0; n * k];
+    a.spmm(&xb, k, &mut reference);
+    let mut xc = vec![0.0; n];
+    let mut yc = vec![0.0; n];
+    for c in 0..k {
+        mcmcmi_dense::gather_col(&xb, k, c, &mut xc);
+        a.spmv(&xc, &mut yc);
+        for i in 0..n {
+            assert_eq!(
+                reference[i * k + c],
+                yc[i],
+                "spmm column {c} deviates from spmv at row {i}"
+            );
+        }
+    }
+    for threads in [1usize, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let mut y = vec![0.0; n * k];
+        pool.install(|| a.spmm_par(&xb, k, &mut y));
+        assert_eq!(y, reference, "spmm_par deviates at {threads} threads");
+        let mut z = vec![0.0; n * k];
+        pool.install(|| a.spmm_auto(&xb, k, &mut z));
+        assert_eq!(z, reference, "spmm_auto deviates at {threads} threads");
+    }
+}
+
+/// Assert `solve_batch` ≡ sequential scalar solves, bit for bit, across
+/// thread counts. Returns true (panics otherwise) so the report can record
+/// the check.
+fn assert_solve_batch_contract(a: &Csr, solver: SolverType) -> bool {
+    let n = a.nrows();
+    let rhs: Vec<Vec<f64>> = (0..4)
+        .map(|c| {
+            (0..n)
+                .map(|i| (i as f64 * (0.22 + 0.07 * c as f64)).sin())
+                .collect()
+        })
+        .collect();
+    let precond = JacobiPrecond::new(a);
+    let opts = SolveOptions::default();
+    let reference: Vec<_> = rhs
+        .iter()
+        .map(|b| solve(a, b, &precond, solver, opts))
+        .collect();
+    for threads in [1usize, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let batch = pool.install(|| solve_batch(a, &rhs, &precond, solver, opts));
+        for (c, (got, want)) in batch.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                got.x, want.x,
+                "solve_batch {solver:?} col {c} deviates at {threads} threads"
+            );
+            assert_eq!(got.iterations, want.iterations);
+            assert_eq!(got.rel_residual, want.rel_residual);
+        }
+    }
+    true
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let threads = rayon::current_num_threads();
+
+    if smoke {
+        println!("perf_pr3 --smoke: batched-path determinism contract");
+        for (name, a) in [
+            ("laplace_2d_h12", fd_laplace_2d(12)),
+            ("climate_598", stretched_climate_operator(13, 46, 22, 1.0)),
+        ] {
+            for k in [1usize, 3, 8] {
+                assert_spmm_contract(&a, k);
+            }
+            println!("  spmm bit-identity across thread counts: {name} ok");
+        }
+        let a = fd_laplace_2d(10);
+        for solver in [SolverType::Cg, SolverType::BiCgStab, SolverType::Gmres] {
+            assert_solve_batch_contract(&a, solver);
+            println!("  solve_batch ≡ sequential: {} ok", solver.name());
+        }
+        println!("smoke ok");
+        return;
+    }
+
+    println!("perf_pr3 — batched multi-RHS perf record ({threads} thread(s) available)\n");
+
+    // --- 1. SpMM vs sequential SpMV: per-k throughput ------------------
+    let spmm_cases = [
+        (
+            "nonsym_r3_a11".to_string(),
+            PaperMatrix::NonsymR3A11.generate(),
+        ),
+        ("a08192".to_string(), PaperMatrix::A08192.generate()),
+        ("a_00512".to_string(), PaperMatrix::A00512.generate()),
+        ("laplace_2d_h64".to_string(), fd_laplace_2d(64)),
+    ];
+    let mut spmm = Vec::new();
+    println!(
+        "{:<18} {:>8} {:>9} {:>4} | {:>12} {:>10} {:>8} {:>8}",
+        "spmm matrix", "n", "nnz", "k", "seq spmv us", "spmm us", "speedup", "GF/s"
+    );
+    for (name, a) in &spmm_cases {
+        let n = a.nrows();
+        for k in [2usize, 4, 8, 16] {
+            let xb: Vec<f64> = (0..n * k).map(|t| (t as f64 * 0.001).sin()).collect();
+            let mut yb = vec![0.0; n * k];
+            // Pre-extracted contiguous columns: the sequential baseline
+            // pays no gather cost, only the k separate traversals.
+            let xs: Vec<Vec<f64>> = (0..k)
+                .map(|c| (0..n).map(|i| xb[i * k + c]).collect())
+                .collect();
+            let mut y = vec![0.0; n];
+            let reps = (40_000_000 / (a.nnz() * k).max(1)).clamp(3, 200);
+            // Interleave A/B/A/B and keep the faster pass of each, so
+            // frequency scaling or background noise cannot fake a win.
+            let spmm_a = time_us(reps, || a.spmm_auto(std::hint::black_box(&xb), k, &mut yb));
+            let seq_a = time_us(reps, || {
+                for x in &xs {
+                    a.spmv_auto(std::hint::black_box(x), &mut y);
+                }
+            });
+            let spmm_b = time_us(reps, || a.spmm_auto(std::hint::black_box(&xb), k, &mut yb));
+            let seq_b = time_us(reps, || {
+                for x in &xs {
+                    a.spmv_auto(std::hint::black_box(x), &mut y);
+                }
+            });
+            let spmm_us = spmm_a.min(spmm_b);
+            let seq_us = seq_a.min(seq_b);
+            let rec = SpmmRecord {
+                matrix: name.clone(),
+                n,
+                nnz: a.nnz(),
+                k,
+                seq_spmv_us: seq_us,
+                spmm_us,
+                speedup: seq_us / spmm_us,
+                spmm_gflops: 2.0 * a.nnz() as f64 * k as f64 / (spmm_us * 1e3),
+            };
+            println!(
+                "{:<18} {:>8} {:>9} {:>4} | {:>12.1} {:>10.1} {:>7.2}x {:>8.3}",
+                rec.matrix,
+                rec.n,
+                rec.nnz,
+                rec.k,
+                rec.seq_spmv_us,
+                rec.spmm_us,
+                rec.speedup,
+                rec.spmm_gflops
+            );
+            spmm.push(rec);
+        }
+    }
+    let spmm_2x_at_k8: Vec<String> = spmm
+        .iter()
+        .filter(|r| r.k == 8 && r.speedup >= 2.0)
+        .map(|r| r.matrix.clone())
+        .collect();
+    println!("\n≥2x per-vector throughput at k=8: {spmm_2x_at_k8:?}");
+    assert!(
+        spmm_2x_at_k8.len() >= 2,
+        "acceptance: need ≥2 Table-1-class matrices with ≥2x spmm speedup at k=8"
+    );
+
+    // --- 2. solve_batch vs sequential session solves -------------------
+    // The serving workload the paper targets: an MCMC-built sparse
+    // approximate inverse (application = a second sparse multiply, shared
+    // across the batch via SpMM) amortised over many right-hand sides.
+    let solve_cases = [
+        ("laplace_2d_h32", fd_laplace_2d(32), SolverType::Cg),
+        (
+            "a_00512",
+            PaperMatrix::A00512.generate(),
+            SolverType::BiCgStab,
+        ),
+        (
+            "climate_598",
+            stretched_climate_operator(13, 46, 22, 1.0),
+            SolverType::Gmres,
+        ),
+        (
+            "a08192",
+            PaperMatrix::A08192.generate(),
+            SolverType::BiCgStab,
+        ),
+    ];
+    let mut solve_recs = Vec::new();
+    println!(
+        "\n{:<16} {:<9} {:>7} {:>4} | {:>9} {:>9} {:>8} {:>7}",
+        "solve matrix", "solver", "n", "k", "seq ms", "batch ms", "speedup", "iters"
+    );
+    for (name, a, solver) in &solve_cases {
+        let n = a.nrows();
+        let built =
+            McmcInverse::new(BuildConfig::default()).build(a, McmcParams::new(0.1, 0.0625, 0.0625));
+        // CG needs a symmetric operator pair; the MCMC inverse is
+        // symmetrised exactly as the scalar pipeline does.
+        let precond = match solver {
+            SolverType::Cg => built.precond.symmetrized(),
+            _ => built.precond.clone(),
+        };
+        for k in [2usize, 4, 8] {
+            let rhs: Vec<Vec<f64>> = (0..k)
+                .map(|c| {
+                    (0..n)
+                        .map(|i| (i as f64 * (0.19 + 0.055 * c as f64)).sin())
+                        .collect()
+                })
+                .collect();
+            let mut batch_sess =
+                SolveSession::new(a.clone(), precond.clone(), *solver, SolveOptions::default());
+            let mut seq_sess =
+                SolveSession::new(a.clone(), precond.clone(), *solver, SolveOptions::default());
+            let results = batch_sess.solve_batch(&rhs);
+            let max_iterations = results.iter().map(|r| r.iterations).max().unwrap();
+            let batch_a = time_us(3, || {
+                std::hint::black_box(batch_sess.solve_batch(std::hint::black_box(&rhs)));
+            });
+            let seq_a = time_us(3, || {
+                for b in &rhs {
+                    std::hint::black_box(seq_sess.solve(std::hint::black_box(b)));
+                }
+            });
+            let batch_b = time_us(3, || {
+                std::hint::black_box(batch_sess.solve_batch(std::hint::black_box(&rhs)));
+            });
+            let seq_b = time_us(3, || {
+                for b in &rhs {
+                    std::hint::black_box(seq_sess.solve(std::hint::black_box(b)));
+                }
+            });
+            let rec = SolveBatchRecord {
+                matrix: name.to_string(),
+                solver: solver.name().to_string(),
+                n,
+                k,
+                seq_ms: seq_a.min(seq_b) / 1e3,
+                batch_ms: batch_a.min(batch_b) / 1e3,
+                speedup: seq_a.min(seq_b) / batch_a.min(batch_b),
+                max_iterations,
+            };
+            println!(
+                "{:<16} {:<9} {:>7} {:>4} | {:>9.2} {:>9.2} {:>7.2}x {:>7}",
+                rec.matrix,
+                rec.solver,
+                rec.n,
+                rec.k,
+                rec.seq_ms,
+                rec.batch_ms,
+                rec.speedup,
+                rec.max_iterations
+            );
+            solve_recs.push(rec);
+        }
+    }
+
+    // --- 3. Determinism contract ---------------------------------------
+    let det = stretched_climate_operator(13, 46, 22, 1.0);
+    for k in [3usize, 8] {
+        assert_spmm_contract(&det, k);
+    }
+    let det_solve = fd_laplace_2d(16);
+    let mut solve_ok = true;
+    for solver in [SolverType::Cg, SolverType::BiCgStab, SolverType::Gmres] {
+        solve_ok &= assert_solve_batch_contract(&det_solve, solver);
+    }
+    println!("\nspmm bit-identical RAYON_NUM_THREADS=1 vs 8:        true");
+    println!("solve_batch bit-identical to sequential (1, 8 thr): {solve_ok}");
+
+    // --- 4. Persist -----------------------------------------------------
+    let report = Pr3Report {
+        generated_by: "cargo run --release -p mcmcmi_bench --bin perf_pr3".to_string(),
+        threads_available: threads,
+        spmm,
+        solve_batch: solve_recs,
+        spmm_bit_identical_threads_1_vs_8: true,
+        solve_batch_bit_identical_to_sequential: solve_ok,
+        spmm_2x_at_k8,
+    };
+    let rd = RunDir::new("perf_pr3").expect("runs dir");
+    write_json(&rd.path("perf_pr3.json"), &report).expect("write json");
+    let spmm_rows: Vec<Vec<String>> = report
+        .spmm
+        .iter()
+        .map(|r| {
+            vec![
+                r.matrix.clone(),
+                r.n.to_string(),
+                r.nnz.to_string(),
+                r.k.to_string(),
+                format!("{:.2}", r.seq_spmv_us),
+                format!("{:.2}", r.spmm_us),
+                format!("{:.3}", r.speedup),
+                format!("{:.3}", r.spmm_gflops),
+            ]
+        })
+        .collect();
+    write_csv(
+        &rd.path("spmm.csv"),
+        &[
+            "matrix",
+            "n",
+            "nnz",
+            "k",
+            "seq_spmv_us",
+            "spmm_us",
+            "speedup",
+            "spmm_gflops",
+        ],
+        &spmm_rows,
+    )
+    .expect("write spmm csv");
+    let solve_rows: Vec<Vec<String>> = report
+        .solve_batch
+        .iter()
+        .map(|r| {
+            vec![
+                r.matrix.clone(),
+                r.solver.clone(),
+                r.n.to_string(),
+                r.k.to_string(),
+                format!("{:.3}", r.seq_ms),
+                format!("{:.3}", r.batch_ms),
+                format!("{:.3}", r.speedup),
+                r.max_iterations.to_string(),
+            ]
+        })
+        .collect();
+    write_csv(
+        &rd.path("solve_batch.csv"),
+        &[
+            "matrix",
+            "solver",
+            "n",
+            "k",
+            "seq_ms",
+            "batch_ms",
+            "speedup",
+            "max_iterations",
+        ],
+        &solve_rows,
+    )
+    .expect("write solve_batch csv");
+
+    // Extend BENCH_perf.json in place: keep the PR 2 headline record, add
+    // (or replace) the `perf_pr3` section.
+    let bench_path = std::path::Path::new("BENCH_perf.json");
+    let report_value: Value =
+        serde_json::parse_value_str(&serde_json::to_string(&report).expect("serialize report"))
+            .expect("reparse report");
+    // Fail loudly rather than clobber: an existing-but-unparseable file
+    // would otherwise silently lose the PR 2 headline record.
+    let merged = match std::fs::read_to_string(bench_path) {
+        Ok(existing) => {
+            let parsed = serde_json::parse_value_str(&existing)
+                .expect("BENCH_perf.json exists but does not parse; refusing to overwrite");
+            let Value::Object(mut pairs) = parsed else {
+                panic!("BENCH_perf.json is not a JSON object; refusing to overwrite");
+            };
+            pairs.retain(|(key, _)| key != "perf_pr3");
+            pairs.push(("perf_pr3".to_string(), report_value));
+            Value::Object(pairs)
+        }
+        Err(_) => Value::Object(vec![("perf_pr3".to_string(), report_value)]),
+    };
+    write_json(bench_path, &merged).expect("write BENCH_perf.json");
+    println!("\nwrote runs/perf_pr3/{{perf_pr3.json,spmm.csv,solve_batch.csv}} and extended BENCH_perf.json");
+}

@@ -71,6 +71,225 @@ pub fn copy_into(src: &[f64], dst: &mut [f64]) {
     dst.copy_from_slice(src);
 }
 
+// ---------------------------------------------------------------------------
+// Strided column kernels over row-major n×k blocks.
+//
+// The batched (multi-RHS) Krylov drivers store k right-hand sides as one
+// row-major n×k block, so "vector" operations become strided walks over one
+// column. Each kernel below performs *exactly* the same floating-point
+// operations in the same order as its contiguous counterpart above — that is
+// the property that makes a lockstep batched solve bit-identical to k
+// sequential single-RHS solves.
+// ---------------------------------------------------------------------------
+
+/// Dot product of column `c` of two row-major `n×k` blocks.
+/// Same operation order as [`dot`].
+///
+/// # Panics
+/// Panics if the blocks differ in length or `c >= k`.
+#[inline]
+pub fn dot_col(x: &[f64], y: &[f64], k: usize, c: usize) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot_col: length mismatch");
+    assert!(c < k, "dot_col: column out of range");
+    x[c..]
+        .iter()
+        .step_by(k)
+        .zip(y[c..].iter().step_by(k))
+        .map(|(a, b)| a * b)
+        .sum()
+}
+
+/// Euclidean norm of column `c` of a row-major `n×k` block.
+/// Same overflow-safe scaling algorithm and operation order as [`norm2`].
+///
+/// # Panics
+/// Panics if `c >= k`.
+#[inline]
+pub fn norm2_col(x: &[f64], k: usize, c: usize) -> f64 {
+    assert!(c < k, "norm2_col: column out of range");
+    let amax = x[c..]
+        .iter()
+        .step_by(k)
+        .fold(0.0_f64, |m, &v| m.max(v.abs()));
+    if amax == 0.0 || !amax.is_finite() {
+        return if amax == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    let s: f64 = x[c..]
+        .iter()
+        .step_by(k)
+        .map(|&v| {
+            let t = v / amax;
+            t * t
+        })
+        .sum();
+    amax * s.sqrt()
+}
+
+/// `y[:,c] ← y[:,c] + a·x[:,c]` over row-major `n×k` blocks.
+/// Same operation order as [`axpy`].
+///
+/// # Panics
+/// Panics if the blocks differ in length or `c >= k`.
+#[inline]
+pub fn axpy_col(a: f64, x: &[f64], y: &mut [f64], k: usize, c: usize) {
+    assert_eq!(x.len(), y.len(), "axpy_col: length mismatch");
+    assert!(c < k, "axpy_col: column out of range");
+    for (yi, xi) in y[c..].iter_mut().step_by(k).zip(x[c..].iter().step_by(k)) {
+        *yi += a * xi;
+    }
+}
+
+/// `x[:,c] ← a·x[:,c]` over a row-major `n×k` block.
+/// Same operation order as [`scale_in_place`].
+///
+/// # Panics
+/// Panics if `c >= k`.
+#[inline]
+pub fn scale_col(a: f64, x: &mut [f64], k: usize, c: usize) {
+    assert!(c < k, "scale_col: column out of range");
+    for v in x[c..].iter_mut().step_by(k) {
+        *v *= a;
+    }
+}
+
+// Fused whole-block kernels: one contiguous row-order sweep serves every
+// (unmasked) column at once. The strided per-column kernels above touch one
+// element per cache line; these touch every line once for all k columns,
+// and the all-columns-active inner loops vectorize. Per column they perform
+// the identical operation sequence, so results are bit-identical to the
+// per-column kernels — the batched Krylov drivers rely on that.
+
+/// Fused dot products: `out[c] = Σ_i x[i,c]·y[i,c]` for every column with
+/// `mask[c]` set (masked-out entries of `out` are reset to 0). Bit-identical
+/// per column to [`dot`] / [`dot_col`].
+///
+/// # Panics
+/// Panics if the blocks differ in length or `mask`/`out` lengths ≠ `k`.
+pub fn dot_cols_masked(x: &[f64], y: &[f64], k: usize, mask: &[bool], out: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "dot_cols_masked: length mismatch");
+    assert_eq!(mask.len(), k, "dot_cols_masked: mask length mismatch");
+    assert_eq!(out.len(), k, "dot_cols_masked: out length mismatch");
+    for o in out.iter_mut() {
+        *o = 0.0;
+    }
+    if mask.iter().all(|&m| m) {
+        // Hot path: no branch in the inner loop, vectorizes across columns.
+        for (xr, yr) in x.chunks_exact(k).zip(y.chunks_exact(k)) {
+            for ((o, &xi), &yi) in out.iter_mut().zip(xr).zip(yr) {
+                *o += xi * yi;
+            }
+        }
+    } else {
+        for (xr, yr) in x.chunks_exact(k).zip(y.chunks_exact(k)) {
+            for c in 0..k {
+                if mask[c] {
+                    out[c] += xr[c] * yr[c];
+                }
+            }
+        }
+    }
+}
+
+/// Fused Euclidean norms of every masked column (others left untouched),
+/// with the same overflow-safe scaling and operation order as [`norm2`].
+///
+/// # Panics
+/// Panics if `mask`/`out` lengths ≠ `k`.
+pub fn norm2_cols_masked(x: &[f64], k: usize, mask: &[bool], out: &mut [f64]) {
+    assert_eq!(mask.len(), k, "norm2_cols_masked: mask length mismatch");
+    assert_eq!(out.len(), k, "norm2_cols_masked: out length mismatch");
+    let mut amax = vec![0.0f64; k];
+    for xr in x.chunks_exact(k) {
+        for (m, &xi) in amax.iter_mut().zip(xr) {
+            *m = m.max(xi.abs());
+        }
+    }
+    let mut sums = vec![0.0f64; k];
+    let plain = mask.iter().all(|&m| m) && amax.iter().all(|&m| m != 0.0 && m.is_finite());
+    if plain {
+        // Hot path: no branch in the inner loop.
+        for xr in x.chunks_exact(k) {
+            for ((s, &xi), &mc) in sums.iter_mut().zip(xr).zip(&amax) {
+                let t = xi / mc;
+                *s += t * t;
+            }
+        }
+    } else {
+        for xr in x.chunks_exact(k) {
+            for c in 0..k {
+                if mask[c] && amax[c] != 0.0 && amax[c].is_finite() {
+                    let t = xr[c] / amax[c];
+                    sums[c] += t * t;
+                }
+            }
+        }
+    }
+    for c in 0..k {
+        if !mask[c] {
+            continue;
+        }
+        out[c] = if amax[c] == 0.0 {
+            0.0
+        } else if !amax[c].is_finite() {
+            f64::INFINITY
+        } else {
+            amax[c] * sums[c].sqrt()
+        };
+    }
+}
+
+/// Fused scaled updates: `y[:,c] += a[c]·x[:,c]` for every masked column
+/// (others untouched). Bit-identical per column to [`axpy`] / [`axpy_col`].
+///
+/// # Panics
+/// Panics if the blocks differ in length or `a`/`mask` lengths ≠ `k`.
+pub fn axpy_cols_masked(a: &[f64], x: &[f64], y: &mut [f64], k: usize, mask: &[bool]) {
+    assert_eq!(x.len(), y.len(), "axpy_cols_masked: length mismatch");
+    assert_eq!(a.len(), k, "axpy_cols_masked: coefficient length mismatch");
+    assert_eq!(mask.len(), k, "axpy_cols_masked: mask length mismatch");
+    if mask.iter().all(|&m| m) {
+        for (yr, xr) in y.chunks_exact_mut(k).zip(x.chunks_exact(k)) {
+            for ((yi, &xi), &ac) in yr.iter_mut().zip(xr).zip(a) {
+                *yi += ac * xi;
+            }
+        }
+    } else {
+        for (yr, xr) in y.chunks_exact_mut(k).zip(x.chunks_exact(k)) {
+            for c in 0..k {
+                if mask[c] {
+                    yr[c] += a[c] * xr[c];
+                }
+            }
+        }
+    }
+}
+
+/// Copy column `c` of a row-major `n×k` block into a contiguous vector.
+///
+/// # Panics
+/// Panics if dimensions disagree.
+#[inline]
+pub fn gather_col(block: &[f64], k: usize, c: usize, dst: &mut [f64]) {
+    assert!(c < k, "gather_col: column out of range");
+    assert_eq!(block.len(), dst.len() * k, "gather_col: length mismatch");
+    for (d, s) in dst.iter_mut().zip(block[c..].iter().step_by(k)) {
+        *d = *s;
+    }
+}
+
+/// Copy a contiguous vector into column `c` of a row-major `n×k` block.
+///
+/// # Panics
+/// Panics if dimensions disagree.
+#[inline]
+pub fn scatter_col(src: &[f64], block: &mut [f64], k: usize, c: usize) {
+    assert!(c < k, "scatter_col: column out of range");
+    assert_eq!(block.len(), src.len() * k, "scatter_col: length mismatch");
+    for (d, s) in block[c..].iter_mut().step_by(k).zip(src) {
+        *d = *s;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +350,99 @@ mod tests {
         let mut x = [1.0, -2.0];
         scale_in_place(-3.0, &mut x);
         assert_eq!(x, [-3.0, 6.0]);
+    }
+
+    /// A deterministic n×k block and its k extracted columns.
+    fn block_and_cols(n: usize, k: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
+        let block: Vec<f64> = (0..n * k)
+            .map(|t| ((t * 37 + 11) as f64 * 0.193).sin() * 3.0)
+            .collect();
+        let cols = (0..k)
+            .map(|c| (0..n).map(|i| block[i * k + c]).collect())
+            .collect();
+        (block, cols)
+    }
+
+    #[test]
+    fn column_kernels_bit_identical_to_contiguous() {
+        for &(n, k) in &[(1usize, 1usize), (7, 3), (16, 4), (33, 5)] {
+            let (bx, cx) = block_and_cols(n, k);
+            let (by, cy) = block_and_cols(n, k);
+            for c in 0..k {
+                // dot / norm2 must produce the same bits as the contiguous
+                // kernels — not merely close values.
+                assert_eq!(dot_col(&bx, &by, k, c), dot(&cx[c], &cy[c]));
+                assert_eq!(norm2_col(&bx, k, c), norm2(&cx[c]));
+                let mut yb = by.clone();
+                let mut yv = cy[c].clone();
+                axpy_col(0.77, &bx, &mut yb, k, c);
+                axpy(0.77, &cx[c], &mut yv);
+                let mut got = vec![0.0; n];
+                gather_col(&yb, k, c, &mut got);
+                assert_eq!(got, yv);
+                let mut sb = bx.clone();
+                let mut sv = cx[c].clone();
+                scale_col(-1.3, &mut sb, k, c);
+                scale_in_place(-1.3, &mut sv);
+                let mut got = vec![0.0; n];
+                gather_col(&sb, k, c, &mut got);
+                assert_eq!(got, sv);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_masked_kernels_bit_identical_to_per_column() {
+        for &(n, k) in &[(1usize, 1usize), (9, 3), (16, 8), (31, 5)] {
+            let (bx, cx) = block_and_cols(n, k);
+            let (by, cy) = block_and_cols(n, k);
+            // Alternating mask plus the all-active fast path.
+            for mask in [
+                vec![true; k],
+                (0..k).map(|c| c % 2 == 0).collect::<Vec<_>>(),
+            ] {
+                let mut dots = vec![f64::NAN; k];
+                dot_cols_masked(&bx, &by, k, &mask, &mut dots);
+                let mut norms = vec![f64::NAN; k];
+                norm2_cols_masked(&bx, k, &mask, &mut norms);
+                let a: Vec<f64> = (0..k).map(|c| 0.3 + c as f64).collect();
+                let mut yb = by.clone();
+                axpy_cols_masked(&a, &bx, &mut yb, k, &mask);
+                for c in 0..k {
+                    if !mask[c] {
+                        continue;
+                    }
+                    assert_eq!(dots[c], dot(&cx[c], &cy[c]), "dot col {c}");
+                    assert_eq!(norms[c], norm2(&cx[c]), "norm col {c}");
+                    let mut want = cy[c].clone();
+                    axpy(a[c], &cx[c], &mut want);
+                    let mut got = vec![0.0; n];
+                    gather_col(&yb, k, c, &mut got);
+                    assert_eq!(got, want, "axpy col {c}");
+                }
+                // Masked-out columns of y are untouched.
+                for c in 0..k {
+                    if mask[c] {
+                        continue;
+                    }
+                    let mut got = vec![0.0; n];
+                    gather_col(&yb, k, c, &mut got);
+                    assert_eq!(got, cy[c], "masked col {c} modified");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let (block, cols) = block_and_cols(9, 4);
+        let mut rebuilt = vec![0.0; block.len()];
+        for (c, col) in cols.iter().enumerate() {
+            scatter_col(col, &mut rebuilt, 4, c);
+        }
+        assert_eq!(rebuilt, block);
+        let mut col = vec![0.0; 9];
+        gather_col(&block, 4, 2, &mut col);
+        assert_eq!(col, cols[2]);
     }
 }

@@ -1,9 +1,35 @@
-//! BiCGStab with left preconditioning.
+//! BiCGStab with left preconditioning: scalar driver with a reusable
+//! workspace, and the lockstep batched (multi-RHS) driver.
 
 use crate::precond::Preconditioner;
-use crate::solver::{SolveOptions, SolveResult};
-use mcmcmi_dense::{axpy, dot, norm2};
+use crate::solver::{ColEnd, ColOutcome, SolveOptions, SolveResult};
+use mcmcmi_dense::{
+    axpy, axpy_cols_masked, dot, dot_cols_masked, norm2, norm2_col, norm2_cols_masked, scatter_col,
+};
 use mcmcmi_sparse::Csr;
+
+/// Reusable scratch for repeated scalar BiCGStab solves on same-size
+/// systems. After the first solve, subsequent [`bicgstab_with`] calls
+/// allocate nothing beyond the returned solution vector.
+#[derive(Clone, Debug, Default)]
+pub struct BiCgStabWorkspace {
+    pb: Vec<f64>,
+    r: Vec<f64>,
+    r_hat: Vec<f64>,
+    p: Vec<f64>,
+    v: Vec<f64>,
+    s: Vec<f64>,
+    t: Vec<f64>,
+    tmp: Vec<f64>,
+    fin: Vec<f64>,
+}
+
+impl BiCgStabWorkspace {
+    /// Empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Solve `PA x = Pb` with the stabilised bi-conjugate gradient method.
 ///
@@ -19,13 +45,26 @@ pub fn bicgstab<P: Preconditioner>(
     precond: &P,
     opts: SolveOptions,
 ) -> SolveResult {
+    bicgstab_with(a, b, precond, opts, &mut BiCgStabWorkspace::new())
+}
+
+/// [`bicgstab`] with caller-owned scratch ([`BiCgStabWorkspace`]) —
+/// identical results, zero per-call allocation of the iteration vectors.
+pub fn bicgstab_with<P: Preconditioner>(
+    a: &Csr,
+    b: &[f64],
+    precond: &P,
+    opts: SolveOptions,
+    ws: &mut BiCgStabWorkspace,
+) -> SolveResult {
     let n = b.len();
     let mut x = vec![0.0; n];
 
     // Preconditioned residual r = P(b − Ax0) = Pb.
-    let mut pb = vec![0.0; n];
-    precond.apply(b, &mut pb);
-    let pb_norm = norm2(&pb);
+    ws.pb.clear();
+    ws.pb.resize(n, 0.0);
+    precond.apply(b, &mut ws.pb);
+    let pb_norm = norm2(&ws.pb);
     if pb_norm == 0.0 || !pb_norm.is_finite() {
         let res = SolveResult {
             x,
@@ -34,16 +73,17 @@ pub fn bicgstab<P: Preconditioner>(
             rel_residual: 0.0,
             breakdown: !pb_norm.is_finite(),
         };
-        return res.finalize(a, b);
+        return res.finalize_with(a, b, &mut ws.fin);
     }
 
-    let mut r = pb.clone();
-    let r_hat = r.clone(); // shadow residual
-    let mut p = vec![0.0; n];
-    let mut v = vec![0.0; n];
-    let mut s = vec![0.0; n];
-    let mut t = vec![0.0; n];
-    let mut tmp = vec![0.0; n];
+    ws.r.clear();
+    ws.r.extend_from_slice(&ws.pb);
+    ws.r_hat.clear();
+    ws.r_hat.extend_from_slice(&ws.r); // shadow residual
+    for buf in [&mut ws.p, &mut ws.v, &mut ws.s, &mut ws.t, &mut ws.tmp] {
+        buf.clear();
+        buf.resize(n, 0.0);
+    }
 
     let mut rho = 1.0f64;
     let mut alpha = 1.0f64;
@@ -53,13 +93,13 @@ pub fn bicgstab<P: Preconditioner>(
 
     while iters < opts.max_iter {
         iters += 1;
-        let rho_new = dot(&r_hat, &r);
+        let rho_new = dot(&ws.r_hat, &ws.r);
         if rho_new.abs() < 1e-300 || !rho_new.is_finite() {
             breakdown = true;
             break;
         }
         if iters == 1 {
-            p.copy_from_slice(&r);
+            ws.p.copy_from_slice(&ws.r);
         } else {
             let beta = (rho_new / rho) * (alpha / omega);
             if !beta.is_finite() {
@@ -67,52 +107,52 @@ pub fn bicgstab<P: Preconditioner>(
                 break;
             }
             // p = r + beta (p − omega v)
-            for ((pi, &ri), &vi) in p.iter_mut().zip(&r).zip(&v) {
+            for ((pi, &ri), &vi) in ws.p.iter_mut().zip(&ws.r).zip(&ws.v) {
                 *pi = ri + beta * (*pi - omega * vi);
             }
         }
         rho = rho_new;
         // v = PA p
-        a.spmv_auto(&p, &mut tmp);
-        precond.apply(&tmp, &mut v);
-        let rhv = dot(&r_hat, &v);
+        a.spmv_auto(&ws.p, &mut ws.tmp);
+        precond.apply(&ws.tmp, &mut ws.v);
+        let rhv = dot(&ws.r_hat, &ws.v);
         if rhv.abs() < 1e-300 || !rhv.is_finite() {
             breakdown = true;
             break;
         }
         alpha = rho / rhv;
         // s = r − alpha v
-        for ((si, &ri), &vi) in s.iter_mut().zip(&r).zip(&v) {
+        for ((si, &ri), &vi) in ws.s.iter_mut().zip(&ws.r).zip(&ws.v) {
             *si = ri - alpha * vi;
         }
-        if norm2(&s) <= opts.tol * pb_norm {
-            axpy(alpha, &p, &mut x);
+        if norm2(&ws.s) <= opts.tol * pb_norm {
+            axpy(alpha, &ws.p, &mut x);
             break;
         }
         // t = PA s
-        a.spmv_auto(&s, &mut tmp);
-        precond.apply(&tmp, &mut t);
-        let tt = dot(&t, &t);
+        a.spmv_auto(&ws.s, &mut ws.tmp);
+        precond.apply(&ws.tmp, &mut ws.t);
+        let tt = dot(&ws.t, &ws.t);
         if tt.abs() < 1e-300 || !tt.is_finite() {
             breakdown = true;
             break;
         }
-        omega = dot(&t, &s) / tt;
+        omega = dot(&ws.t, &ws.s) / tt;
         if omega.abs() < 1e-300 || !omega.is_finite() {
             breakdown = true;
             break;
         }
         // x += alpha p + omega s
-        axpy(alpha, &p, &mut x);
-        axpy(omega, &s, &mut x);
+        axpy(alpha, &ws.p, &mut x);
+        axpy(omega, &ws.s, &mut x);
         // r = s − omega t
-        for ((ri, &si), &ti) in r.iter_mut().zip(&s).zip(&t) {
+        for ((ri, &si), &ti) in ws.r.iter_mut().zip(&ws.s).zip(&ws.t) {
             *ri = si - omega * ti;
         }
-        if norm2(&r) <= opts.tol * pb_norm {
+        if norm2(&ws.r) <= opts.tol * pb_norm {
             break;
         }
-        if !norm2(&r).is_finite() {
+        if !norm2(&ws.r).is_finite() {
             breakdown = true;
             break;
         }
@@ -125,11 +165,345 @@ pub fn bicgstab<P: Preconditioner>(
         rel_residual: f64::INFINITY,
         breakdown,
     }
-    .finalize(a, b);
+    .finalize_with(a, b, &mut ws.fin);
     SolveResult {
         converged: !result.breakdown && result.rel_residual <= opts.tol * 10.0,
         ..result
     }
+}
+
+/// Block workspace for [`bicgstab_batch`]: row-major `n×k` blocks reused
+/// across batches of the same (or smaller) width.
+#[derive(Clone, Debug, Default)]
+pub struct BiCgStabBlockWorkspace {
+    bb: Vec<f64>,
+    xb: Vec<f64>,
+    pbb: Vec<f64>,
+    rb: Vec<f64>,
+    rhatb: Vec<f64>,
+    pb: Vec<f64>,
+    vb: Vec<f64>,
+    sb: Vec<f64>,
+    tb: Vec<f64>,
+    tmpb: Vec<f64>,
+    fin: Vec<f64>,
+}
+
+impl BiCgStabBlockWorkspace {
+    /// Empty workspace; blocks grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Lockstep batched BiCGStab: one batch-wide SpMM + block preconditioner
+/// application per half-step serves every column, while each column runs
+/// exactly the scalar [`bicgstab`] arithmetic — results are bit-identical
+/// to sequential single-RHS solves at any thread count, with per-column
+/// convergence masking.
+///
+/// # Panics
+/// Panics if `A` is not square or any rhs has the wrong length.
+pub fn bicgstab_batch<P: Preconditioner>(
+    a: &Csr,
+    rhs: &[Vec<f64>],
+    precond: &P,
+    opts: SolveOptions,
+    ws: &mut BiCgStabBlockWorkspace,
+) -> Vec<SolveResult> {
+    assert_eq!(
+        a.nrows(),
+        a.ncols(),
+        "bicgstab_batch: matrix must be square"
+    );
+    let n = a.nrows();
+    let k = rhs.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    for b in rhs {
+        assert_eq!(b.len(), n, "bicgstab_batch: rhs dimension mismatch");
+    }
+
+    ws.bb.clear();
+    ws.bb.resize(n * k, 0.0);
+    for (c, b) in rhs.iter().enumerate() {
+        scatter_col(b, &mut ws.bb, k, c);
+    }
+    ws.xb.clear();
+    ws.xb.resize(n * k, 0.0);
+
+    // Preconditioned rhs block: PB = P·B, one traversal for all columns.
+    ws.pbb.clear();
+    ws.pbb.resize(n * k, 0.0);
+    precond.apply_block(&ws.bb, k, &mut ws.pbb);
+
+    let mut active = vec![true; k];
+    let mut outcome = vec![
+        ColOutcome {
+            iterations: 0,
+            breakdown: false,
+            end: ColEnd::Wrapped,
+        };
+        k
+    ];
+    let mut pb_norm = vec![0.0f64; k];
+    for c in 0..k {
+        pb_norm[c] = norm2_col(&ws.pbb, k, c);
+        if pb_norm[c] == 0.0 || !pb_norm[c].is_finite() {
+            // Scalar early return: keeps its preset `converged`, still
+            // measures the true residual.
+            active[c] = false;
+            outcome[c].breakdown = !pb_norm[c].is_finite();
+            outcome[c].end = ColEnd::Preset {
+                converged: pb_norm[c] == 0.0,
+            };
+        }
+    }
+
+    ws.rb.clear();
+    ws.rb.extend_from_slice(&ws.pbb);
+    ws.rhatb.clear();
+    ws.rhatb.extend_from_slice(&ws.rb); // shadow residuals
+    for buf in [&mut ws.pb, &mut ws.vb, &mut ws.sb, &mut ws.tb, &mut ws.tmpb] {
+        buf.clear();
+        buf.resize(n * k, 0.0);
+    }
+
+    let mut rho = vec![1.0f64; k];
+    let mut alpha = vec![1.0f64; k];
+    let mut omega = vec![1.0f64; k];
+    let mut iters = vec![0usize; k];
+    // Columns taking part in the current half-step's shared traversal.
+    let mut in_round = vec![false; k];
+    // Per-round fused-kernel state: coefficient and reduction arrays.
+    let mut rho_new = vec![0.0f64; k];
+    let mut beta = vec![0.0f64; k];
+    let mut rhv = vec![0.0f64; k];
+    let mut snorm = vec![0.0f64; k];
+    let mut tt = vec![0.0f64; k];
+    let mut ts = vec![0.0f64; k];
+    let mut rnorm = vec![0.0f64; k];
+    let mut copy_p = vec![false; k];
+    let mut recur_p = vec![false; k];
+    let mut early_exit = vec![false; k];
+
+    while active.iter().any(|&a| a) {
+        // Scalar loop condition: `while iters < max_iter`.
+        for c in 0..k {
+            if active[c] && iters[c] >= opts.max_iter {
+                active[c] = false;
+                outcome[c].iterations = iters[c];
+            }
+        }
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+
+        // Phase A: ρ update and the search-direction recurrence. Every
+        // reduction and elementwise update is one fused sweep over the
+        // block in contiguous row order.
+        dot_cols_masked(&ws.rhatb, &ws.rb, k, &active, &mut rho_new);
+        for c in 0..k {
+            in_round[c] = false;
+            copy_p[c] = false;
+            recur_p[c] = false;
+            if !active[c] {
+                continue;
+            }
+            iters[c] += 1;
+            if rho_new[c].abs() < 1e-300 || !rho_new[c].is_finite() {
+                outcome[c].breakdown = true;
+                outcome[c].iterations = iters[c];
+                active[c] = false;
+                continue;
+            }
+            if iters[c] == 1 {
+                copy_p[c] = true;
+            } else {
+                beta[c] = (rho_new[c] / rho[c]) * (alpha[c] / omega[c]);
+                if !beta[c].is_finite() {
+                    outcome[c].breakdown = true;
+                    outcome[c].iterations = iters[c];
+                    active[c] = false;
+                    continue;
+                }
+                recur_p[c] = true;
+            }
+            rho[c] = rho_new[c];
+            in_round[c] = true;
+        }
+        if !in_round.iter().any(|&p| p) {
+            continue;
+        }
+        // p = r (first iteration) or p = r + beta (p − omega v); branch-free
+        // sweep when every column takes the recurrence (the common case).
+        if recur_p.iter().all(|&m| m) {
+            for ((pr, rr), vr) in ws
+                .pb
+                .chunks_exact_mut(k)
+                .zip(ws.rb.chunks_exact(k))
+                .zip(ws.vb.chunks_exact(k))
+            {
+                for c in 0..k {
+                    pr[c] = rr[c] + beta[c] * (pr[c] - omega[c] * vr[c]);
+                }
+            }
+        } else {
+            for ((pr, rr), vr) in ws
+                .pb
+                .chunks_exact_mut(k)
+                .zip(ws.rb.chunks_exact(k))
+                .zip(ws.vb.chunks_exact(k))
+            {
+                for c in 0..k {
+                    if copy_p[c] {
+                        pr[c] = rr[c];
+                    } else if recur_p[c] {
+                        pr[c] = rr[c] + beta[c] * (pr[c] - omega[c] * vr[c]);
+                    }
+                }
+            }
+        }
+
+        // V = P·A·P-block: one SpMM + one block apply for every column.
+        a.spmm_auto(&ws.pb, k, &mut ws.tmpb);
+        precond.apply_block(&ws.tmpb, k, &mut ws.vb);
+
+        // Phase B: α, the intermediate residual s, and its early exit.
+        dot_cols_masked(&ws.rhatb, &ws.vb, k, &in_round, &mut rhv);
+        for c in 0..k {
+            if !in_round[c] {
+                continue;
+            }
+            if rhv[c].abs() < 1e-300 || !rhv[c].is_finite() {
+                outcome[c].breakdown = true;
+                outcome[c].iterations = iters[c];
+                active[c] = false;
+                in_round[c] = false;
+                continue;
+            }
+            alpha[c] = rho[c] / rhv[c];
+        }
+        // s = r − alpha v for the surviving columns.
+        if in_round.iter().all(|&m| m) {
+            for ((sr, rr), vr) in ws
+                .sb
+                .chunks_exact_mut(k)
+                .zip(ws.rb.chunks_exact(k))
+                .zip(ws.vb.chunks_exact(k))
+            {
+                for c in 0..k {
+                    sr[c] = rr[c] - alpha[c] * vr[c];
+                }
+            }
+        } else {
+            for ((sr, rr), vr) in ws
+                .sb
+                .chunks_exact_mut(k)
+                .zip(ws.rb.chunks_exact(k))
+                .zip(ws.vb.chunks_exact(k))
+            {
+                for c in 0..k {
+                    if in_round[c] {
+                        sr[c] = rr[c] - alpha[c] * vr[c];
+                    }
+                }
+            }
+        }
+        norm2_cols_masked(&ws.sb, k, &in_round, &mut snorm);
+        for c in 0..k {
+            early_exit[c] = false;
+            if in_round[c] && snorm[c] <= opts.tol * pb_norm[c] {
+                early_exit[c] = true;
+                outcome[c].iterations = iters[c];
+                active[c] = false;
+                in_round[c] = false;
+            }
+        }
+        if early_exit.iter().any(|&e| e) {
+            axpy_cols_masked(&alpha, &ws.pb, &mut ws.xb, k, &early_exit);
+        }
+        if !in_round.iter().any(|&p| p) {
+            continue;
+        }
+
+        // T = P·A·S-block for the columns still in this iteration.
+        a.spmm_auto(&ws.sb, k, &mut ws.tmpb);
+        precond.apply_block(&ws.tmpb, k, &mut ws.tb);
+
+        // Phase C: ω, the solution/residual updates, and convergence.
+        dot_cols_masked(&ws.tb, &ws.tb, k, &in_round, &mut tt);
+        dot_cols_masked(&ws.tb, &ws.sb, k, &in_round, &mut ts);
+        for c in 0..k {
+            if !in_round[c] {
+                continue;
+            }
+            if tt[c].abs() < 1e-300 || !tt[c].is_finite() {
+                outcome[c].breakdown = true;
+                outcome[c].iterations = iters[c];
+                active[c] = false;
+                in_round[c] = false;
+                continue;
+            }
+            omega[c] = ts[c] / tt[c];
+            if omega[c].abs() < 1e-300 || !omega[c].is_finite() {
+                outcome[c].breakdown = true;
+                outcome[c].iterations = iters[c];
+                active[c] = false;
+                in_round[c] = false;
+                continue;
+            }
+        }
+        // x += alpha p + omega s (the two updates in scalar order).
+        axpy_cols_masked(&alpha, &ws.pb, &mut ws.xb, k, &in_round);
+        axpy_cols_masked(&omega, &ws.sb, &mut ws.xb, k, &in_round);
+        // r = s − omega t.
+        if in_round.iter().all(|&m| m) {
+            for ((rr, sr), tr) in ws
+                .rb
+                .chunks_exact_mut(k)
+                .zip(ws.sb.chunks_exact(k))
+                .zip(ws.tb.chunks_exact(k))
+            {
+                for c in 0..k {
+                    rr[c] = sr[c] - omega[c] * tr[c];
+                }
+            }
+        } else {
+            for ((rr, sr), tr) in ws
+                .rb
+                .chunks_exact_mut(k)
+                .zip(ws.sb.chunks_exact(k))
+                .zip(ws.tb.chunks_exact(k))
+            {
+                for c in 0..k {
+                    if in_round[c] {
+                        rr[c] = sr[c] - omega[c] * tr[c];
+                    }
+                }
+            }
+        }
+        norm2_cols_masked(&ws.rb, k, &in_round, &mut rnorm);
+        for c in 0..k {
+            if !in_round[c] {
+                continue;
+            }
+            if rnorm[c] <= opts.tol * pb_norm[c] {
+                outcome[c].iterations = iters[c];
+                active[c] = false;
+                continue;
+            }
+            if !rnorm[c].is_finite() {
+                outcome[c].breakdown = true;
+                outcome[c].iterations = iters[c];
+                active[c] = false;
+                continue;
+            }
+        }
+    }
+
+    crate::solver::finalize_columns(a, &ws.bb, &ws.xb, k, opts.tol, &outcome, &mut ws.fin)
 }
 
 #[cfg(test)]

@@ -1,9 +1,31 @@
-//! Preconditioned conjugate gradients (SPD systems).
+//! Preconditioned conjugate gradients (SPD systems): scalar driver with a
+//! reusable workspace, and the lockstep batched (multi-RHS) driver.
 
 use crate::precond::Preconditioner;
-use crate::solver::{SolveOptions, SolveResult};
-use mcmcmi_dense::{axpy, dot, norm2};
+use crate::solver::{ColEnd, ColOutcome, SolveOptions, SolveResult};
+use mcmcmi_dense::{
+    axpy, axpy_cols_masked, dot, dot_cols_masked, norm2, norm2_col, norm2_cols_masked, scatter_col,
+};
 use mcmcmi_sparse::Csr;
+
+/// Reusable scratch for repeated scalar CG solves on same-size systems.
+/// After the first solve, subsequent [`cg_with`] calls allocate nothing
+/// beyond the returned solution vector.
+#[derive(Clone, Debug, Default)]
+pub struct CgWorkspace {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+    fin: Vec<f64>,
+}
+
+impl CgWorkspace {
+    /// Empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Solve `Ax = b` for SPD `A` with preconditioned CG.
 ///
@@ -12,6 +34,18 @@ use mcmcmi_sparse::Csr;
 /// form ([`crate::precond::SparsePrecond::symmetrized`]), matching the
 /// paper's use of CG on the SPD Laplace family.
 pub fn cg<P: Preconditioner>(a: &Csr, b: &[f64], precond: &P, opts: SolveOptions) -> SolveResult {
+    cg_with(a, b, precond, opts, &mut CgWorkspace::new())
+}
+
+/// [`cg`] with caller-owned scratch ([`CgWorkspace`]) — identical results,
+/// zero per-call allocation of the iteration vectors.
+pub fn cg_with<P: Preconditioner>(
+    a: &Csr,
+    b: &[f64],
+    precond: &P,
+    opts: SolveOptions,
+    ws: &mut CgWorkspace,
+) -> SolveResult {
     let n = b.len();
     let mut x = vec![0.0; n];
     let b_norm = norm2(b);
@@ -25,31 +59,35 @@ pub fn cg<P: Preconditioner>(a: &Csr, b: &[f64], precond: &P, opts: SolveOptions
         };
     }
 
-    let mut r = b.to_vec(); // r = b − Ax₀ = b
-    let mut z = vec![0.0; n];
-    precond.apply(&r, &mut z);
-    let mut p = z.clone();
-    let mut rz = dot(&r, &z);
-    let mut ap = vec![0.0; n];
+    ws.r.clear();
+    ws.r.extend_from_slice(b); // r = b − Ax₀ = b
+    ws.z.clear();
+    ws.z.resize(n, 0.0);
+    precond.apply(&ws.r, &mut ws.z);
+    ws.p.clear();
+    ws.p.extend_from_slice(&ws.z);
+    let mut rz = dot(&ws.r, &ws.z);
+    ws.ap.clear();
+    ws.ap.resize(n, 0.0);
     let mut iters = 0usize;
     let mut breakdown = false;
 
     while iters < opts.max_iter {
         iters += 1;
-        a.spmv_auto(&p, &mut ap);
-        let pap = dot(&p, &ap);
+        a.spmv_auto(&ws.p, &mut ws.ap);
+        let pap = dot(&ws.p, &ws.ap);
         if pap.abs() < 1e-300 || !pap.is_finite() {
             breakdown = true;
             break;
         }
         let alpha = rz / pap;
-        axpy(alpha, &p, &mut x);
-        axpy(-alpha, &ap, &mut r);
-        if norm2(&r) <= opts.tol * b_norm {
+        axpy(alpha, &ws.p, &mut x);
+        axpy(-alpha, &ws.ap, &mut ws.r);
+        if norm2(&ws.r) <= opts.tol * b_norm {
             break;
         }
-        precond.apply(&r, &mut z);
-        let rz_new = dot(&r, &z);
+        precond.apply(&ws.r, &mut ws.z);
+        let rz_new = dot(&ws.r, &ws.z);
         if !rz_new.is_finite() {
             breakdown = true;
             break;
@@ -57,7 +95,7 @@ pub fn cg<P: Preconditioner>(a: &Csr, b: &[f64], precond: &P, opts: SolveOptions
         let beta = rz_new / rz;
         rz = rz_new;
         // p = z + beta p
-        for (pi, &zi) in p.iter_mut().zip(&z) {
+        for (pi, &zi) in ws.p.iter_mut().zip(&ws.z) {
             *pi = zi + beta * *pi;
         }
     }
@@ -69,11 +107,203 @@ pub fn cg<P: Preconditioner>(a: &Csr, b: &[f64], precond: &P, opts: SolveOptions
         rel_residual: f64::INFINITY,
         breakdown,
     }
-    .finalize(a, b);
+    .finalize_with(a, b, &mut ws.fin);
     SolveResult {
         converged: !result.breakdown && result.rel_residual <= opts.tol * 10.0,
         ..result
     }
+}
+
+/// Block workspace for [`cg_batch`]: row-major `n×k` blocks reused across
+/// batches of the same (or smaller) width.
+#[derive(Clone, Debug, Default)]
+pub struct CgBlockWorkspace {
+    bb: Vec<f64>,
+    xb: Vec<f64>,
+    rb: Vec<f64>,
+    zb: Vec<f64>,
+    pb: Vec<f64>,
+    apb: Vec<f64>,
+    fin: Vec<f64>,
+}
+
+impl CgBlockWorkspace {
+    /// Empty workspace; blocks grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Lockstep batched CG: solve `A·x_c = b_c` for all columns at once,
+/// sharing every matrix traversal (SpMM) and preconditioner application
+/// (block apply) across the batch while each column performs exactly the
+/// scalar [`cg`] arithmetic. Results are bit-identical to sequential
+/// single-RHS solves at any thread count. Columns converge independently:
+/// a converged (or broken-down) column is masked out of further updates
+/// while the rest keep iterating.
+///
+/// # Panics
+/// Panics if `A` is not square or any rhs has the wrong length.
+pub fn cg_batch<P: Preconditioner>(
+    a: &Csr,
+    rhs: &[Vec<f64>],
+    precond: &P,
+    opts: SolveOptions,
+    ws: &mut CgBlockWorkspace,
+) -> Vec<SolveResult> {
+    assert_eq!(a.nrows(), a.ncols(), "cg_batch: matrix must be square");
+    let n = a.nrows();
+    let k = rhs.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    for b in rhs {
+        assert_eq!(b.len(), n, "cg_batch: rhs dimension mismatch");
+    }
+
+    // Pack the right-hand sides into one row-major n×k block.
+    ws.bb.clear();
+    ws.bb.resize(n * k, 0.0);
+    for (c, b) in rhs.iter().enumerate() {
+        scatter_col(b, &mut ws.bb, k, c);
+    }
+    ws.xb.clear();
+    ws.xb.resize(n * k, 0.0);
+
+    let mut active = vec![true; k];
+    let mut outcome = vec![
+        ColOutcome {
+            iterations: 0,
+            breakdown: false,
+            end: ColEnd::Wrapped,
+        };
+        k
+    ];
+    let mut b_norm = vec![0.0f64; k];
+    for c in 0..k {
+        b_norm[c] = norm2_col(&ws.bb, k, c);
+        if b_norm[c] == 0.0 {
+            // Scalar CG returns x = 0 immediately, without measuring the
+            // true residual.
+            active[c] = false;
+            outcome[c].end = ColEnd::Skip { converged: true };
+        }
+    }
+
+    // r = b; z = P r; p = z; rz = ⟨r, z⟩ — batched setup. Masked (zero-rhs)
+    // columns ride along unused.
+    ws.rb.clear();
+    ws.rb.extend_from_slice(&ws.bb);
+    ws.zb.clear();
+    ws.zb.resize(n * k, 0.0);
+    precond.apply_block(&ws.rb, k, &mut ws.zb);
+    ws.pb.clear();
+    ws.pb.extend_from_slice(&ws.zb);
+    ws.apb.clear();
+    ws.apb.resize(n * k, 0.0);
+    let mut rz = vec![0.0f64; k];
+    dot_cols_masked(&ws.rb, &ws.zb, k, &active, &mut rz);
+
+    // Per-round fused-kernel state: coefficient and reduction arrays.
+    let mut pap = vec![0.0f64; k];
+    let mut alpha = vec![0.0f64; k];
+    let mut neg_alpha = vec![0.0f64; k];
+    let mut rnorm = vec![0.0f64; k];
+    let mut rz_new = vec![0.0f64; k];
+    let mut beta = vec![0.0f64; k];
+    let mut updating = vec![false; k];
+    let mut continuing = vec![false; k];
+
+    let mut iters = vec![0usize; k];
+    while active.iter().any(|&a| a) {
+        // Scalar loop condition: `while iters < max_iter`.
+        for c in 0..k {
+            if active[c] && iters[c] >= opts.max_iter {
+                active[c] = false;
+                outcome[c].iterations = iters[c];
+            }
+        }
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+        // One traversal serves every column: AP = A·P; then one fused
+        // block sweep per reduction/update (contiguous row order — the
+        // strided per-column form would touch one element per cache line).
+        a.spmm_auto(&ws.pb, k, &mut ws.apb);
+        dot_cols_masked(&ws.pb, &ws.apb, k, &active, &mut pap);
+        for c in 0..k {
+            updating[c] = false;
+            if !active[c] {
+                continue;
+            }
+            iters[c] += 1;
+            if pap[c].abs() < 1e-300 || !pap[c].is_finite() {
+                outcome[c].breakdown = true;
+                outcome[c].iterations = iters[c];
+                active[c] = false;
+                continue;
+            }
+            alpha[c] = rz[c] / pap[c];
+            neg_alpha[c] = -alpha[c];
+            updating[c] = true;
+        }
+        axpy_cols_masked(&alpha, &ws.pb, &mut ws.xb, k, &updating);
+        axpy_cols_masked(&neg_alpha, &ws.apb, &mut ws.rb, k, &updating);
+        norm2_cols_masked(&ws.rb, k, &updating, &mut rnorm);
+        let mut any_continuing = false;
+        for c in 0..k {
+            continuing[c] = false;
+            if !updating[c] {
+                continue;
+            }
+            if rnorm[c] <= opts.tol * b_norm[c] {
+                outcome[c].iterations = iters[c];
+                active[c] = false;
+                continue;
+            }
+            continuing[c] = true;
+            any_continuing = true;
+        }
+        if !any_continuing {
+            continue;
+        }
+        // Z = P·R for the surviving columns (masked columns ride along).
+        precond.apply_block(&ws.rb, k, &mut ws.zb);
+        dot_cols_masked(&ws.rb, &ws.zb, k, &continuing, &mut rz_new);
+        for c in 0..k {
+            if !continuing[c] {
+                continue;
+            }
+            if !rz_new[c].is_finite() {
+                outcome[c].breakdown = true;
+                outcome[c].iterations = iters[c];
+                active[c] = false;
+                continuing[c] = false;
+                continue;
+            }
+            beta[c] = rz_new[c] / rz[c];
+            rz[c] = rz_new[c];
+        }
+        // p[:,c] = z[:,c] + beta[c]·p[:,c], one fused sweep (branch-free
+        // when every column is still running — the common case).
+        if continuing.iter().all(|&m| m) {
+            for (pr, zr) in ws.pb.chunks_exact_mut(k).zip(ws.zb.chunks_exact(k)) {
+                for ((pi, &zi), &bc) in pr.iter_mut().zip(zr).zip(&beta) {
+                    *pi = zi + bc * *pi;
+                }
+            }
+        } else {
+            for (pr, zr) in ws.pb.chunks_exact_mut(k).zip(ws.zb.chunks_exact(k)) {
+                for c in 0..k {
+                    if continuing[c] {
+                        pr[c] = zr[c] + beta[c] * pr[c];
+                    }
+                }
+            }
+        }
+    }
+
+    crate::solver::finalize_columns(a, &ws.bb, &ws.xb, k, opts.tol, &outcome, &mut ws.fin)
 }
 
 #[cfg(test)]

@@ -11,9 +11,62 @@
 //! allocates its per-call chunk bookkeeping when it engages).
 
 use crate::precond::Preconditioner;
-use crate::solver::{SolveOptions, SolveResult};
-use mcmcmi_dense::{norm2, scale_in_place};
+use crate::solver::{ColEnd, ColOutcome, SolveOptions, SolveResult};
+use mcmcmi_dense::{
+    axpy_col, axpy_cols_masked, dot_col, dot_cols_masked, norm2, norm2_col, norm2_cols_masked,
+    scale_col, scale_in_place, scatter_col,
+};
 use mcmcmi_sparse::Csr;
+
+/// Reusable scratch for repeated scalar GMRES solves on same-shape
+/// problems (same `n` and restart length). After the first solve,
+/// subsequent [`gmres_with`] calls allocate nothing beyond the returned
+/// solution vector.
+#[derive(Clone, Debug, Default)]
+pub struct GmresWorkspace {
+    v: Vec<Vec<f64>>,
+    h: Vec<Vec<f64>>,
+    cs: Vec<f64>,
+    sn: Vec<f64>,
+    g: Vec<f64>,
+    w: Vec<f64>,
+    aw: Vec<f64>,
+    y: Vec<f64>,
+    pb: Vec<f64>,
+    fin: Vec<f64>,
+}
+
+impl GmresWorkspace {
+    /// Empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size every buffer for an `n`-dimensional solve with restart `m`,
+    /// starting from the same zeroed state a fresh allocation would have.
+    fn ensure(&mut self, n: usize, m: usize) {
+        self.v.resize_with(m + 1, Vec::new);
+        for v in &mut self.v {
+            v.clear();
+            v.resize(n, 0.0);
+        }
+        self.h.resize_with(m + 1, Vec::new);
+        for h in &mut self.h {
+            h.clear();
+            h.resize(m, 0.0);
+        }
+        for buf in [&mut self.cs, &mut self.sn, &mut self.y] {
+            buf.clear();
+            buf.resize(m, 0.0);
+        }
+        self.g.clear();
+        self.g.resize(m + 1, 0.0);
+        for buf in [&mut self.w, &mut self.aw, &mut self.pb] {
+            buf.clear();
+            buf.resize(n, 0.0);
+        }
+    }
+}
 
 /// Solve the left-preconditioned system `PA x = Pb` with GMRES(m).
 ///
@@ -28,15 +81,28 @@ pub fn gmres<P: Preconditioner>(
     precond: &P,
     opts: SolveOptions,
 ) -> SolveResult {
+    gmres_with(a, b, precond, opts, &mut GmresWorkspace::new())
+}
+
+/// [`gmres`] with caller-owned scratch ([`GmresWorkspace`]) — identical
+/// results, zero per-call allocation of the Krylov basis and Hessenberg
+/// factors.
+pub fn gmres_with<P: Preconditioner>(
+    a: &Csr,
+    b: &[f64],
+    precond: &P,
+    opts: SolveOptions,
+    ws: &mut GmresWorkspace,
+) -> SolveResult {
     let n = b.len();
     let m = opts.restart.max(1);
     let mut x = vec![0.0; n];
     let mut total_iters = 0usize;
+    ws.ensure(n, m);
 
     // Preconditioned rhs norm for the stopping criterion.
-    let mut pb = vec![0.0; n];
-    precond.apply(b, &mut pb);
-    let pb_norm = norm2(&pb);
+    precond.apply(b, &mut ws.pb);
+    let pb_norm = norm2(&ws.pb);
     if pb_norm == 0.0 || !pb_norm.is_finite() {
         // P b == 0 means x = 0 solves PA x = Pb; report against true residual.
         let res = SolveResult {
@@ -46,28 +112,18 @@ pub fn gmres<P: Preconditioner>(
             rel_residual: 0.0,
             breakdown: !pb_norm.is_finite(),
         };
-        return res.finalize(a, b);
+        return res.finalize_with(a, b, &mut ws.fin);
     }
-
-    // Workspace reused across restarts (allocation-free inner loop).
-    let mut v: Vec<Vec<f64>> = (0..=m).map(|_| vec![0.0; n]).collect();
-    let mut h = vec![vec![0.0f64; m]; m + 1]; // h[i][j], column-major logic
-    let mut cs = vec![0.0f64; m];
-    let mut sn = vec![0.0f64; m];
-    let mut g = vec![0.0f64; m + 1];
-    let mut w = vec![0.0; n];
-    let mut aw = vec![0.0; n];
-    let mut y = vec![0.0f64; m]; // back-substitution buffer, reused per restart
 
     let mut breakdown = false;
     'outer: while total_iters < opts.max_iter {
         // r = P(b − Ax)
-        a.spmv_auto(&x, &mut aw);
-        for ((wi, &bi), &ai) in w.iter_mut().zip(b).zip(&aw) {
+        a.spmv_auto(&x, &mut ws.aw);
+        for ((wi, &bi), &ai) in ws.w.iter_mut().zip(b).zip(&ws.aw) {
             *wi = bi - ai;
         }
-        precond.apply(&w, &mut v[0]);
-        let beta = norm2(&v[0]);
+        precond.apply(&ws.w, &mut ws.v[0]);
+        let beta = norm2(&ws.v[0]);
         if !beta.is_finite() {
             breakdown = true;
             break;
@@ -75,9 +131,9 @@ pub fn gmres<P: Preconditioner>(
         if beta <= opts.tol * pb_norm {
             break;
         }
-        scale_in_place(1.0 / beta, &mut v[0]);
-        g.iter_mut().for_each(|t| *t = 0.0);
-        g[0] = beta;
+        scale_in_place(1.0 / beta, &mut ws.v[0]);
+        ws.g.iter_mut().for_each(|t| *t = 0.0);
+        ws.g[0] = beta;
 
         let mut k_used = 0;
         for k in 0..m {
@@ -86,46 +142,46 @@ pub fn gmres<P: Preconditioner>(
             }
             total_iters += 1;
             // w = P(A v_k)
-            a.spmv_auto(&v[k], &mut aw);
-            precond.apply(&aw, &mut w);
+            a.spmv_auto(&ws.v[k], &mut ws.aw);
+            precond.apply(&ws.aw, &mut ws.w);
             // Modified Gram–Schmidt.
             for i in 0..=k {
-                let hik = mcmcmi_dense::dot(&w, &v[i]);
-                h[i][k] = hik;
-                mcmcmi_dense::axpy(-hik, &v[i], &mut w);
+                let hik = mcmcmi_dense::dot(&ws.w, &ws.v[i]);
+                ws.h[i][k] = hik;
+                mcmcmi_dense::axpy(-hik, &ws.v[i], &mut ws.w);
             }
-            let hkk = norm2(&w);
-            h[k + 1][k] = hkk;
+            let hkk = norm2(&ws.w);
+            ws.h[k + 1][k] = hkk;
             if !hkk.is_finite() {
                 breakdown = true;
                 break 'outer;
             }
             if hkk > 1e-14 {
-                for (t, &wi) in v[k + 1].iter_mut().zip(&w) {
+                for (t, &wi) in ws.v[k + 1].iter_mut().zip(&ws.w) {
                     *t = wi / hkk;
                 }
             }
             // Apply existing Givens rotations to the new column.
             for i in 0..k {
-                let t = cs[i] * h[i][k] + sn[i] * h[i + 1][k];
-                h[i + 1][k] = -sn[i] * h[i][k] + cs[i] * h[i + 1][k];
-                h[i][k] = t;
+                let t = ws.cs[i] * ws.h[i][k] + ws.sn[i] * ws.h[i + 1][k];
+                ws.h[i + 1][k] = -ws.sn[i] * ws.h[i][k] + ws.cs[i] * ws.h[i + 1][k];
+                ws.h[i][k] = t;
             }
             // New rotation to annihilate h[k+1][k].
-            let (c, s) = givens(h[k][k], h[k + 1][k]);
-            cs[k] = c;
-            sn[k] = s;
-            h[k][k] = c * h[k][k] + s * h[k + 1][k];
-            h[k + 1][k] = 0.0;
-            let t = c * g[k];
-            g[k + 1] = -s * g[k];
-            g[k] = t;
+            let (c, s) = givens(ws.h[k][k], ws.h[k + 1][k]);
+            ws.cs[k] = c;
+            ws.sn[k] = s;
+            ws.h[k][k] = c * ws.h[k][k] + s * ws.h[k + 1][k];
+            ws.h[k + 1][k] = 0.0;
+            let t = c * ws.g[k];
+            ws.g[k + 1] = -s * ws.g[k];
+            ws.g[k] = t;
             k_used = k + 1;
             // Happy breakdown: exact solution in the Krylov space.
             if hkk <= 1e-14 {
                 break;
             }
-            if g[k + 1].abs() <= opts.tol * pb_norm {
+            if ws.g[k + 1].abs() <= opts.tol * pb_norm {
                 break;
             }
         }
@@ -133,19 +189,19 @@ pub fn gmres<P: Preconditioner>(
         // Back-substitute y from the triangularised Hessenberg, update x.
         if k_used > 0 {
             for i in (0..k_used).rev() {
-                let mut s = g[i];
+                let mut s = ws.g[i];
                 for j in (i + 1)..k_used {
-                    s -= h[i][j] * y[j];
+                    s -= ws.h[i][j] * ws.y[j];
                 }
-                let d = h[i][i];
+                let d = ws.h[i][i];
                 if d.abs() < 1e-300 {
                     breakdown = true;
                     break 'outer;
                 }
-                y[i] = s / d;
+                ws.y[i] = s / d;
             }
-            for (j, &yj) in y.iter().enumerate().take(k_used) {
-                mcmcmi_dense::axpy(yj, &v[j], &mut x);
+            for (j, &yj) in ws.y.iter().enumerate().take(k_used) {
+                mcmcmi_dense::axpy(yj, &ws.v[j], &mut x);
             }
         } else {
             break;
@@ -160,11 +216,514 @@ pub fn gmres<P: Preconditioner>(
         rel_residual: f64::INFINITY,
         breakdown,
     }
-    .finalize(a, b);
+    .finalize_with(a, b, &mut ws.fin);
     SolveResult {
         converged: !result.breakdown && result.rel_residual <= opts.tol * 10.0,
         ..result
     }
+}
+
+/// Per-column Hessenberg/rotation scratch for [`gmres_batch`].
+#[derive(Clone, Debug, Default)]
+struct GmresColScratch {
+    h: Vec<Vec<f64>>,
+    cs: Vec<f64>,
+    sn: Vec<f64>,
+    g: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl GmresColScratch {
+    fn ensure(&mut self, m: usize) {
+        self.h.resize_with(m + 1, Vec::new);
+        for h in &mut self.h {
+            h.clear();
+            h.resize(m, 0.0);
+        }
+        for buf in [&mut self.cs, &mut self.sn, &mut self.y] {
+            buf.clear();
+            buf.resize(m, 0.0);
+        }
+        self.g.clear();
+        self.g.resize(m + 1, 0.0);
+    }
+}
+
+/// Block workspace for [`gmres_batch`]: the Krylov basis blocks (the
+/// dominant allocation, `(m+1)·n·k` doubles) and per-column factor scratch,
+/// reused across batches of the same (or smaller) shape.
+#[derive(Clone, Debug, Default)]
+pub struct GmresBlockWorkspace {
+    bb: Vec<f64>,
+    xb: Vec<f64>,
+    inb: Vec<f64>,
+    awb: Vec<f64>,
+    pinb: Vec<f64>,
+    poutb: Vec<f64>,
+    v: Vec<Vec<f64>>,
+    cols: Vec<GmresColScratch>,
+    fin: Vec<f64>,
+}
+
+impl GmresBlockWorkspace {
+    /// Empty workspace; blocks grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, n: usize, m: usize, k: usize) {
+        for buf in [
+            &mut self.bb,
+            &mut self.xb,
+            &mut self.inb,
+            &mut self.awb,
+            &mut self.pinb,
+            &mut self.poutb,
+        ] {
+            buf.clear();
+            buf.resize(n * k, 0.0);
+        }
+        self.v.resize_with(m + 1, Vec::new);
+        for v in &mut self.v {
+            v.clear();
+            v.resize(n * k, 0.0);
+        }
+        self.cols.resize_with(k, Default::default);
+        for c in &mut self.cols {
+            c.ensure(m);
+        }
+    }
+}
+
+/// What a [`gmres_batch`] column does in the current lockstep round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum GmresMode {
+    /// Next shared matvec computes this column's restart residual `b − Ax`.
+    Restart,
+    /// Next shared matvec is this column's Arnoldi step on `v[ki]`.
+    Inner,
+    /// Retired: converged, broken down, or out of iterations.
+    Done,
+}
+
+/// Lockstep batched GMRES(m): every round performs one batch-wide SpMM and
+/// one block preconditioner application, serving whatever each column
+/// needs next — a restart residual or an Arnoldi step — so columns at
+/// different restart phases still share every matrix traversal. Each
+/// column's arithmetic is exactly the scalar [`gmres`] sequence: results
+/// are bit-identical to sequential single-RHS solves at any thread count,
+/// with per-column convergence masking.
+///
+/// # Panics
+/// Panics if `A` is not square or any rhs has the wrong length.
+pub fn gmres_batch<P: Preconditioner>(
+    a: &Csr,
+    rhs: &[Vec<f64>],
+    precond: &P,
+    opts: SolveOptions,
+    ws: &mut GmresBlockWorkspace,
+) -> Vec<SolveResult> {
+    assert_eq!(a.nrows(), a.ncols(), "gmres_batch: matrix must be square");
+    let n = a.nrows();
+    let k = rhs.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    for b in rhs {
+        assert_eq!(b.len(), n, "gmres_batch: rhs dimension mismatch");
+    }
+    let m = opts.restart.max(1);
+    ws.ensure(n, m, k);
+    for (c, b) in rhs.iter().enumerate() {
+        scatter_col(b, &mut ws.bb, k, c);
+    }
+
+    let mut mode = vec![GmresMode::Restart; k];
+    let mut outcome = vec![
+        ColOutcome {
+            iterations: 0,
+            breakdown: false,
+            end: ColEnd::Wrapped,
+        };
+        k
+    ];
+    let mut total_iters = vec![0usize; k];
+    let mut ki = vec![0usize; k]; // inner (Arnoldi) index per column
+    let mut k_used = vec![0usize; k];
+    let mut pb_norm = vec![0.0f64; k];
+
+    // Preconditioned rhs norms, one block application for all columns.
+    precond.apply_block(&ws.bb, k, &mut ws.poutb);
+    for c in 0..k {
+        pb_norm[c] = norm2_col(&ws.poutb, k, c);
+        if pb_norm[c] == 0.0 || !pb_norm[c].is_finite() {
+            mode[c] = GmresMode::Done;
+            outcome[c].breakdown = !pb_norm[c].is_finite();
+            outcome[c].end = ColEnd::Preset {
+                converged: pb_norm[c] == 0.0,
+            };
+        }
+    }
+
+    // Everything after a column's MGS + basis-vector update: Hessenberg
+    // entry, Givens rotations, and the inner-loop exit decisions — exactly
+    // the scalar sequence. Shared by the fused (mode-uniform) and
+    // per-column post-phases.
+    #[allow(clippy::too_many_arguments)]
+    fn arnoldi_tail(
+        col: &mut GmresColScratch,
+        v: &[Vec<f64>],
+        xb: &mut [f64],
+        k: usize,
+        c: usize,
+        kc: usize,
+        hkk: f64,
+        m: usize,
+        opts: &SolveOptions,
+        pb_norm_c: f64,
+        total_iters_c: usize,
+        ki_c: &mut usize,
+        k_used_c: &mut usize,
+        mode_c: &mut GmresMode,
+        outcome_c: &mut ColOutcome,
+    ) {
+        col.h[kc + 1][kc] = hkk;
+        if !hkk.is_finite() {
+            // Scalar `break 'outer`: retire without back-substitution.
+            outcome_c.breakdown = true;
+            outcome_c.iterations = total_iters_c;
+            *mode_c = GmresMode::Done;
+            return;
+        }
+        // Apply existing Givens rotations to the new column.
+        for i in 0..kc {
+            let t = col.cs[i] * col.h[i][kc] + col.sn[i] * col.h[i + 1][kc];
+            col.h[i + 1][kc] = -col.sn[i] * col.h[i][kc] + col.cs[i] * col.h[i + 1][kc];
+            col.h[i][kc] = t;
+        }
+        // New rotation to annihilate h[kc+1][kc].
+        let (cr, sr) = givens(col.h[kc][kc], col.h[kc + 1][kc]);
+        col.cs[kc] = cr;
+        col.sn[kc] = sr;
+        col.h[kc][kc] = cr * col.h[kc][kc] + sr * col.h[kc + 1][kc];
+        col.h[kc + 1][kc] = 0.0;
+        let t = cr * col.g[kc];
+        col.g[kc + 1] = -sr * col.g[kc];
+        col.g[kc] = t;
+        *k_used_c = kc + 1;
+        // Inner-loop exits: happy breakdown, recursive-residual
+        // convergence, or the basis filling up.
+        let exit = hkk <= 1e-14 || col.g[kc + 1].abs() <= opts.tol * pb_norm_c || kc + 1 == m;
+        if exit {
+            *mode_c = finish_inner(
+                col,
+                v,
+                xb,
+                k,
+                c,
+                *k_used_c,
+                total_iters_c,
+                opts.max_iter,
+                &mut outcome_c.breakdown,
+            );
+            if *mode_c == GmresMode::Done {
+                outcome_c.iterations = total_iters_c;
+            }
+        } else {
+            *ki_c = kc + 1;
+        }
+    }
+
+    // End of a column's inner loop: back-substitute, update x, and either
+    // restart or retire — exactly the scalar post-inner-loop block.
+    // Returns the column's next mode.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_inner(
+        col: &mut GmresColScratch,
+        v: &[Vec<f64>],
+        xb: &mut [f64],
+        k: usize,
+        c: usize,
+        k_used: usize,
+        total_iters: usize,
+        max_iter: usize,
+        breakdown: &mut bool,
+    ) -> GmresMode {
+        if k_used == 0 {
+            return GmresMode::Done;
+        }
+        for i in (0..k_used).rev() {
+            let mut s = col.g[i];
+            for j in (i + 1)..k_used {
+                s -= col.h[i][j] * col.y[j];
+            }
+            let d = col.h[i][i];
+            if d.abs() < 1e-300 {
+                *breakdown = true;
+                return GmresMode::Done; // scalar `break 'outer`: x untouched
+            }
+            col.y[i] = s / d;
+        }
+        for (j, &yj) in col.y.iter().enumerate().take(k_used) {
+            axpy_col(yj, &v[j], xb, k, c);
+        }
+        if total_iters < max_iter {
+            GmresMode::Restart
+        } else {
+            GmresMode::Done
+        }
+    }
+
+    // Per-round scratch for the fused fast path, hoisted out of the hot loop.
+    let mut mask = vec![false; k];
+    let mut hik = vec![0.0f64; k];
+    let mut neg_hik = vec![0.0f64; k];
+    let mut hkk = vec![0.0f64; k];
+    let mut upd = vec![false; k];
+
+    loop {
+        // Pre-phase: transitions that need no matvec. Inner columns out of
+        // iteration budget take the scalar cap-break (back-substitute, then
+        // the outer `while` fails); Restart columns out of budget take the
+        // failed outer `while` directly.
+        for c in 0..k {
+            match mode[c] {
+                GmresMode::Inner if total_iters[c] >= opts.max_iter => {
+                    mode[c] = finish_inner(
+                        &mut ws.cols[c],
+                        &ws.v,
+                        &mut ws.xb,
+                        k,
+                        c,
+                        k_used[c],
+                        total_iters[c],
+                        opts.max_iter,
+                        &mut outcome[c].breakdown,
+                    );
+                    debug_assert_eq!(mode[c], GmresMode::Done);
+                    outcome[c].iterations = total_iters[c];
+                }
+                GmresMode::Restart if total_iters[c] >= opts.max_iter => {
+                    mode[c] = GmresMode::Done;
+                    outcome[c].iterations = total_iters[c];
+                }
+                _ => {}
+            }
+        }
+        if mode.iter().all(|&s| s == GmresMode::Done) {
+            break;
+        }
+
+        // Gather this round's matvec inputs: x for restarting columns,
+        // v[ki] for columns mid-Arnoldi.
+        for c in 0..k {
+            match mode[c] {
+                GmresMode::Restart => {
+                    for (t, s) in ws.inb[c..]
+                        .iter_mut()
+                        .step_by(k)
+                        .zip(ws.xb[c..].iter().step_by(k))
+                    {
+                        *t = *s;
+                    }
+                }
+                GmresMode::Inner => {
+                    total_iters[c] += 1; // scalar increments before the spmv
+                    for (t, s) in ws.inb[c..]
+                        .iter_mut()
+                        .step_by(k)
+                        .zip(ws.v[ki[c]][c..].iter().step_by(k))
+                    {
+                        *t = *s;
+                    }
+                }
+                GmresMode::Done => {}
+            }
+        }
+
+        // One traversal for the whole batch, then one block precondition.
+        a.spmm_auto(&ws.inb, k, &mut ws.awb);
+        for c in 0..k {
+            match mode[c] {
+                GmresMode::Restart => {
+                    // w = b − Ax, elementwise in row order.
+                    for ((t, bi), ai) in ws.pinb[c..]
+                        .iter_mut()
+                        .step_by(k)
+                        .zip(ws.bb[c..].iter().step_by(k))
+                        .zip(ws.awb[c..].iter().step_by(k))
+                    {
+                        *t = bi - ai;
+                    }
+                }
+                GmresMode::Inner => {
+                    for (t, s) in ws.pinb[c..]
+                        .iter_mut()
+                        .step_by(k)
+                        .zip(ws.awb[c..].iter().step_by(k))
+                    {
+                        *t = *s;
+                    }
+                }
+                GmresMode::Done => {}
+            }
+        }
+        precond.apply_block(&ws.pinb, k, &mut ws.poutb);
+
+        // Post-phase: column-local arithmetic, exactly the scalar sequence.
+        //
+        // Fast path: when every live column is mid-Arnoldi at the same
+        // inner index (the common case — columns start in lockstep and
+        // only drift apart at restarts), the MGS sweeps run fused over the
+        // whole block in contiguous row order instead of one strided
+        // column at a time. Fused and per-column forms are bit-identical.
+        let uniform_kc = {
+            let mut kc: Option<usize> = None;
+            let mut uniform = true;
+            for c in 0..k {
+                match mode[c] {
+                    GmresMode::Inner => match kc {
+                        None => kc = Some(ki[c]),
+                        Some(v) if v == ki[c] => {}
+                        _ => uniform = false,
+                    },
+                    GmresMode::Restart => uniform = false,
+                    GmresMode::Done => {}
+                }
+            }
+            if uniform {
+                kc
+            } else {
+                None
+            }
+        };
+        if let Some(kc) = uniform_kc {
+            for c in 0..k {
+                mask[c] = mode[c] == GmresMode::Inner;
+            }
+            // Modified Gram–Schmidt, one fused sweep per basis vector.
+            for i in 0..=kc {
+                dot_cols_masked(&ws.poutb, &ws.v[i], k, &mask, &mut hik);
+                for c in 0..k {
+                    if mask[c] {
+                        ws.cols[c].h[i][kc] = hik[c];
+                        neg_hik[c] = -hik[c];
+                    }
+                }
+                axpy_cols_masked(&neg_hik, &ws.v[i], &mut ws.poutb, k, &mask);
+            }
+            norm2_cols_masked(&ws.poutb, k, &mask, &mut hkk);
+            // v[kc+1] = w / hkk (scalar divides elementwise; non-finite or
+            // happy-breakdown columns skip the update, as in scalar code).
+            for c in 0..k {
+                upd[c] = mask[c] && hkk[c].is_finite() && hkk[c] > 1e-14;
+            }
+            for (vr, pr) in ws.v[kc + 1]
+                .chunks_exact_mut(k)
+                .zip(ws.poutb.chunks_exact(k))
+            {
+                for c in 0..k {
+                    if upd[c] {
+                        vr[c] = pr[c] / hkk[c];
+                    }
+                }
+            }
+            for c in 0..k {
+                if mask[c] {
+                    arnoldi_tail(
+                        &mut ws.cols[c],
+                        &ws.v,
+                        &mut ws.xb,
+                        k,
+                        c,
+                        kc,
+                        hkk[c],
+                        m,
+                        &opts,
+                        pb_norm[c],
+                        total_iters[c],
+                        &mut ki[c],
+                        &mut k_used[c],
+                        &mut mode[c],
+                        &mut outcome[c],
+                    );
+                }
+            }
+            continue;
+        }
+        for c in 0..k {
+            match mode[c] {
+                GmresMode::Restart => {
+                    // v0 = P(b − Ax); β; normalize; reset the least-squares rhs.
+                    for (t, s) in ws.v[0][c..]
+                        .iter_mut()
+                        .step_by(k)
+                        .zip(ws.poutb[c..].iter().step_by(k))
+                    {
+                        *t = *s;
+                    }
+                    let beta = norm2_col(&ws.v[0], k, c);
+                    if !beta.is_finite() {
+                        outcome[c].breakdown = true;
+                        outcome[c].iterations = total_iters[c];
+                        mode[c] = GmresMode::Done;
+                        continue;
+                    }
+                    if beta <= opts.tol * pb_norm[c] {
+                        outcome[c].iterations = total_iters[c];
+                        mode[c] = GmresMode::Done;
+                        continue;
+                    }
+                    scale_col(1.0 / beta, &mut ws.v[0], k, c);
+                    let col = &mut ws.cols[c];
+                    col.g.iter_mut().for_each(|t| *t = 0.0);
+                    col.g[0] = beta;
+                    ki[c] = 0;
+                    k_used[c] = 0;
+                    mode[c] = GmresMode::Inner;
+                }
+                GmresMode::Inner => {
+                    let kc = ki[c];
+                    // Modified Gram–Schmidt on w (living in poutb's column).
+                    for i in 0..=kc {
+                        let hik = dot_col(&ws.poutb, &ws.v[i], k, c);
+                        ws.cols[c].h[i][kc] = hik;
+                        axpy_col(-hik, &ws.v[i], &mut ws.poutb, k, c);
+                    }
+                    let hkk = norm2_col(&ws.poutb, k, c);
+                    if hkk.is_finite() && hkk > 1e-14 {
+                        for (t, s) in ws.v[kc + 1][c..]
+                            .iter_mut()
+                            .step_by(k)
+                            .zip(ws.poutb[c..].iter().step_by(k))
+                        {
+                            *t = *s / hkk;
+                        }
+                    }
+                    arnoldi_tail(
+                        &mut ws.cols[c],
+                        &ws.v,
+                        &mut ws.xb,
+                        k,
+                        c,
+                        kc,
+                        hkk,
+                        m,
+                        &opts,
+                        pb_norm[c],
+                        total_iters[c],
+                        &mut ki[c],
+                        &mut k_used[c],
+                        &mut mode[c],
+                        &mut outcome[c],
+                    );
+                }
+                GmresMode::Done => {}
+            }
+        }
+    }
+
+    crate::solver::finalize_columns(a, &ws.bb, &ws.xb, k, opts.tol, &outcome, &mut ws.fin)
 }
 
 /// Stable Givens rotation coefficients `(c, s)` annihilating `b` in `(a, b)`.

@@ -8,18 +8,30 @@
 //! abstraction they share, and the classical baselines (Jacobi, ILU(0),
 //! IC(0)) that the paper's related-work section positions MCMC against.
 
+//!
+//! Beyond the one-shot scalar entry points, the crate provides the batched
+//! multi-RHS machinery the serving workload needs: lockstep batched
+//! drivers sharing matrix traversals across right-hand sides
+//! ([`solve_batch`]), true block-CG with shared search directions
+//! ([`block_cg`]), and the reusable [`SolveSession`] that amortises the
+//! preconditioner and all solver workspaces over many solves.
+
 pub mod bicgstab;
+pub mod block_cg;
 pub mod cg;
 pub mod gmres;
 pub mod ic0;
 pub mod ilu0;
 pub mod precond;
+pub mod session;
 pub mod solver;
 
-pub use bicgstab::bicgstab;
-pub use cg::cg;
-pub use gmres::gmres;
+pub use bicgstab::{bicgstab, bicgstab_batch, bicgstab_with, BiCgStabWorkspace};
+pub use block_cg::block_cg;
+pub use cg::{cg, cg_batch, cg_with, CgWorkspace};
+pub use gmres::{gmres, gmres_batch, gmres_with, GmresWorkspace};
 pub use ic0::Ic0;
 pub use ilu0::Ilu0;
 pub use precond::{IdentityPrecond, JacobiPrecond, Preconditioner, SparsePrecond};
-pub use solver::{solve, SolveOptions, SolveResult, SolverType};
+pub use session::SolveSession;
+pub use solver::{solve, solve_batch, SolveOptions, SolveResult, SolverType};

@@ -75,18 +75,20 @@ pub struct SolveResult {
 
 impl SolveResult {
     /// Recompute and store the true relative residual (solvers track a
-    /// recursive or preconditioned residual; callers want the real thing).
-    pub(crate) fn finalize(mut self, a: &Csr, b: &[f64]) -> Self {
-        let mut r = vec![0.0; b.len()];
-        a.spmv_auto(&self.x, &mut r);
-        for (ri, &bi) in r.iter_mut().zip(b) {
+    /// recursive or preconditioned residual; callers want the real thing),
+    /// writing the residual into caller-owned scratch so workspace-backed
+    /// solvers stay allocation-free.
+    pub(crate) fn finalize_with(mut self, a: &Csr, b: &[f64], scratch: &mut Vec<f64>) -> Self {
+        scratch.resize(b.len(), 0.0);
+        a.spmv_auto(&self.x, scratch);
+        for (ri, &bi) in scratch.iter_mut().zip(b) {
             *ri = bi - *ri;
         }
         let bn = mcmcmi_dense::norm2(b);
         self.rel_residual = if bn > 0.0 {
-            mcmcmi_dense::norm2(&r) / bn
+            mcmcmi_dense::norm2(scratch) / bn
         } else {
-            mcmcmi_dense::norm2(&r)
+            mcmcmi_dense::norm2(scratch)
         };
         if !self.rel_residual.is_finite() {
             self.breakdown = true;
@@ -94,6 +96,96 @@ impl SolveResult {
         }
         self
     }
+}
+
+/// How a lockstep column left its driver — determines how the batched
+/// finalize mirrors the scalar solver's exit paths.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ColEnd {
+    /// Normal completion: measure the true residual, then
+    /// `converged := !breakdown && rel ≤ tol·10` (the wrap every scalar
+    /// solver applies after `finalize`).
+    Wrapped,
+    /// Early return that still measures the true residual but keeps its
+    /// preset `converged` flag (the BiCGStab/GMRES zero-`Pb` path).
+    Preset { converged: bool },
+    /// Early return that skips residual measurement entirely and reports
+    /// `rel_residual = 0` (the CG zero-rhs path).
+    Skip { converged: bool },
+}
+
+/// Per-column outcome a lockstep driver hands to [`finalize_columns`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ColOutcome {
+    pub iterations: usize,
+    pub breakdown: bool,
+    pub end: ColEnd,
+}
+
+/// Batched counterpart of [`SolveResult::finalize`]: recompute the true
+/// residuals of all `k` columns with a single SpMM traversal, replicating
+/// the scalar `finalize` arithmetic per column bit-for-bit, and unpack the
+/// solution block into per-column [`SolveResult`]s.
+pub(crate) fn finalize_columns(
+    a: &Csr,
+    bb: &[f64],
+    xb: &[f64],
+    k: usize,
+    tol: f64,
+    outcomes: &[ColOutcome],
+    scratch: &mut Vec<f64>,
+) -> Vec<SolveResult> {
+    let n = a.nrows();
+    debug_assert_eq!(outcomes.len(), k);
+    scratch.resize(n * k, 0.0);
+    a.spmm_auto(xb, k, scratch);
+    let mut results = Vec::with_capacity(k);
+    for (c, o) in outcomes.iter().enumerate() {
+        let mut x = vec![0.0; n];
+        mcmcmi_dense::gather_col(xb, k, c, &mut x);
+        if let ColEnd::Skip { converged } = o.end {
+            results.push(SolveResult {
+                x,
+                converged,
+                iterations: o.iterations,
+                rel_residual: 0.0,
+                breakdown: o.breakdown,
+            });
+            continue;
+        }
+        // r[:,c] = b[:,c] − (A·X)[:,c], elementwise in row order — the same
+        // operation sequence as the scalar finalize.
+        for (ri, bi) in scratch[c..]
+            .iter_mut()
+            .step_by(k)
+            .zip(bb[c..].iter().step_by(k))
+        {
+            *ri = bi - *ri;
+        }
+        let bn = mcmcmi_dense::norm2_col(bb, k, c);
+        let rn = mcmcmi_dense::norm2_col(scratch, k, c);
+        let rel = if bn > 0.0 { rn / bn } else { rn };
+        let mut breakdown = o.breakdown;
+        let mut converged = match o.end {
+            ColEnd::Preset { converged } => converged,
+            _ => false,
+        };
+        if !rel.is_finite() {
+            breakdown = true;
+            converged = false;
+        }
+        if let ColEnd::Wrapped = o.end {
+            converged = !breakdown && rel <= tol * 10.0;
+        }
+        results.push(SolveResult {
+            x,
+            converged,
+            iterations: o.iterations,
+            rel_residual: rel,
+            breakdown,
+        });
+    }
+    results
 }
 
 /// Solve `Ax = b` with the chosen method and left preconditioner.
@@ -118,6 +210,36 @@ pub fn solve<P: Preconditioner>(
         SolverType::Gmres => crate::gmres::gmres(a, b, precond, opts),
         SolverType::BiCgStab => crate::bicgstab::bicgstab(a, b, precond, opts),
         SolverType::Cg => crate::cg::cg(a, b, precond, opts),
+    }
+}
+
+/// Solve `A·x_c = b_c` for every right-hand side in `rhs` with one lockstep
+/// batched sweep: the Krylov matrix traversals and preconditioner
+/// applications are shared across all columns (SpMM / block apply), while
+/// each column runs exactly the scalar algorithm's arithmetic — results are
+/// bit-identical to calling [`solve`] once per rhs, at any thread count.
+/// Columns converge independently (per-column masking).
+///
+/// One-shot convenience over [`crate::SolveSession`], which additionally
+/// reuses the block workspaces across repeated batches.
+///
+/// # Panics
+/// Panics if dimensions disagree.
+pub fn solve_batch<P: Preconditioner>(
+    a: &Csr,
+    rhs: &[Vec<f64>],
+    precond: &P,
+    solver: SolverType,
+    opts: SolveOptions,
+) -> Vec<SolveResult> {
+    match solver {
+        SolverType::Gmres => {
+            crate::gmres::gmres_batch(a, rhs, precond, opts, &mut Default::default())
+        }
+        SolverType::BiCgStab => {
+            crate::bicgstab::bicgstab_batch(a, rhs, precond, opts, &mut Default::default())
+        }
+        SolverType::Cg => crate::cg::cg_batch(a, rhs, precond, opts, &mut Default::default()),
     }
 }
 

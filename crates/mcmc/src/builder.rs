@@ -91,6 +91,20 @@ impl BuildOutcome {
     pub fn likely_divergent(&self) -> bool {
         self.blown_up_chains > 0 && self.noncontractive_fraction > 0.5
     }
+
+    /// Bind this preconditioner to its matrix as a reusable
+    /// [`SolveSession`] — the consumption path the build cost is amortised
+    /// over: many single solves (reused scalar workspace) and many-RHS
+    /// batches (`solve_batch`, SpMM-shared traversals), all applying `P`
+    /// through the block-aware [`SparsePrecond`].
+    pub fn into_session(
+        self,
+        a: &Csr,
+        solver: mcmcmi_krylov::SolverType,
+        opts: mcmcmi_krylov::SolveOptions,
+    ) -> mcmcmi_krylov::SolveSession<SparsePrecond> {
+        mcmcmi_krylov::SolveSession::new(a.clone(), self.precond, solver, opts)
+    }
 }
 
 /// The MCMC matrix-inversion preconditioner builder.
@@ -258,6 +272,58 @@ mod tests {
             pre.iterations,
             plain.iterations
         );
+    }
+
+    #[test]
+    fn built_precond_block_apply_matches_columnwise_apply() {
+        // The MCMC inverse is consumed through `SparsePrecond` in the
+        // batched solvers; its block application must be bit-identical to
+        // per-column application or `solve_batch` loses its scalar parity.
+        let a = fd_laplace_2d(8);
+        let n = a.nrows();
+        let out =
+            McmcInverse::new(BuildConfig::default()).build(&a, McmcParams::new(0.5, 0.125, 0.0625));
+        let k = 5usize;
+        let r: Vec<f64> = (0..n * k)
+            .map(|t| ((t * 11 + 5) as f64 * 0.053).sin())
+            .collect();
+        let mut z = vec![0.0; n * k];
+        out.precond.apply_block(&r, k, &mut z);
+        let mut rc = vec![0.0; n];
+        let mut zc = vec![0.0; n];
+        for c in 0..k {
+            mcmcmi_dense::gather_col(&r, k, c, &mut rc);
+            out.precond.apply(&rc, &mut zc);
+            let mut got = vec![0.0; n];
+            mcmcmi_dense::gather_col(&z, k, c, &mut got);
+            assert_eq!(got, zc, "column {c}");
+        }
+    }
+
+    #[test]
+    fn into_session_batches_bit_identical_to_single_solves() {
+        let a = fd_laplace_2d(10);
+        let n = a.nrows();
+        let out = McmcInverse::new(BuildConfig::default())
+            .build(&a, McmcParams::new(0.1, 0.0625, 0.0625));
+        let mut session = out.into_session(
+            &a,
+            mcmcmi_krylov::SolverType::Gmres,
+            SolveOptions::default(),
+        );
+        let rhs: Vec<Vec<f64>> = (0..4)
+            .map(|c| {
+                (0..n)
+                    .map(|i| (i as f64 * (0.2 + 0.09 * c as f64)).sin())
+                    .collect()
+            })
+            .collect();
+        let batch = session.solve_batch(&rhs);
+        for (c, b) in rhs.iter().enumerate() {
+            let single = session.solve(b);
+            assert_eq!(batch[c].x, single.x, "column {c}");
+            assert_eq!(batch[c].iterations, single.iterations, "column {c}");
+        }
     }
 
     #[test]

@@ -272,17 +272,12 @@ impl Csr {
     /// enough for threading to pay for itself and threads are available.
     /// Results are bit-identical whichever path runs, so callers (the Krylov
     /// solvers route every matvec through this) keep full determinism.
+    ///
+    /// The dispatch threshold is [`par_threshold`] (work units = nnz touched
+    /// per traversal), overridable via the `MCMCMI_PAR_THRESHOLD` env var.
     #[inline]
     pub fn spmv_auto(&self, x: &[f64], y: &mut [f64]) {
-        /// Parallel dispatch threshold. The serial kernel moves ~1 nnz/ns,
-        /// and the rayon shim spawns *fresh scoped threads per call* (no
-        /// persistent pool), costing on the order of 100 µs to fork/join a
-        /// full complement of workers — so the parallel path must have
-        /// several hundred µs of serial work to amortise. 2¹⁹ nnz ≈ 0.5 ms
-        /// serial. With a persistent-pool rayon (swapping the shim for the
-        /// real crate) this could drop by an order of magnitude.
-        const PAR_MIN_NNZ: usize = 1 << 19;
-        if self.nnz() >= PAR_MIN_NNZ && rayon::current_num_threads() > 1 {
+        if self.nnz() >= par_threshold() && rayon::current_num_threads() > 1 {
             self.spmv_par(x, y);
         } else {
             self.spmv(x, y);
@@ -293,6 +288,114 @@ impl Csr {
     pub fn spmv_alloc(&self, x: &[f64]) -> Vec<f64> {
         let mut y = vec![0.0; self.nrows];
         self.spmv(x, &mut y);
+        y
+    }
+
+    /// `Y ← A·X` for a dense column block: `X` is a row-major `ncols×k`
+    /// block, `Y` a row-major `nrows×k` block. One matrix traversal serves
+    /// all `k` vectors — the memory-bandwidth win batched (multi-RHS)
+    /// solving is built on: the CSR arrays stream through cache once
+    /// instead of `k` times, and the `k` block entries of each gathered
+    /// `X` row are contiguous.
+    ///
+    /// Column `c` of the result is *bit-identical* to
+    /// `self.spmv(column c of X)`: the block row kernels keep exactly the
+    /// 4-wide accumulator association of [`Csr::spmv`]'s row kernel per
+    /// column.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or `k == 0`.
+    pub fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
+        assert!(k > 0, "spmm: k must be positive");
+        assert_eq!(x.len(), self.ncols * k, "spmm: x block size mismatch");
+        assert_eq!(y.len(), self.nrows * k, "spmm: y block size mismatch");
+        self.spmm_rows(0..self.nrows, x, k, y);
+    }
+
+    /// Serial SpMM over a contiguous row range, writing block row
+    /// `i - rows.start` of `y`. The single block row kernel shared by
+    /// [`Csr::spmm`] and [`Csr::spmm_par`] — sharing it is what makes the
+    /// two bit-identical.
+    #[inline]
+    fn spmm_rows(&self, rows: std::ops::Range<usize>, x: &[f64], k: usize, y: &mut [f64]) {
+        let base = rows.start;
+        for i in rows {
+            let cols = &self.indices[self.indptr[i]..self.indptr[i + 1]];
+            let vals = &self.data[self.indptr[i]..self.indptr[i + 1]];
+            let yrow = &mut y[(i - base) * k..(i - base + 1) * k];
+            let mut c = 0;
+            while c + 8 <= k {
+                row_dot_cols::<8>(cols, vals, x, k, c, &mut yrow[c..c + 8]);
+                c += 8;
+            }
+            while c + 4 <= k {
+                row_dot_cols::<4>(cols, vals, x, k, c, &mut yrow[c..c + 4]);
+                c += 4;
+            }
+            while c + 2 <= k {
+                row_dot_cols::<2>(cols, vals, x, k, c, &mut yrow[c..c + 2]);
+                c += 2;
+            }
+            while c < k {
+                yrow[c] = row_dot_col(cols, vals, x, k, c);
+                c += 1;
+            }
+        }
+    }
+
+    /// `Y ← A·X` with Rayon parallelism over nnz-balanced contiguous row
+    /// blocks (the same [`Csr::nnz_balanced_row_ranges`] partitioning as
+    /// [`Csr::spmv_par`]). Bit-identical to [`Csr::spmm`]: only the
+    /// assignment of rows to threads changes, and it never splits a row.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or `k == 0`.
+    pub fn spmm_par(&self, x: &[f64], k: usize, y: &mut [f64]) {
+        assert!(k > 0, "spmm_par: k must be positive");
+        assert_eq!(x.len(), self.ncols * k, "spmm_par: x block size mismatch");
+        assert_eq!(y.len(), self.nrows * k, "spmm_par: y block size mismatch");
+        let parts = rayon::current_num_threads();
+        if parts <= 1 || self.nrows < 2 {
+            self.spmm_rows(0..self.nrows, x, k, y);
+            return;
+        }
+        let ranges = self.nnz_balanced_row_ranges(parts);
+        // Carve y into one disjoint output slice per range.
+        let mut tasks: Vec<(std::ops::Range<usize>, &mut [f64])> = Vec::with_capacity(ranges.len());
+        let mut rest = y;
+        for r in ranges {
+            let (head, tail) = rest.split_at_mut(r.len() * k);
+            rest = tail;
+            tasks.push((r, head));
+        }
+        tasks
+            .into_par_iter()
+            .for_each(|(r, ys)| self.spmm_rows(r, x, k, ys));
+    }
+
+    /// `Y ← A·X`, dispatching to [`Csr::spmm_par`] when the traversal is
+    /// large enough for threading to pay for itself. The work measure is
+    /// `nnz·k` (each stored entry feeds `k` multiply-adds), compared
+    /// against the same [`par_threshold`] as [`Csr::spmv_auto`] — so a
+    /// matrix too small to parallelise one vector at a time can still
+    /// cross the threshold at block width `k`. Results are bit-identical
+    /// whichever path runs.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or `k == 0`.
+    #[inline]
+    pub fn spmm_auto(&self, x: &[f64], k: usize, y: &mut [f64]) {
+        if self.nnz().saturating_mul(k) >= par_threshold() && rayon::current_num_threads() > 1 {
+            self.spmm_par(x, k, y);
+        } else {
+            self.spmm(x, k, y);
+        }
+    }
+
+    /// Allocating SpMM: returns the row-major `nrows×k` product block.
+    pub fn spmm_alloc(&self, x: &[f64], k: usize) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows * k];
+        self.spmm(x, k, &mut y);
         y
     }
 
@@ -478,6 +581,34 @@ impl Csr {
     }
 }
 
+/// Default parallel-dispatch work threshold for [`Csr::spmv_auto`] /
+/// [`Csr::spmm_auto`], in units of multiply-adds per traversal (`nnz` for
+/// SpMV, `nnz·k` for SpMM).
+///
+/// Rationale: the serial kernel moves ~1 nnz/ns, and the rayon shim spawns
+/// *fresh scoped threads per call* (no persistent pool), costing on the
+/// order of 100 µs to fork/join a full complement of workers — so the
+/// parallel path must have several hundred µs of serial work to amortise.
+/// 2¹⁹ work units ≈ 0.5 ms serial. With a persistent-pool rayon (swapping
+/// the shim for the real crate) this could drop by an order of magnitude —
+/// which is exactly what the `MCMCMI_PAR_THRESHOLD` override is for.
+pub const DEFAULT_PAR_THRESHOLD: usize = 1 << 19;
+
+/// The parallel-dispatch work threshold, read once per process: the
+/// `MCMCMI_PAR_THRESHOLD` env var when set to a positive integer, else
+/// [`DEFAULT_PAR_THRESHOLD`]. Cached in a `OnceLock` because the env scan
+/// is far too slow for per-matvec hot paths.
+pub fn par_threshold() -> usize {
+    static THRESHOLD: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("MCMCMI_PAR_THRESHOLD")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or(DEFAULT_PAR_THRESHOLD)
+    })
+}
+
 /// 4-wide unrolled sparse dot of one CSR row against a dense vector.
 ///
 /// Four independent accumulators break the serial floating-point dependence
@@ -505,6 +636,75 @@ fn row_dot(cols: &[usize], vals: &[f64], x: &[f64]) -> f64 {
         s += v * x[j];
     }
     s
+}
+
+/// Strided single-column variant of [`row_dot`]: dot of one CSR row against
+/// column `c` of a row-major `·×k` block. Performs exactly [`row_dot`]'s
+/// operations in exactly its order (4 lane accumulators combined as
+/// `(a0+a1)+(a2+a3)`, then the in-order remainder), so the result is
+/// bit-identical to `row_dot` on the extracted column.
+#[inline]
+fn row_dot_col(cols: &[usize], vals: &[f64], x: &[f64], k: usize, c: usize) -> f64 {
+    let split = cols.len() & !3;
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (cc, v) in cols[..split]
+        .chunks_exact(4)
+        .zip(vals[..split].chunks_exact(4))
+    {
+        a0 += v[0] * x[cc[0] * k + c];
+        a1 += v[1] * x[cc[1] * k + c];
+        a2 += v[2] * x[cc[2] * k + c];
+        a3 += v[3] * x[cc[3] * k + c];
+    }
+    let mut s = (a0 + a1) + (a2 + a3);
+    for (&j, &v) in cols[split..].iter().zip(&vals[split..]) {
+        s += v * x[j * k + c];
+    }
+    s
+}
+
+/// `W`-column block row kernel: computes columns `c..c+W` of one output
+/// block row in a single pass over the row's non-zeros. Each gathered
+/// block row contributes `W` *contiguous* `x` entries
+/// (`x[j·k+c..j·k+c+W]`), so the gather bandwidth of the sparse indices is
+/// shared by `W` outputs — at `W = 8` a full 64-byte cache line per
+/// gather, versus 8 of 64 bytes used by a scalar SpMV gather. Per column,
+/// the accumulator association is exactly [`row_dot`]'s (4 lane
+/// accumulators combined `(a0+a1)+(a2+a3)`, in-order remainder), keeping
+/// every column bit-identical to a plain SpMV. `W` is a const generic so
+/// the column loops fully unroll; [`Csr::spmm_rows`] instantiates 8, 4,
+/// and 2.
+#[inline]
+fn row_dot_cols<const W: usize>(
+    cols: &[usize],
+    vals: &[f64],
+    x: &[f64],
+    k: usize,
+    c: usize,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(out.len(), W);
+    let split = cols.len() & !3;
+    // acc[lane][col]: lane = position within the 4-wide nnz chunk.
+    let mut acc = [[0.0f64; W]; 4];
+    for (cc, v) in cols[..split]
+        .chunks_exact(4)
+        .zip(vals[..split].chunks_exact(4))
+    {
+        for lane in 0..4 {
+            let xr = &x[cc[lane] * k + c..cc[lane] * k + c + W];
+            for t in 0..W {
+                acc[lane][t] += v[lane] * xr[t];
+            }
+        }
+    }
+    for (col, o) in out.iter_mut().enumerate() {
+        let mut s = (acc[0][col] + acc[1][col]) + (acc[2][col] + acc[3][col]);
+        for (&j, &v) in cols[split..].iter().zip(&vals[split..]) {
+            s += v * x[j * k + c + col];
+        }
+        *o = s;
+    }
 }
 
 impl LinearOp for Csr {
@@ -646,6 +846,122 @@ mod tests {
                 (got - reference).abs() < 1e-12 * (1.0 + reference.abs()),
                 "len {len}"
             );
+        }
+    }
+
+    /// Pack `k` column vectors into a row-major `n×k` block.
+    fn pack_block(cols: &[Vec<f64>]) -> Vec<f64> {
+        let k = cols.len();
+        let n = cols[0].len();
+        let mut block = vec![0.0; n * k];
+        for (c, col) in cols.iter().enumerate() {
+            for (i, &v) in col.iter().enumerate() {
+                block[i * k + c] = v;
+            }
+        }
+        block
+    }
+
+    #[test]
+    fn spmm_bit_identical_to_k_spmvs() {
+        // Cover the 4-wide column kernel, the strided remainder columns
+        // (k mod 4 ∈ {0,1,2,3}), and rows of every remainder length.
+        let a = skewed(120, 6);
+        let n = a.nrows();
+        for k in [1usize, 2, 3, 4, 5, 7, 8, 11] {
+            let xs: Vec<Vec<f64>> = (0..k)
+                .map(|c| {
+                    (0..n)
+                        .map(|i| ((i * 13 + c * 101) as f64 * 0.071).sin() * 2.0)
+                        .collect()
+                })
+                .collect();
+            let xb = pack_block(&xs);
+            let mut yb = vec![0.0; n * k];
+            a.spmm(&xb, k, &mut yb);
+            for (c, x) in xs.iter().enumerate() {
+                let y = a.spmv_alloc(x);
+                for i in 0..n {
+                    assert_eq!(yb[i * k + c], y[i], "k={k} col={c} row={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_par_and_auto_bit_identical_across_thread_counts() {
+        let a = skewed(250, 10);
+        let n = a.nrows();
+        let k = 6usize;
+        let xb: Vec<f64> = (0..n * k).map(|t| (t as f64 * 0.017).cos()).collect();
+        let mut reference = vec![0.0; n * k];
+        a.spmm(&xb, k, &mut reference);
+        for threads in [1usize, 2, 5, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut y = vec![0.0; n * k];
+            pool.install(|| a.spmm_par(&xb, k, &mut y));
+            assert_eq!(y, reference, "spmm_par, threads = {threads}");
+            let mut z = vec![0.0; n * k];
+            pool.install(|| a.spmm_auto(&xb, k, &mut z));
+            assert_eq!(z, reference, "spmm_auto, threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul_on_rectangular_matrix() {
+        // Rectangular: 3×4 times a 4×2 block.
+        let mut coo = Coo::new(3, 4);
+        for &(i, j, v) in &[
+            (0usize, 0usize, 1.0f64),
+            (0, 3, -2.0),
+            (1, 1, 3.0),
+            (2, 0, 4.0),
+            (2, 2, 0.5),
+        ] {
+            coo.push(i, j, v);
+        }
+        let a = coo.to_csr();
+        let x = [1.0, -1.0, 2.0, 0.5, 0.0, 3.0, 1.5, -2.0]; // 4×2 row-major
+        let y = a.spmm_alloc(&x, 2);
+        // Row 0: 1·x[0,:] − 2·x[3,:]; row 1: 3·x[1,:]; row 2: 4·x[0,:] + 0.5·x[2,:]
+        let expect = [
+            1.0 - 2.0 * 1.5,
+            -1.0 - 2.0 * -2.0,
+            3.0 * 2.0,
+            3.0 * 0.5,
+            4.0 * 1.0 + 0.5 * 0.0,
+            -4.0 + 0.5 * 3.0,
+        ];
+        for (got, want) in y.iter().zip(&expect) {
+            assert!((got - want).abs() < 1e-14, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn spmm_k1_equals_spmv() {
+        let a = sample();
+        let x = [0.3, -1.2, 2.5];
+        assert_eq!(a.spmm_alloc(&x, 1), a.spmv_alloc(&x));
+    }
+
+    #[test]
+    fn par_threshold_default_documented() {
+        // The OnceLock reads the env at most once per process. Only assert
+        // the default when no override is present — the README explicitly
+        // invites setting MCMCMI_PAR_THRESHOLD, and that must not turn
+        // this test into a spurious failure.
+        match std::env::var("MCMCMI_PAR_THRESHOLD") {
+            Err(_) => assert_eq!(par_threshold(), DEFAULT_PAR_THRESHOLD),
+            Ok(v) => {
+                if let Ok(t) = v.trim().parse::<usize>() {
+                    if t > 0 {
+                        assert_eq!(par_threshold(), t);
+                    }
+                }
+            }
         }
     }
 

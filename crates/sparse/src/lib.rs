@@ -14,5 +14,5 @@ pub mod ops;
 
 pub use coo::Coo;
 pub use csc::Csc;
-pub use csr::Csr;
+pub use csr::{par_threshold, Csr, DEFAULT_PAR_THRESHOLD};
 pub use ops::{csr_add, csr_add_diag, csr_eye, csr_scale};

@@ -46,6 +46,83 @@ fn spmv_par_identical_across_thread_counts() {
     }
 }
 
+/// The SpMM block kernels share `nnz_balanced_row_ranges` and the per-row
+/// block kernel with the serial path: bit-identical at any thread count,
+/// and bit-identical per column to k independent SpMVs.
+#[test]
+fn spmm_identical_across_thread_counts_and_to_spmv_columns() {
+    let a = mcmcmi::matgen::stretched_climate_operator(13, 46, 22, 1.0);
+    let n = a.nrows();
+    for k in [1usize, 3, 4, 6, 8] {
+        let xb: Vec<f64> = (0..n * k)
+            .map(|t| (t as f64 * 0.0077).sin() * 2.0)
+            .collect();
+        let mut reference = vec![0.0; n * k];
+        a.spmm(&xb, k, &mut reference);
+        // Column c of the block result == spmv of column c, bit for bit.
+        let mut xc = vec![0.0; n];
+        let mut yc = vec![0.0; n];
+        for c in 0..k {
+            mcmcmi::dense::gather_col(&xb, k, c, &mut xc);
+            a.spmv(&xc, &mut yc);
+            let mut got = vec![0.0; n];
+            mcmcmi::dense::gather_col(&reference, k, c, &mut got);
+            assert_eq!(got, yc, "k={k} column {c} differs from spmv");
+        }
+        for threads in [1usize, 2, 3, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut y = vec![0.0; n * k];
+            pool.install(|| a.spmm_par(&xb, k, &mut y));
+            assert_eq!(y, reference, "spmm_par, k={k}, thread count {threads}");
+            let mut z = vec![0.0; n * k];
+            pool.install(|| a.spmm_auto(&xb, k, &mut z));
+            assert_eq!(z, reference, "spmm_auto, k={k}, thread count {threads}");
+        }
+    }
+}
+
+/// Batched lockstep solves must equal sequential single-RHS solves bit for
+/// bit at any thread count — the full-stack determinism contract of the
+/// multi-RHS path (SpMM + block preconditioner application + per-column
+/// masking).
+#[test]
+fn solve_batch_identical_across_thread_counts_and_to_sequential() {
+    use mcmcmi::krylov::{solve, solve_batch, JacobiPrecond, SolveOptions, SolverType};
+    let a = fd_laplace_2d(14);
+    let n = a.nrows();
+    let rhs: Vec<Vec<f64>> = (0..5)
+        .map(|c| {
+            (0..n)
+                .map(|i| (i as f64 * (0.23 + 0.06 * c as f64)).sin())
+                .collect()
+        })
+        .collect();
+    let precond = JacobiPrecond::new(&a);
+    let opts = SolveOptions::default();
+    for solver in [SolverType::Cg, SolverType::BiCgStab, SolverType::Gmres] {
+        let reference: Vec<_> = rhs
+            .iter()
+            .map(|b| solve(&a, b, &precond, solver, opts))
+            .collect();
+        for threads in [1usize, 3, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let batch = pool.install(|| solve_batch(&a, &rhs, &precond, solver, opts));
+            for (c, (got, want)) in batch.iter().zip(&reference).enumerate() {
+                assert_eq!(got.x, want.x, "{solver:?} col {c}, {threads} threads");
+                assert_eq!(got.iterations, want.iterations, "{solver:?} col {c}");
+                assert_eq!(got.rel_residual, want.rel_residual, "{solver:?} col {c}");
+                assert_eq!(got.converged, want.converged, "{solver:?} col {c}");
+            }
+        }
+    }
+}
+
 /// The regenerative builder shares the reusable-workspace walk path with
 /// the classic builder; its output must also be schedule-independent.
 #[test]
