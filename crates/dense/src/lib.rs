@@ -22,6 +22,7 @@ pub use lu::Lu;
 pub use mat::Mat;
 pub use qr::{orthonormal_columns, Qr};
 pub use vec_ops::{
-    axpy, axpy_col, axpy_cols_masked, copy_into, dot, dot_col, dot_cols_masked, gather_col, norm1,
-    norm2, norm2_col, norm2_cols_masked, norm_inf, scale_col, scale_in_place, scatter_col,
+    axpy, axpy_col, axpy_cols_masked, copy_col, copy_into, dot, dot_col, dot_cols_masked,
+    gather_col, norm1, norm2, norm2_col, norm2_cols_masked, norm_inf, scale_col, scale_in_place,
+    scatter_col,
 };

@@ -290,6 +290,26 @@ pub fn scatter_col(src: &[f64], block: &mut [f64], k: usize, c: usize) {
     }
 }
 
+/// Copy column `c` of one row-major `n×k` block into the same column of
+/// another — the block-to-block sibling of [`gather_col`]/[`scatter_col`],
+/// used by the lockstep batched solvers to route per-column vectors
+/// between basis blocks. A plain element copy, so trivially bit-exact.
+///
+/// # Panics
+/// Panics if dimensions disagree.
+#[inline]
+pub fn copy_col(src: &[f64], dst: &mut [f64], k: usize, c: usize) {
+    assert!(c < k, "copy_col: column out of range");
+    assert_eq!(src.len(), dst.len(), "copy_col: length mismatch");
+    for (d, s) in dst[c..]
+        .iter_mut()
+        .step_by(k)
+        .zip(src[c..].iter().step_by(k))
+    {
+        *d = *s;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,5 +464,21 @@ mod tests {
         let mut col = vec![0.0; 9];
         gather_col(&block, 4, 2, &mut col);
         assert_eq!(col, cols[2]);
+    }
+
+    #[test]
+    fn copy_col_moves_exactly_one_column() {
+        let (block, cols) = block_and_cols(7, 3);
+        let mut dst = vec![-1.0; block.len()];
+        copy_col(&block, &mut dst, 3, 1);
+        let mut got = vec![0.0; 7];
+        gather_col(&dst, 3, 1, &mut got);
+        assert_eq!(got, cols[1]);
+        // Other columns untouched.
+        for c in [0usize, 2] {
+            let mut other = vec![0.0; 7];
+            gather_col(&dst, 3, c, &mut other);
+            assert!(other.iter().all(|&v| v == -1.0), "column {c}");
+        }
     }
 }

@@ -727,7 +727,9 @@ pub fn gmres_batch<P: Preconditioner>(
 }
 
 /// Stable Givens rotation coefficients `(c, s)` annihilating `b` in `(a, b)`.
-fn givens(a: f64, b: f64) -> (f64, f64) {
+/// Shared with the flexible driver ([`crate::fgmres`]) so both factorise
+/// their Hessenberg columns with identical arithmetic.
+pub(crate) fn givens(a: f64, b: f64) -> (f64, f64) {
     if b == 0.0 {
         (1.0, 0.0)
     } else if b.abs() > a.abs() {

@@ -15,10 +15,19 @@
 //! ([`solve_batch`]), true block-CG with shared search directions
 //! ([`block_cg`]), and the reusable [`SolveSession`] that amortises the
 //! preconditioner and all solver workspaces over many solves.
+//!
+//! For *inexact* preconditioners — the compressed, reduced-precision MCMC
+//! inverses produced by `mcmcmi_mcmc`'s `CompressionPolicy` — the flexible
+//! drivers [`fcg`] (Notay) and [`fgmres`] (Saad, right-preconditioned)
+//! keep their convergence theory where classical CG/GMRES would quietly
+//! assume a fixed exact operator; both come in scalar and lockstep batched
+//! forms on the same workspace/session design.
 
 pub mod bicgstab;
 pub mod block_cg;
 pub mod cg;
+pub mod fcg;
+pub mod fgmres;
 pub mod gmres;
 pub mod ic0;
 pub mod ilu0;
@@ -29,9 +38,13 @@ pub mod solver;
 pub use bicgstab::{bicgstab, bicgstab_batch, bicgstab_with, BiCgStabWorkspace};
 pub use block_cg::block_cg;
 pub use cg::{cg, cg_batch, cg_with, CgWorkspace};
+pub use fcg::{fcg, fcg_batch, fcg_with, FcgWorkspace};
+pub use fgmres::{fgmres, fgmres_batch, fgmres_with, FgmresWorkspace};
 pub use gmres::{gmres, gmres_batch, gmres_with, GmresWorkspace};
 pub use ic0::Ic0;
 pub use ilu0::Ilu0;
-pub use precond::{IdentityPrecond, JacobiPrecond, Preconditioner, SparsePrecond};
+pub use precond::{
+    CompressedPrecond, IdentityPrecond, JacobiPrecond, Preconditioner, SparsePrecond,
+};
 pub use session::SolveSession;
 pub use solver::{solve, solve_batch, SolveOptions, SolveResult, SolverType};

@@ -16,6 +16,8 @@
 
 use crate::bicgstab::{bicgstab_batch, bicgstab_with, BiCgStabBlockWorkspace, BiCgStabWorkspace};
 use crate::cg::{cg_batch, cg_with, CgBlockWorkspace, CgWorkspace};
+use crate::fcg::{fcg_batch, fcg_with, FcgBlockWorkspace, FcgWorkspace};
+use crate::fgmres::{fgmres_batch, fgmres_with, FgmresBlockWorkspace, FgmresWorkspace};
 use crate::gmres::{gmres_batch, gmres_with, GmresBlockWorkspace, GmresWorkspace};
 use crate::precond::Preconditioner;
 use crate::solver::{SolveOptions, SolveResult, SolverType};
@@ -28,6 +30,8 @@ enum ScalarWs {
     Cg(CgWorkspace),
     BiCgStab(BiCgStabWorkspace),
     Gmres(GmresWorkspace),
+    Fgmres(FgmresWorkspace),
+    FCg(FcgWorkspace),
 }
 
 /// Block scratch for one batch width.
@@ -36,6 +40,8 @@ enum BlockWs {
     Cg(CgBlockWorkspace),
     BiCgStab(BiCgStabBlockWorkspace),
     Gmres(GmresBlockWorkspace),
+    Fgmres(FgmresBlockWorkspace),
+    FCg(FcgBlockWorkspace),
 }
 
 /// A solver bound to one `(A, P)` pair for repeated single and batched
@@ -73,6 +79,8 @@ impl<P: Preconditioner> SolveSession<P> {
             SolverType::Cg => ScalarWs::Cg(CgWorkspace::new()),
             SolverType::BiCgStab => ScalarWs::BiCgStab(BiCgStabWorkspace::new()),
             SolverType::Gmres => ScalarWs::Gmres(GmresWorkspace::new()),
+            SolverType::Fgmres => ScalarWs::Fgmres(FgmresWorkspace::new()),
+            SolverType::FCg => ScalarWs::FCg(FcgWorkspace::new()),
         };
         Self {
             a,
@@ -116,6 +124,8 @@ impl<P: Preconditioner> SolveSession<P> {
             ScalarWs::Cg(ws) => cg_with(&self.a, b, &self.precond, self.opts, ws),
             ScalarWs::BiCgStab(ws) => bicgstab_with(&self.a, b, &self.precond, self.opts, ws),
             ScalarWs::Gmres(ws) => gmres_with(&self.a, b, &self.precond, self.opts, ws),
+            ScalarWs::Fgmres(ws) => fgmres_with(&self.a, b, &self.precond, self.opts, ws),
+            ScalarWs::FCg(ws) => fcg_with(&self.a, b, &self.precond, self.opts, ws),
         }
     }
 
@@ -138,11 +148,15 @@ impl<P: Preconditioner> SolveSession<P> {
             SolverType::Cg => BlockWs::Cg(CgBlockWorkspace::new()),
             SolverType::BiCgStab => BlockWs::BiCgStab(BiCgStabBlockWorkspace::new()),
             SolverType::Gmres => BlockWs::Gmres(GmresBlockWorkspace::new()),
+            SolverType::Fgmres => BlockWs::Fgmres(FgmresBlockWorkspace::new()),
+            SolverType::FCg => BlockWs::FCg(FcgBlockWorkspace::new()),
         });
         match ws {
             BlockWs::Cg(ws) => cg_batch(&self.a, rhs, &self.precond, self.opts, ws),
             BlockWs::BiCgStab(ws) => bicgstab_batch(&self.a, rhs, &self.precond, self.opts, ws),
             BlockWs::Gmres(ws) => gmres_batch(&self.a, rhs, &self.precond, self.opts, ws),
+            BlockWs::Fgmres(ws) => fgmres_batch(&self.a, rhs, &self.precond, self.opts, ws),
+            BlockWs::FCg(ws) => fcg_batch(&self.a, rhs, &self.precond, self.opts, ws),
         }
     }
 

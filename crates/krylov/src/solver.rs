@@ -14,6 +14,12 @@ pub enum SolverType {
     BiCgStab,
     /// Conjugate gradients (SPD systems only).
     Cg,
+    /// Flexible restarted GMRES (right-preconditioned; tolerates inexact
+    /// preconditioners — the compressed/f32 MCMC apply path).
+    Fgmres,
+    /// Flexible CG (Polak–Ribière β; tolerates inexact or slightly
+    /// nonsymmetric preconditioners on SPD systems).
+    FCg,
 }
 
 impl SolverType {
@@ -23,15 +29,37 @@ impl SolverType {
             SolverType::Gmres => "GMRES",
             SolverType::BiCgStab => "BiCGStab",
             SolverType::Cg => "CG",
+            SolverType::Fgmres => "FGMRES",
+            SolverType::FCg => "FCG",
         }
     }
 
     /// One-hot encoding (3 components) for the surrogate's `x_M` input.
+    /// The flexible variants share their base method's slot — to the
+    /// surrogate they are the same Krylov family, differing only in how
+    /// they absorb preconditioner inexactness.
     pub fn one_hot(self) -> [f64; 3] {
         match self {
-            SolverType::Gmres => [1.0, 0.0, 0.0],
+            SolverType::Gmres | SolverType::Fgmres => [1.0, 0.0, 0.0],
             SolverType::BiCgStab => [0.0, 1.0, 0.0],
-            SolverType::Cg => [0.0, 0.0, 1.0],
+            SolverType::Cg | SolverType::FCg => [0.0, 0.0, 1.0],
+        }
+    }
+
+    /// Does this driver tolerate an inexact (compressed, reduced-precision,
+    /// or nonsymmetric) preconditioner without voiding its convergence
+    /// theory?
+    pub fn is_flexible(self) -> bool {
+        matches!(self, SolverType::Fgmres | SolverType::FCg)
+    }
+
+    /// The flexible driver of the same Krylov family (identity for the
+    /// already-flexible variants; BiCGStab has no flexible form here and
+    /// maps to FGMRES, the general-purpose fallback).
+    pub fn flexible(self) -> SolverType {
+        match self {
+            SolverType::Gmres | SolverType::Fgmres | SolverType::BiCgStab => SolverType::Fgmres,
+            SolverType::Cg | SolverType::FCg => SolverType::FCg,
         }
     }
 }
@@ -210,6 +238,8 @@ pub fn solve<P: Preconditioner>(
         SolverType::Gmres => crate::gmres::gmres(a, b, precond, opts),
         SolverType::BiCgStab => crate::bicgstab::bicgstab(a, b, precond, opts),
         SolverType::Cg => crate::cg::cg(a, b, precond, opts),
+        SolverType::Fgmres => crate::fgmres::fgmres(a, b, precond, opts),
+        SolverType::FCg => crate::fcg::fcg(a, b, precond, opts),
     }
 }
 
@@ -240,6 +270,10 @@ pub fn solve_batch<P: Preconditioner>(
             crate::bicgstab::bicgstab_batch(a, rhs, precond, opts, &mut Default::default())
         }
         SolverType::Cg => crate::cg::cg_batch(a, rhs, precond, opts, &mut Default::default()),
+        SolverType::Fgmres => {
+            crate::fgmres::fgmres_batch(a, rhs, precond, opts, &mut Default::default())
+        }
+        SolverType::FCg => crate::fcg::fcg_batch(a, rhs, precond, opts, &mut Default::default()),
     }
 }
 
@@ -265,6 +299,21 @@ mod tests {
         assert_eq!(SolverType::Gmres.name(), "GMRES");
         assert_eq!(SolverType::BiCgStab.name(), "BiCGStab");
         assert_eq!(SolverType::Cg.name(), "CG");
+        assert_eq!(SolverType::Fgmres.name(), "FGMRES");
+        assert_eq!(SolverType::FCg.name(), "FCG");
+    }
+
+    #[test]
+    fn flexible_variants_share_their_family_encoding() {
+        assert_eq!(SolverType::Fgmres.one_hot(), SolverType::Gmres.one_hot());
+        assert_eq!(SolverType::FCg.one_hot(), SolverType::Cg.one_hot());
+        assert!(SolverType::Fgmres.is_flexible() && SolverType::FCg.is_flexible());
+        for base in [SolverType::Gmres, SolverType::BiCgStab, SolverType::Cg] {
+            assert!(!base.is_flexible());
+            assert!(base.flexible().is_flexible());
+        }
+        assert_eq!(SolverType::Cg.flexible(), SolverType::FCg);
+        assert_eq!(SolverType::Gmres.flexible(), SolverType::Fgmres);
     }
 
     #[test]

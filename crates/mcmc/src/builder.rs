@@ -7,6 +7,7 @@
 //! instead of O(n), eliminating the O(n²) aggregate allocation/zeroing the
 //! naive per-row `vec![0.0; n]` costs.
 
+use crate::compress::{CompressionPolicy, CompressionReport};
 use crate::params::McmcParams;
 use crate::walk::WalkMatrix;
 use mcmcmi_krylov::SparsePrecond;
@@ -104,6 +105,41 @@ impl BuildOutcome {
         opts: mcmcmi_krylov::SolveOptions,
     ) -> mcmcmi_krylov::SolveSession<SparsePrecond> {
         mcmcmi_krylov::SolveSession::new(a.clone(), self.precond, solver, opts)
+    }
+
+    /// Apply a [`CompressionPolicy`] to the built preconditioner:
+    /// drop-tolerance sparsification plus optional f32 demotion (see
+    /// [`crate::compress`]). The identity policy returns a bit-identical
+    /// f64 copy, so the compressed path can be validated against the
+    /// uncompressed baseline exactly.
+    pub fn compress(
+        &self,
+        policy: &CompressionPolicy,
+    ) -> (mcmcmi_krylov::CompressedPrecond, CompressionReport) {
+        crate::compress::compress(self.precond.matrix(), policy)
+    }
+
+    /// Compress and bind in one step: the mixed-precision serving session.
+    /// Pair it with a *flexible* driver (`SolverType::Fgmres` /
+    /// `SolverType::FCg`) — a sparsified, rounded inverse is exactly the
+    /// inexact preconditioner those drivers exist for. (The classical
+    /// drivers still run and converge in practice at mild policies; they
+    /// just lose their exact-preconditioner theory.)
+    pub fn into_compressed_session(
+        self,
+        a: &Csr,
+        policy: &CompressionPolicy,
+        solver: mcmcmi_krylov::SolverType,
+        opts: mcmcmi_krylov::SolveOptions,
+    ) -> (
+        mcmcmi_krylov::SolveSession<mcmcmi_krylov::CompressedPrecond>,
+        CompressionReport,
+    ) {
+        let (precond, report) = self.compress(policy);
+        (
+            mcmcmi_krylov::SolveSession::new(a.clone(), precond, solver, opts),
+            report,
+        )
     }
 }
 

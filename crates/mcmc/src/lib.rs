@@ -17,11 +17,13 @@
 //! ships as an extension in [`regenerative`].
 
 pub mod builder;
+pub mod compress;
 pub mod params;
 pub mod regenerative;
 pub mod walk;
 
 pub use builder::{BuildConfig, BuildOutcome, McmcInverse};
+pub use compress::{compress, sparsify, CompressionPolicy, CompressionReport, StoragePrecision};
 pub use params::McmcParams;
 pub use regenerative::{regenerative_inverse, RegenerativeConfig};
 pub use walk::{RowWalkStats, WalkMatrix};

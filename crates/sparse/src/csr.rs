@@ -1,26 +1,35 @@
 //! Compressed sparse row storage — the workhorse format of the workspace.
+//!
+//! [`Csr`] is generic over its stored value type ([`Scalar`]): `Csr<f64>`
+//! (the default, spelled plain `Csr` everywhere) is the exact container the
+//! solvers run on, while `Csr<f32>` halves value bandwidth for operators —
+//! like the MCMC approximate inverse — whose entries carry more stochastic
+//! error than an f32 mantissa. All SpMV/SpMM kernels take f64 vectors and
+//! accumulate in f64 regardless of the storage scalar; on `Csr<f64>` they
+//! are bit-for-bit the pre-generic kernels.
 
+use crate::scalar::Scalar;
 use mcmcmi_dense::{LinearOp, Mat};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-/// Compressed-sparse-row matrix.
+/// Compressed-sparse-row matrix with values stored as `T`.
 ///
 /// Invariants (checked by [`Csr::from_raw`] in debug builds and by
 /// [`Csr::check_invariants`] on demand):
 /// - `indptr.len() == nrows + 1`, non-decreasing, `indptr[0] == 0`,
 ///   `indptr[nrows] == indices.len() == data.len()`;
 /// - column indices within each row are strictly increasing and `< ncols`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct Csr {
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr<T: Scalar = f64> {
     nrows: usize,
     ncols: usize,
     indptr: Vec<usize>,
     indices: Vec<usize>,
-    data: Vec<f64>,
+    data: Vec<T>,
 }
 
-impl Csr {
+impl<T: Scalar> Csr<T> {
     /// Build from raw CSR arrays.
     ///
     /// # Panics
@@ -30,7 +39,7 @@ impl Csr {
         ncols: usize,
         indptr: Vec<usize>,
         indices: Vec<usize>,
-        data: Vec<f64>,
+        data: Vec<T>,
     ) -> Self {
         let m = Self {
             nrows,
@@ -80,41 +89,6 @@ impl Csr {
         Ok(())
     }
 
-    /// Dense → CSR conversion (drops exact zeros).
-    pub fn from_dense(a: &Mat) -> Self {
-        let mut indptr = Vec::with_capacity(a.nrows() + 1);
-        let mut indices = Vec::new();
-        let mut data = Vec::new();
-        indptr.push(0);
-        for i in 0..a.nrows() {
-            for (j, &v) in a.row(i).iter().enumerate() {
-                if v != 0.0 {
-                    indices.push(j);
-                    data.push(v);
-                }
-            }
-            indptr.push(indices.len());
-        }
-        Self {
-            nrows: a.nrows(),
-            ncols: a.ncols(),
-            indptr,
-            indices,
-            data,
-        }
-    }
-
-    /// CSR → dense conversion (for tests and small exact computations).
-    pub fn to_dense(&self) -> Mat {
-        let mut m = Mat::zeros(self.nrows, self.ncols);
-        for i in 0..self.nrows {
-            for (&j, &v) in self.row_indices(i).iter().zip(self.row_values(i)) {
-                m.set(i, j, v);
-            }
-        }
-        m
-    }
-
     /// Number of rows.
     #[inline]
     pub fn nrows(&self) -> usize {
@@ -155,27 +129,27 @@ impl Csr {
 
     /// Values of row `i`, aligned with [`Csr::row_indices`].
     #[inline]
-    pub fn row_values(&self, i: usize) -> &[f64] {
+    pub fn row_values(&self, i: usize) -> &[T] {
         &self.data[self.indptr[i]..self.indptr[i + 1]]
     }
 
     /// Mutable values of row `i`.
     #[inline]
-    pub fn row_values_mut(&mut self, i: usize) -> &mut [f64] {
+    pub fn row_values_mut(&mut self, i: usize) -> &mut [T] {
         &mut self.data[self.indptr[i]..self.indptr[i + 1]]
     }
 
     /// Entry accessor (binary search within the row); zero when not stored.
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> T {
         let cols = self.row_indices(i);
         match cols.binary_search(&j) {
             Ok(k) => self.row_values(i)[k],
-            Err(_) => 0.0,
+            Err(_) => T::ZERO,
         }
     }
 
     /// Iterate all stored triplets `(i, j, v)`.
-    pub fn triplets(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+    pub fn triplets(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
         (0..self.nrows).flat_map(move |i| {
             self.row_indices(i)
                 .iter()
@@ -184,7 +158,27 @@ impl Csr {
         })
     }
 
+    /// Copy of the matrix with values re-stored as `U` (pattern untouched).
+    /// `f64 → f32` is the mixed-precision demotion (one round-to-nearest per
+    /// entry); `f32 → f64` and `f64 → f64` are exact.
+    pub fn to_precision<U: Scalar>(&self) -> Csr<U> {
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            data: self.data.iter().map(|v| U::from_f64(v.to_f64())).collect(),
+        }
+    }
+
+    /// Aggregate bytes of the value array — the bandwidth the apply phase
+    /// streams per traversal on top of the (scalar-independent) index arrays.
+    pub fn value_bytes(&self) -> usize {
+        self.nnz() * T::BYTES
+    }
+
     /// `y ← A·x`, serial, through the 4-wide unrolled row kernel.
+    /// `x`/`y` are always f64; stored values widen on load.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "spmv: x length mismatch");
         assert_eq!(y.len(), self.nrows, "spmv: y length mismatch");
@@ -255,17 +249,51 @@ impl Csr {
             return;
         }
         let ranges = self.nnz_balanced_row_ranges(parts);
+        self.spmv_in_ranges(&ranges, x, y);
+    }
+
+    /// Parallel SpMV over a caller-provided row partition — the zero-repartition
+    /// path for operators applied many times (preconditioners cache their
+    /// [`Csr::nnz_balanced_row_ranges`] once and reuse it per apply instead of
+    /// re-deriving it per call). `ranges` must be an in-order disjoint cover of
+    /// `0..nrows`, as produced by [`Csr::nnz_balanced_row_ranges`]; results are
+    /// bit-identical to [`Csr::spmv`] for *any* such partition.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or if `ranges` is not an in-order
+    /// disjoint cover of `0..nrows` (the check is O(parts) — noise next to
+    /// the O(nnz) kernel — and a bad partition would otherwise silently
+    /// leave stale rows in `y`).
+    pub fn spmv_in_ranges(&self, ranges: &[std::ops::Range<usize>], x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "spmv_in_ranges: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "spmv_in_ranges: y length mismatch");
+        assert!(
+            partition_covers(ranges, self.nrows),
+            "spmv_in_ranges: ranges must cover 0..nrows in order"
+        );
         // Carve y into one disjoint output slice per range.
         let mut tasks: Vec<(std::ops::Range<usize>, &mut [f64])> = Vec::with_capacity(ranges.len());
         let mut rest = y;
         for r in ranges {
             let (head, tail) = rest.split_at_mut(r.len());
             rest = tail;
-            tasks.push((r, head));
+            tasks.push((r.clone(), head));
         }
         tasks
             .into_par_iter()
             .for_each(|(r, ys)| self.spmv_rows(r, x, ys));
+    }
+
+    /// The auto-dispatch rule shared by every `_auto` entry point and the
+    /// cached-partition variants: parallelise when the traversal performs
+    /// at least [`par_threshold`] multiply-adds (`work` — `nnz` for SpMV,
+    /// `nnz·k` for SpMM) and threads are available. One definition, public
+    /// so callers that manage their own partitions (preconditioners caching
+    /// [`Csr::nnz_balanced_row_ranges`]) take the *same* serial-vs-parallel
+    /// decision as the `_auto` entry points — the paths can never disagree.
+    #[inline]
+    pub fn par_pays_off(&self, work: usize) -> bool {
+        work >= par_threshold() && rayon::current_num_threads() > 1
     }
 
     /// `y ← A·x`, dispatching to [`Csr::spmv_par`] when the matrix is large
@@ -277,7 +305,7 @@ impl Csr {
     /// per traversal), overridable via the `MCMCMI_PAR_THRESHOLD` env var.
     #[inline]
     pub fn spmv_auto(&self, x: &[f64], y: &mut [f64]) {
-        if self.nnz() >= par_threshold() && rayon::current_num_threads() > 1 {
+        if self.par_pays_off(self.nnz()) {
             self.spmv_par(x, y);
         } else {
             self.spmv(x, y);
@@ -325,15 +353,15 @@ impl Csr {
             let yrow = &mut y[(i - base) * k..(i - base + 1) * k];
             let mut c = 0;
             while c + 8 <= k {
-                row_dot_cols::<8>(cols, vals, x, k, c, &mut yrow[c..c + 8]);
+                row_dot_cols::<T, 8>(cols, vals, x, k, c, &mut yrow[c..c + 8]);
                 c += 8;
             }
             while c + 4 <= k {
-                row_dot_cols::<4>(cols, vals, x, k, c, &mut yrow[c..c + 4]);
+                row_dot_cols::<T, 4>(cols, vals, x, k, c, &mut yrow[c..c + 4]);
                 c += 4;
             }
             while c + 2 <= k {
-                row_dot_cols::<2>(cols, vals, x, k, c, &mut yrow[c..c + 2]);
+                row_dot_cols::<T, 2>(cols, vals, x, k, c, &mut yrow[c..c + 2]);
                 c += 2;
             }
             while c < k {
@@ -360,13 +388,46 @@ impl Csr {
             return;
         }
         let ranges = self.nnz_balanced_row_ranges(parts);
+        self.spmm_in_ranges(&ranges, x, k, y);
+    }
+
+    /// Parallel SpMM over a caller-provided row partition — the block
+    /// counterpart of [`Csr::spmv_in_ranges`], with the same contract:
+    /// `ranges` is an in-order disjoint cover of `0..nrows`, and the result
+    /// is bit-identical to [`Csr::spmm`] for any such partition.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch, `k == 0`, or a `ranges` that is not an
+    /// in-order disjoint cover of `0..nrows` (see [`Csr::spmv_in_ranges`]).
+    pub fn spmm_in_ranges(
+        &self,
+        ranges: &[std::ops::Range<usize>],
+        x: &[f64],
+        k: usize,
+        y: &mut [f64],
+    ) {
+        assert!(k > 0, "spmm_in_ranges: k must be positive");
+        assert_eq!(
+            x.len(),
+            self.ncols * k,
+            "spmm_in_ranges: x block size mismatch"
+        );
+        assert_eq!(
+            y.len(),
+            self.nrows * k,
+            "spmm_in_ranges: y block size mismatch"
+        );
+        assert!(
+            partition_covers(ranges, self.nrows),
+            "spmm_in_ranges: ranges must cover 0..nrows in order"
+        );
         // Carve y into one disjoint output slice per range.
         let mut tasks: Vec<(std::ops::Range<usize>, &mut [f64])> = Vec::with_capacity(ranges.len());
         let mut rest = y;
         for r in ranges {
             let (head, tail) = rest.split_at_mut(r.len() * k);
             rest = tail;
-            tasks.push((r, head));
+            tasks.push((r.clone(), head));
         }
         tasks
             .into_par_iter()
@@ -385,7 +446,7 @@ impl Csr {
     /// Panics on dimension mismatch or `k == 0`.
     #[inline]
     pub fn spmm_auto(&self, x: &[f64], k: usize, y: &mut [f64]) {
-        if self.nnz().saturating_mul(k) >= par_threshold() && rayon::current_num_threads() > 1 {
+        if self.par_pays_off(self.nnz().saturating_mul(k)) {
             self.spmm_par(x, k, y);
         } else {
             self.spmm(x, k, y);
@@ -409,13 +470,13 @@ impl Csr {
                 continue;
             }
             for (&j, &v) in self.row_indices(i).iter().zip(self.row_values(i)) {
-                y[j] += v * xi;
+                y[j] += v.to_f64() * xi;
             }
         }
     }
 
     /// Explicit transpose (O(nnz + n)).
-    pub fn transpose(&self) -> Csr {
+    pub fn transpose(&self) -> Csr<T> {
         let mut counts = vec![0usize; self.ncols + 1];
         for &j in &self.indices {
             counts[j + 1] += 1;
@@ -424,7 +485,7 @@ impl Csr {
             counts[j + 1] += counts[j];
         }
         let mut indices = vec![0usize; self.nnz()];
-        let mut data = vec![0.0f64; self.nnz()];
+        let mut data = vec![T::ZERO; self.nnz()];
         let mut next = counts.clone();
         for i in 0..self.nrows {
             for (&j, &v) in self.row_indices(i).iter().zip(self.row_values(i)) {
@@ -442,6 +503,55 @@ impl Csr {
             indices,
             data,
         }
+    }
+
+    /// Unweighted row degrees `deg(i) = |{j : a_ij ≠ 0}|` — the paper's
+    /// graph-node feature.
+    pub fn row_degrees(&self) -> Vec<usize> {
+        (0..self.nrows)
+            .map(|i| self.indptr[i + 1] - self.indptr[i])
+            .collect()
+    }
+}
+
+/// The f64-only analysis and conversion surface: the matrix features the
+/// paper's `x_A` vector is built from, plus dense interop. These never run
+/// on reduced-precision storage (convert with [`Csr::to_precision`] first
+/// if you must).
+impl Csr<f64> {
+    /// Dense → CSR conversion (drops exact zeros).
+    pub fn from_dense(a: &Mat) -> Self {
+        let mut indptr = Vec::with_capacity(a.nrows() + 1);
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        indptr.push(0);
+        for i in 0..a.nrows() {
+            for (j, &v) in a.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    indices.push(j);
+                    data.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Self {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// CSR → dense conversion (for tests and small exact computations).
+    pub fn to_dense(&self) -> Mat {
+        let mut m = Mat::zeros(self.nrows, self.ncols);
+        for i in 0..self.nrows {
+            for (&j, &v) in self.row_indices(i).iter().zip(self.row_values(i)) {
+                m.set(i, j, v);
+            }
+        }
+        m
     }
 
     /// Main diagonal as a vector (zeros where absent).
@@ -565,19 +675,59 @@ impl Csr {
         acc / self.nrows as f64
     }
 
-    /// Unweighted row degrees `deg(i) = |{j : a_ij ≠ 0}|` — the paper's
-    /// graph-node feature.
-    pub fn row_degrees(&self) -> Vec<usize> {
-        (0..self.nrows)
-            .map(|i| self.indptr[i + 1] - self.indptr[i])
-            .collect()
-    }
-
     /// Scale all values in place.
     pub fn scale_values(&mut self, s: f64) {
         for v in &mut self.data {
             *v *= s;
         }
+    }
+}
+
+/// Does `ranges` cover `0..n` exactly, in order, with no overlap?
+fn partition_covers(ranges: &[std::ops::Range<usize>], n: usize) -> bool {
+    let mut next = 0usize;
+    for r in ranges {
+        if r.start != next || r.end < r.start {
+            return false;
+        }
+        next = r.end;
+    }
+    next == n
+}
+
+// Hand-written serde impls: the vendored serde_derive rejects generic types,
+// and these must keep the exact field layout the old derive produced so
+// persisted matrices keep round-tripping.
+impl<T: Scalar> Serialize for Csr<T> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("nrows".to_string(), self.nrows.to_value()),
+            ("ncols".to_string(), self.ncols.to_value()),
+            ("indptr".to_string(), self.indptr.to_value()),
+            ("indices".to_string(), self.indices.to_value()),
+            ("data".to_string(), self.data.to_value()),
+        ])
+    }
+}
+
+impl<T: Scalar> Deserialize for Csr<T> {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if !matches!(v, serde::Value::Object(_)) {
+            return Err(serde::Error::type_mismatch("object", v));
+        }
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::missing_field("Csr", name))
+        };
+        let m = Csr {
+            nrows: Deserialize::from_value(field("nrows")?)?,
+            ncols: Deserialize::from_value(field("ncols")?)?,
+            indptr: Deserialize::from_value(field("indptr")?)?,
+            indices: Deserialize::from_value(field("indices")?)?,
+            data: Deserialize::from_value(field("data")?)?,
+        };
+        m.check_invariants().map_err(serde::Error::custom)?;
+        Ok(m)
     }
 }
 
@@ -609,7 +759,7 @@ pub fn par_threshold() -> usize {
     })
 }
 
-/// 4-wide unrolled sparse dot of one CSR row against a dense vector.
+/// 4-wide unrolled sparse dot of one CSR row against a dense f64 vector.
 ///
 /// Four independent accumulators break the serial floating-point dependence
 /// chain so the gather pipeline stays full on wide rows (the climate
@@ -617,23 +767,25 @@ pub fn par_threshold() -> usize {
 /// accumulators is fixed, so the kernel is deterministic call-to-call; it
 /// is, however, a different (equally valid) association than a naive
 /// left-to-right loop — which is exactly why every SpMV entry point shares
-/// this one kernel.
+/// this one kernel. Stored values widen to f64 on load (`Scalar::to_f64`,
+/// the identity for f64), so accumulation precision never depends on the
+/// storage scalar.
 #[inline]
-fn row_dot(cols: &[usize], vals: &[f64], x: &[f64]) -> f64 {
+fn row_dot<T: Scalar>(cols: &[usize], vals: &[T], x: &[f64]) -> f64 {
     let split = cols.len() & !3;
     let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
     for (c, v) in cols[..split]
         .chunks_exact(4)
         .zip(vals[..split].chunks_exact(4))
     {
-        a0 += v[0] * x[c[0]];
-        a1 += v[1] * x[c[1]];
-        a2 += v[2] * x[c[2]];
-        a3 += v[3] * x[c[3]];
+        a0 += v[0].to_f64() * x[c[0]];
+        a1 += v[1].to_f64() * x[c[1]];
+        a2 += v[2].to_f64() * x[c[2]];
+        a3 += v[3].to_f64() * x[c[3]];
     }
     let mut s = (a0 + a1) + (a2 + a3);
     for (&j, &v) in cols[split..].iter().zip(&vals[split..]) {
-        s += v * x[j];
+        s += v.to_f64() * x[j];
     }
     s
 }
@@ -644,21 +796,21 @@ fn row_dot(cols: &[usize], vals: &[f64], x: &[f64]) -> f64 {
 /// `(a0+a1)+(a2+a3)`, then the in-order remainder), so the result is
 /// bit-identical to `row_dot` on the extracted column.
 #[inline]
-fn row_dot_col(cols: &[usize], vals: &[f64], x: &[f64], k: usize, c: usize) -> f64 {
+fn row_dot_col<T: Scalar>(cols: &[usize], vals: &[T], x: &[f64], k: usize, c: usize) -> f64 {
     let split = cols.len() & !3;
     let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
     for (cc, v) in cols[..split]
         .chunks_exact(4)
         .zip(vals[..split].chunks_exact(4))
     {
-        a0 += v[0] * x[cc[0] * k + c];
-        a1 += v[1] * x[cc[1] * k + c];
-        a2 += v[2] * x[cc[2] * k + c];
-        a3 += v[3] * x[cc[3] * k + c];
+        a0 += v[0].to_f64() * x[cc[0] * k + c];
+        a1 += v[1].to_f64() * x[cc[1] * k + c];
+        a2 += v[2].to_f64() * x[cc[2] * k + c];
+        a3 += v[3].to_f64() * x[cc[3] * k + c];
     }
     let mut s = (a0 + a1) + (a2 + a3);
     for (&j, &v) in cols[split..].iter().zip(&vals[split..]) {
-        s += v * x[j * k + c];
+        s += v.to_f64() * x[j * k + c];
     }
     s
 }
@@ -675,9 +827,9 @@ fn row_dot_col(cols: &[usize], vals: &[f64], x: &[f64], k: usize, c: usize) -> f
 /// the column loops fully unroll; [`Csr::spmm_rows`] instantiates 8, 4,
 /// and 2.
 #[inline]
-fn row_dot_cols<const W: usize>(
+fn row_dot_cols<T: Scalar, const W: usize>(
     cols: &[usize],
-    vals: &[f64],
+    vals: &[T],
     x: &[f64],
     k: usize,
     c: usize,
@@ -693,21 +845,22 @@ fn row_dot_cols<const W: usize>(
     {
         for lane in 0..4 {
             let xr = &x[cc[lane] * k + c..cc[lane] * k + c + W];
+            let vl = v[lane].to_f64();
             for t in 0..W {
-                acc[lane][t] += v[lane] * xr[t];
+                acc[lane][t] += vl * xr[t];
             }
         }
     }
     for (col, o) in out.iter_mut().enumerate() {
         let mut s = (acc[0][col] + acc[1][col]) + (acc[2][col] + acc[3][col]);
         for (&j, &v) in cols[split..].iter().zip(&vals[split..]) {
-            s += v * x[j * k + c + col];
+            s += v.to_f64() * x[j * k + c + col];
         }
         *o = s;
     }
 }
 
-impl LinearOp for Csr {
+impl<T: Scalar> LinearOp for Csr<T> {
     fn nrows(&self) -> usize {
         self.nrows
     }
@@ -834,6 +987,33 @@ mod tests {
     }
 
     #[test]
+    fn spmv_in_ranges_bit_identical_for_any_partition() {
+        // The cached-partition path preconditioners use: any in-order
+        // disjoint cover must reproduce `spmv` exactly.
+        let a = skewed(150, 5);
+        let x: Vec<f64> = (0..150).map(|i| (i as f64 * 0.21).cos()).collect();
+        let reference = a.spmv_alloc(&x);
+        for parts in [1usize, 2, 4, 9] {
+            let ranges = a.nnz_balanced_row_ranges(parts);
+            let mut y = vec![0.0; 150];
+            a.spmv_in_ranges(&ranges, &x, &mut y);
+            assert_eq!(y, reference, "parts = {parts}");
+        }
+        // An uneven hand-rolled partition is just as valid.
+        let mut y = vec![0.0; 150];
+        a.spmv_in_ranges(&[0..1, 1..149, 149..150], &x, &mut y);
+        assert_eq!(y, reference);
+        // Block form agrees column-for-column too.
+        let k = 3usize;
+        let xb: Vec<f64> = (0..150 * k).map(|t| (t as f64 * 0.013).sin()).collect();
+        let mut want = vec![0.0; 150 * k];
+        a.spmm(&xb, k, &mut want);
+        let mut got = vec![0.0; 150 * k];
+        a.spmm_in_ranges(&a.nnz_balanced_row_ranges(4), &xb, k, &mut got);
+        assert_eq!(got, want);
+    }
+
+    #[test]
     fn unrolled_row_dot_matches_reference_on_all_lengths() {
         // Exercise remainder lanes 0..=3 and the unrolled body.
         for len in 0..23usize {
@@ -847,6 +1027,65 @@ mod tests {
                 "len {len}"
             );
         }
+    }
+
+    #[test]
+    fn f32_storage_spmv_tracks_f64_within_single_rounding() {
+        // Demoted storage, f64 accumulation: the result must match the f64
+        // SpMV run on the *demoted-then-promoted* values exactly (the only
+        // rounding is the one demotion per entry), and track the original
+        // to f32 relative accuracy.
+        let a = skewed(120, 6);
+        let a32: Csr<f32> = a.to_precision();
+        let roundtrip: Csr<f64> = a32.to_precision();
+        let x: Vec<f64> = (0..120).map(|i| (i as f64 * 0.83).sin()).collect();
+        let y64 = a.spmv_alloc(&x);
+        let y32 = a32.spmv_alloc(&x);
+        let yrt = roundtrip.spmv_alloc(&x);
+        assert_eq!(
+            y32, yrt,
+            "f32 kernel must equal f64 kernel on widened values"
+        );
+        for (p, q) in y32.iter().zip(&y64) {
+            assert!((p - q).abs() <= 1e-5 * (1.0 + q.abs()), "{p} vs {q}");
+        }
+        // Same contract for SpMM, every column.
+        let k = 5usize;
+        let xb: Vec<f64> = (0..120 * k).map(|t| (t as f64 * 0.017).cos()).collect();
+        let mut b32 = vec![0.0; 120 * k];
+        a32.spmm(&xb, k, &mut b32);
+        let mut brt = vec![0.0; 120 * k];
+        roundtrip.spmm(&xb, k, &mut brt);
+        assert_eq!(b32, brt);
+    }
+
+    #[test]
+    fn f32_parallel_paths_bit_identical_to_serial() {
+        let a32: Csr<f32> = skewed(250, 10).to_precision();
+        let x: Vec<f64> = (0..250).map(|i| (i as f64 * 0.11).sin()).collect();
+        let reference = a32.spmv_alloc(&x);
+        for threads in [1usize, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut y = vec![0.0; 250];
+            pool.install(|| a32.spmv_par(&x, &mut y));
+            assert_eq!(y, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn to_precision_f64_roundtrip_is_exact() {
+        let a = sample();
+        let same: Csr<f64> = a.to_precision();
+        assert_eq!(same, a);
+        // f32 → f64 promotion is exact too (every f32 is an f64).
+        let a32: Csr<f32> = a.to_precision();
+        let back: Csr<f64> = a32.to_precision();
+        let again: Csr<f32> = back.to_precision();
+        assert_eq!(a32, again);
+        assert_eq!(a32.value_bytes() * 2, back.value_bytes());
     }
 
     /// Pack `k` column vectors into a row-major `n×k` block.
@@ -969,6 +1208,8 @@ mod tests {
     fn transpose_roundtrip() {
         let a = sample();
         assert_eq!(a.transpose().transpose(), a);
+        let a32: Csr<f32> = a.to_precision();
+        assert_eq!(a32.transpose().transpose(), a32);
     }
 
     #[test]
@@ -1059,5 +1300,22 @@ mod tests {
         let s = serde_json::to_string(&a).unwrap();
         let b: Csr = serde_json::from_str(&s).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_roundtrip_f32_is_bit_exact() {
+        // f32 values promote exactly to JSON's f64 and round back to the
+        // same bits, so reduced-precision matrices persist losslessly.
+        let a32: Csr<f32> = skewed(20, 2).to_precision();
+        let s = serde_json::to_string(&a32).unwrap();
+        let b32: Csr<f32> = serde_json::from_str(&s).unwrap();
+        assert_eq!(a32, b32);
+    }
+
+    #[test]
+    fn serde_rejects_corrupt_csr() {
+        // The hand-written impl validates invariants on the way in.
+        let bad = r#"{"nrows":2,"ncols":2,"indptr":[0,2,1],"indices":[0,1],"data":[1.0,2.0]}"#;
+        assert!(serde_json::from_str::<Csr>(bad).is_err());
     }
 }

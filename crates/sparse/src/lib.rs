@@ -11,8 +11,10 @@ pub mod csc;
 pub mod csr;
 pub mod io;
 pub mod ops;
+pub mod scalar;
 
 pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::{par_threshold, Csr, DEFAULT_PAR_THRESHOLD};
 pub use ops::{csr_add, csr_add_diag, csr_eye, csr_scale};
+pub use scalar::Scalar;

@@ -1,0 +1,111 @@
+//! The storage-scalar abstraction behind mixed-precision sparse kernels.
+//!
+//! The MCMC approximate inverse is inherently stochastic: its entries carry
+//! O(ε) Monte-Carlo error, so storing them in full f64 spends memory
+//! bandwidth on precision the operator does not have. [`Scalar`] is the
+//! small trait that lets [`crate::Csr`] keep its *values* in a reduced
+//! format (`f32` today) while every kernel keeps accumulating in f64 — the
+//! accuracy-relevant part of the arithmetic. Vectors stay f64 throughout;
+//! only the stored matrix entries change width, so `Csr<f64>` paths are
+//! bit-for-bit unchanged (`to_f64` is the identity there).
+
+use serde::{Deserialize, Serialize};
+
+/// A value type CSR matrices can store their entries in.
+///
+/// Implementations widen to f64 on load inside the row kernels
+/// (`to_f64`), so reduced-precision storage only changes *where values are
+/// rounded once* (at build/compression time, via `from_f64`), never how
+/// they are accumulated.
+pub trait Scalar:
+    Copy
+    + PartialEq
+    + PartialOrd
+    + std::fmt::Debug
+    + std::fmt::Display
+    + Default
+    + Send
+    + Sync
+    + Serialize
+    + Deserialize
+    + 'static
+{
+    /// Additive identity in the storage format.
+    const ZERO: Self;
+
+    /// Human-readable format name for diagnostics ("f64", "f32").
+    const NAME: &'static str;
+
+    /// Bytes per stored value (the bandwidth story in one number).
+    const BYTES: usize;
+
+    /// Round an f64 into the storage format (done once, off the hot path).
+    fn from_f64(v: f64) -> Self;
+
+    /// Widen back to f64 (done per multiply-add, on the hot path; the
+    /// identity for f64, a single `cvtss2sd` for f32).
+    fn to_f64(self) -> f64;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const NAME: &'static str = "f64";
+    const BYTES: usize = 8;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const NAME: &'static str = "f32";
+    const BYTES: usize = 4;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip_is_identity() {
+        for v in [0.0, -1.5, 1e300, f64::MIN_POSITIVE] {
+            assert_eq!(f64::from_f64(v).to_f64(), v);
+        }
+    }
+
+    #[test]
+    fn f32_roundtrip_rounds_once() {
+        // Demotion rounds; promoting back and demoting again is stable
+        // (round-to-nearest is idempotent through the f32 lattice).
+        let v = 0.1f64;
+        let once = f32::from_f64(v);
+        let twice = f32::from_f64(once.to_f64());
+        assert_eq!(once.to_bits(), twice.to_bits());
+        assert!((once.to_f64() - v).abs() < 1e-8);
+    }
+
+    #[test]
+    fn names_and_widths() {
+        assert_eq!(<f64 as Scalar>::NAME, "f64");
+        assert_eq!(<f32 as Scalar>::NAME, "f32");
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+    }
+}

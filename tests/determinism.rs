@@ -213,3 +213,39 @@ fn surrogate_training_deterministic() {
     assert_eq!(l1, l2);
     assert_eq!(p1, p2);
 }
+
+/// The mixed-precision apply path: a compressed f32 preconditioner applied
+/// through the cached-partition SpMV/SpMM kernels is bit-identical at any
+/// thread count, both per vector and per block column.
+#[test]
+fn compressed_f32_apply_identical_across_thread_counts() {
+    use mcmcmi::krylov::Preconditioner;
+    use mcmcmi::mcmc::CompressionPolicy;
+    let a = fd_laplace_2d(12);
+    let n = a.nrows();
+    let out =
+        McmcInverse::new(BuildConfig::default()).build(&a, McmcParams::new(0.1, 0.125, 0.125));
+    let (cp, _) = out.compress(&CompressionPolicy::f32(1e-3));
+    let r: Vec<f64> = (0..n).map(|i| (i as f64 * 0.037).sin()).collect();
+    let k = 6usize;
+    let rb: Vec<f64> = (0..n * k).map(|t| (t as f64 * 0.011).cos()).collect();
+    let mut ref_v = vec![0.0; n];
+    cp.apply(&r, &mut ref_v);
+    let mut ref_b = vec![0.0; n * k];
+    cp.apply_block(&rb, k, &mut ref_b);
+    for threads in [1usize, 2, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        // A fresh clone re-derives its partition cache under this pool's
+        // thread count — results must not move.
+        let cp2 = cp.clone();
+        let mut v = vec![0.0; n];
+        pool.install(|| cp2.apply(&r, &mut v));
+        assert_eq!(v, ref_v, "apply, thread count {threads}");
+        let mut b = vec![0.0; n * k];
+        pool.install(|| cp2.apply_block(&rb, k, &mut b));
+        assert_eq!(b, ref_b, "apply_block, thread count {threads}");
+    }
+}
