@@ -12,14 +12,20 @@
 //! 5. [`pipeline`] runs BO rounds (32 EI-maximising recommendations per
 //!    round, ξ ∈ {0.05, 1.0}) and produces the BO-enhanced model and the
 //!    final `recommend(A) → x_M*` API.
+//! 6. [`autotune`] closes the loop into the solve path: joint
+//!    `(α, ε, δ) × CompressionPolicy` search with safeguarded builds and
+//!    probe solves, delivering a tuned compressed `SolveSession` in one
+//!    call.
 
 pub mod adapter;
+pub mod autotune;
 pub mod dataset;
 pub mod features;
 pub mod measure;
 pub mod pipeline;
 
 pub use adapter::GnnSurrogateAdapter;
+pub use autotune::{AutoTuner, AutotuneConfig, AutotuneReport, TrialRecord};
 pub use dataset::{DatasetRecord, PaperDataset};
 pub use features::matrix_features;
 pub use measure::{MeasureConfig, Measurement, MeasurementRunner};

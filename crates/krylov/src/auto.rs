@@ -1,0 +1,248 @@
+//! The session-tuning hook: how a solver session is born from a matrix
+//! and a budget, without this crate knowing *how* tuning works.
+//!
+//! The dependency arrow points the wrong way for the obvious design —
+//! the auto-tuner (in `mcmcmi_core`) needs the MCMC builder and the
+//! surrogate stack, both of which sit *above* this crate. So the session
+//! layer owns only the contract: a [`SessionTuner`] turns `(A, budget)`
+//! into a preconditioner + solver + options bundle ([`TunedParts`]), and
+//! [`SolveSession::auto`] binds that bundle into a ready session. The
+//! concrete tuner (`mcmcmi_core::autotune::AutoTuner`) implements the
+//! trait; callers who want the one-call experience use the re-exported
+//! pair through the umbrella crate.
+
+use crate::precond::Preconditioner;
+use crate::session::SolveSession;
+use crate::solver::{SolveOptions, SolverType};
+use mcmcmi_sparse::Csr;
+use serde::{Deserialize, Serialize};
+
+/// How much work an auto-tuning run may spend.
+///
+/// The budget is deliberately *structural* (counts, not seconds): every
+/// quantity here is deterministic, so two runs with the same budget and
+/// seed produce bit-identical sessions at any thread count.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TuneBudget {
+    /// Candidate configurations to evaluate (each costs one safeguarded
+    /// build + compression + probe solve).
+    pub trials: usize,
+    /// Right-hand sides in the probe batch (the probe uses the batched
+    /// lockstep drivers, so extra columns are cheap and average out
+    /// column-specific luck).
+    pub probe_rhs: usize,
+    /// Solve settings for the probe (tolerance, iteration cap, restart).
+    /// These also become the tuned session's options.
+    pub probe_opts: SolveOptions,
+    /// Seed for the tuner's sampler.
+    pub seed: u64,
+}
+
+impl Default for TuneBudget {
+    /// A small-but-useful default: 12 trials, 4 probe columns, a probe
+    /// tolerance of 1e−6 (tight enough to rank preconditioners, loose
+    /// enough that hard operators finish probing in bounded time).
+    fn default() -> Self {
+        Self {
+            trials: 12,
+            probe_rhs: 4,
+            probe_opts: SolveOptions {
+                tol: 1e-6,
+                max_iter: 1500,
+                restart: 100,
+            },
+            seed: 0,
+        }
+    }
+}
+
+impl TuneBudget {
+    /// A minimal smoke-sized budget for tests and CI.
+    pub fn smoke(seed: u64) -> Self {
+        Self {
+            trials: 4,
+            probe_rhs: 2,
+            probe_opts: SolveOptions {
+                tol: 1e-6,
+                max_iter: 800,
+                restart: 100,
+            },
+            seed,
+        }
+    }
+}
+
+/// Why a tuning run produced no session.
+#[derive(Clone, Debug)]
+pub enum TuneError {
+    /// Every candidate build tripped the divergence safeguard — the
+    /// operator resists the preconditioner family at every α the backoff
+    /// reached. The detail string carries the tuner's attempt trail.
+    AllBuildsDivergent {
+        /// Human-readable summary of the failed attempts.
+        detail: String,
+    },
+    /// Builds succeeded but no candidate's probe solve converged within
+    /// the budget's iteration cap.
+    NoConvergingCandidate {
+        /// Trials evaluated.
+        trials: usize,
+        /// Best (lowest) relative residual any probe reached.
+        best_rel_residual: f64,
+    },
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::AllBuildsDivergent { detail } => {
+                write!(f, "auto-tune: every candidate build diverged ({detail})")
+            }
+            TuneError::NoConvergingCandidate {
+                trials,
+                best_rel_residual,
+            } => write!(
+                f,
+                "auto-tune: no candidate converged in {trials} trial(s) \
+                 (best relative residual {best_rel_residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+/// What a tuner hands back: everything a session binds, plus the tuner's
+/// own diagnostics (trial history, chosen parameters, compression report —
+/// whatever the implementation wants to surface).
+pub struct TunedParts<P: Preconditioner, R> {
+    /// The tuned (typically compressed) preconditioner.
+    pub precond: P,
+    /// The Krylov driver the tuner validated the preconditioner with.
+    pub solver: SolverType,
+    /// Solve options for the session (usually the probe options).
+    pub opts: SolveOptions,
+    /// Tuner-specific diagnostics.
+    pub report: R,
+}
+
+/// A strategy that turns a matrix and a budget into session parts.
+///
+/// `&mut self` because realistic tuners carry stateful machinery (a
+/// surrogate model, an adaptive sampler); determinism is still expected —
+/// the contract is that the same `(self, a, budget)` triple yields the
+/// same parts bit for bit regardless of thread count.
+pub trait SessionTuner {
+    /// Preconditioner type the tuner produces.
+    type Precond: Preconditioner;
+    /// Diagnostics bundle attached to the tuned parts.
+    type Report;
+
+    /// Search the budgeted configuration space and return the best parts.
+    fn tune(
+        &mut self,
+        a: &Csr,
+        budget: &TuneBudget,
+    ) -> Result<TunedParts<Self::Precond, Self::Report>, TuneError>;
+}
+
+impl<P: Preconditioner> SolveSession<P> {
+    /// Build a tuned session in one call: run the tuner's budgeted search
+    /// and bind the winning preconditioner, driver, and options to `a`.
+    /// Returns the session together with the tuner's diagnostics.
+    ///
+    /// This is the serving-path entry point the AI-tuning loop closes
+    /// over: `SolveSession::auto(&a, budget, &mut tuner)` replaces the
+    /// hand-set default parameters that diverge on hard operators.
+    pub fn auto<T: SessionTuner<Precond = P>>(
+        a: &Csr,
+        budget: TuneBudget,
+        tuner: &mut T,
+    ) -> Result<(Self, T::Report), TuneError> {
+        let parts = tuner.tune(a, &budget)?;
+        Ok((
+            SolveSession::new(a.clone(), parts.precond, parts.solver, parts.opts),
+            parts.report,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::JacobiPrecond;
+
+    /// A toy tuner: always returns Jacobi + GMRES (enough to exercise the
+    /// trait plumbing without the real auto-tuner's dependencies).
+    struct JacobiTuner {
+        calls: usize,
+    }
+
+    impl SessionTuner for JacobiTuner {
+        type Precond = JacobiPrecond;
+        type Report = usize;
+
+        fn tune(
+            &mut self,
+            a: &Csr,
+            budget: &TuneBudget,
+        ) -> Result<TunedParts<JacobiPrecond, usize>, TuneError> {
+            self.calls += 1;
+            if budget.trials == 0 {
+                return Err(TuneError::NoConvergingCandidate {
+                    trials: 0,
+                    best_rel_residual: f64::INFINITY,
+                });
+            }
+            Ok(TunedParts {
+                precond: JacobiPrecond::new(a),
+                solver: SolverType::Gmres,
+                opts: budget.probe_opts,
+                report: self.calls,
+            })
+        }
+    }
+
+    #[test]
+    fn auto_binds_tuner_output_into_a_session() {
+        let a = mcmcmi_matgen::fd_laplace_2d(8);
+        let n = a.nrows();
+        let mut tuner = JacobiTuner { calls: 0 };
+        let (mut sess, report) =
+            SolveSession::auto(&a, TuneBudget::default(), &mut tuner).expect("tuner succeeds");
+        assert_eq!(report, 1);
+        assert_eq!(sess.solver(), SolverType::Gmres);
+        assert_eq!(sess.opts().tol, TuneBudget::default().probe_opts.tol);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let r = sess.solve(&b);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn auto_propagates_tuner_errors() {
+        let a = mcmcmi_matgen::fd_laplace_2d(4);
+        let mut tuner = JacobiTuner { calls: 0 };
+        let err = SolveSession::auto(
+            &a,
+            TuneBudget {
+                trials: 0,
+                ..Default::default()
+            },
+            &mut tuner,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no candidate converged"));
+    }
+
+    #[test]
+    fn budget_serializes_and_smoke_is_smaller() {
+        let b = TuneBudget::default();
+        let s = serde_json::to_string(&b).unwrap();
+        let back: TuneBudget = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.trials, b.trials);
+        assert_eq!(back.probe_opts.tol, b.probe_opts.tol);
+        let smoke = TuneBudget::smoke(7);
+        assert!(smoke.trials < b.trials);
+        assert_eq!(smoke.seed, 7);
+    }
+}

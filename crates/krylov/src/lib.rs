@@ -23,6 +23,7 @@
 //! assume a fixed exact operator; both come in scalar and lockstep batched
 //! forms on the same workspace/session design.
 
+pub mod auto;
 pub mod bicgstab;
 pub mod block_cg;
 pub mod cg;
@@ -35,6 +36,7 @@ pub mod precond;
 pub mod session;
 pub mod solver;
 
+pub use auto::{SessionTuner, TuneBudget, TuneError, TunedParts};
 pub use bicgstab::{bicgstab, bicgstab_batch, bicgstab_with, BiCgStabWorkspace};
 pub use block_cg::block_cg;
 pub use cg::{cg, cg_batch, cg_with, CgWorkspace};

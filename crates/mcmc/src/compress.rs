@@ -56,12 +56,13 @@ impl StoragePrecision {
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct CompressionPolicy {
     /// Per-row relative drop threshold: entry `(i, j)` survives iff
-    /// `|p_ij| ≥ drop_tol · max_j |p_ij|`. `0.0` keeps everything.
+    /// `|p_ij| ≥ drop_tol · max_j |p_ij|`. `0.0` keeps everything. A
+    /// stored diagonal entry is exempt (see [`sparsify`]).
     pub drop_tol: f64,
     /// Optional hard cap on surviving entries per row (the `drop_tol`
     /// filter runs first, then the largest-magnitude `k` are kept;
-    /// magnitude ties break toward smaller column index, so the result is
-    /// deterministic).
+    /// a stored diagonal always claims one slot, and magnitude ties break
+    /// toward smaller column index, so the result is deterministic).
     pub row_topk: Option<usize>,
     /// Value storage format for the compressed operator.
     pub precision: StoragePrecision,
@@ -127,12 +128,25 @@ pub struct CompressionReport {
 /// f64; precision is applied by [`compress`]). See
 /// [`CompressionPolicy::drop_tol`]/[`CompressionPolicy::row_topk`] for the
 /// per-row rule. With `drop_tol = 0` and no cap this is an exact copy.
+///
+/// A stored diagonal entry always survives — both the drop threshold and
+/// the top-k cap (it occupies one of the cap's slots, displacing the
+/// smallest off-diagonal). The diagonal carries the Jacobi core of the
+/// approximate inverse; letting an aggressive tuner proposal drop `p_ii`
+/// turns the preconditioner singular on that row, which no iteration-count
+/// saving can repay.
 pub fn sparsify(p: &Csr<f64>, drop_tol: f64, row_topk: Option<usize>) -> Csr<f64> {
     // Fail fast on a nonsense tolerance (e.g. a NaN from a bad tuner
     // proposal): a NaN threshold would silently drop *every* entry.
     assert!(
         drop_tol.is_finite() && drop_tol >= 0.0,
         "sparsify: drop_tol must be finite and non-negative, got {drop_tol}"
+    );
+    // A zero cap would empty every row — diagonal included — which the
+    // diagonal-survival guarantee exists to forbid; no caller can mean it.
+    assert!(
+        row_topk != Some(0),
+        "sparsify: row_topk = 0 would drop every entry (including the diagonal)"
     );
     let n = p.nrows();
     let mut indptr = Vec::with_capacity(n + 1);
@@ -158,18 +172,19 @@ pub fn sparsify(p: &Csr<f64>, drop_tol: f64, row_topk: Option<usize>) -> Csr<f64
         for (&j, &v) in cols.iter().zip(vals) {
             // `>=` so a zero threshold keeps stored exact zeros too. (A
             // NaN entry would fail every comparison and drop; the builder
-            // never stores one.)
-            if v.abs() >= threshold {
+            // never stores one.) The diagonal bypasses the threshold.
+            if j == i || v.abs() >= threshold {
                 keep.push((j, v));
             }
         }
         if let Some(cap) = row_topk {
             if keep.len() > cap {
-                // Largest |v| first; ties toward smaller column index.
+                // Diagonal first, then largest |v|; ties toward smaller
+                // column index.
                 keep.sort_unstable_by(|a, b| {
-                    b.1.abs()
-                        .partial_cmp(&a.1.abs())
-                        .unwrap()
+                    (b.0 == i)
+                        .cmp(&(a.0 == i))
+                        .then(b.1.abs().partial_cmp(&a.1.abs()).unwrap())
                         .then(a.0.cmp(&b.0))
                 });
                 keep.truncate(cap);
@@ -310,6 +325,12 @@ mod tests {
         let harsh = sparsify(&p, 0.5, None);
         assert_eq!(harsh.row_indices(0), &[0]);
         assert_eq!(harsh.row_indices(1), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_topk = 0")]
+    fn zero_row_cap_is_rejected() {
+        let _ = sparsify(&sample(), 0.0, Some(0));
     }
 
     #[test]

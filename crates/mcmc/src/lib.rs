@@ -20,10 +20,12 @@ pub mod builder;
 pub mod compress;
 pub mod params;
 pub mod regenerative;
+pub mod safeguard;
 pub mod walk;
 
 pub use builder::{BuildConfig, BuildOutcome, McmcInverse};
 pub use compress::{compress, sparsify, CompressionPolicy, CompressionReport, StoragePrecision};
 pub use params::McmcParams;
 pub use regenerative::{regenerative_inverse, RegenerativeConfig};
+pub use safeguard::{BuildAttempt, BuildError, SafeguardConfig, SafeguardedBuild};
 pub use walk::{RowWalkStats, WalkMatrix};

@@ -248,6 +248,71 @@ impl WalkMatrix {
         &self.inv_diag
     }
 
+    /// Deterministic power-iteration estimate of `ρ(|C|)`, the spectral
+    /// radius of the entrywise-absolute iteration matrix — the quantity
+    /// that actually governs walk-weight growth: the expected absolute
+    /// weight mass after `k` steps is `‖|C|ᵏx‖`, so `ρ(|C|) < 1` means
+    /// chains contract in expectation and the Neumann estimator's mass is
+    /// summable, while `ρ(|C|) > 1` means weights blow up no matter how
+    /// many chains are run. This is sharper than the ∞-norm bound
+    /// `max_k S_k` (a matrix can have non-contractive rows yet still
+    /// satisfy `ρ(|C|) < 1`) and far cheaper than running pilot walks:
+    /// `iters` sweeps over the nnz of `C`, no RNG, no allocation beyond
+    /// two dense vectors.
+    ///
+    /// The iteration actually runs on the **shifted** matrix
+    /// `|C| + σI` (σ = ½) and subtracts σ from the final ratio. The shift
+    /// is what makes the estimate trustworthy: Jacobi iteration matrices
+    /// have zero diagonal, so `|C|` is frequently *imprimitive*
+    /// (bipartite grids, directed cyclic coupling), and a plain power
+    /// iteration's per-step ratio then oscillates around ρ forever —
+    /// period 2 flips between `ρ·c` and `ρ/c`, longer cycles are worse —
+    /// which can pass a divergent splitting or reject a contractive one.
+    /// Adding σI leaves the eigenvectors untouched and shifts every
+    /// eigenvalue by exactly σ (so `ρ(|C|+σI) = ρ(|C|) + σ` for a
+    /// nonnegative matrix), but makes the matrix primitive whenever
+    /// `|C|` is irreducible: the peripheral eigenvalues `ρ·ω` (ω a root
+    /// of unity) land at `|ρω + σ| < ρ + σ`, so the ratio converges
+    /// geometrically for *any* cycle period.
+    ///
+    /// Starts from the all-ones vector (∞-norm 1, so the very first
+    /// ratio is `max_k S_k + σ` — the honest ∞-norm upper bound).
+    /// `iters` below 8 is clamped: the shifted ratio needs a few sweeps
+    /// to damp the oscillatory transient, and 8 extra nnz-sweeps are
+    /// noise next to any build, so a degenerate `probe_iters` can never
+    /// silently disable the guard. Zero rows and reducible structure are
+    /// handled naturally — an all-absorbing matrix reports 0.
+    pub fn abs_spectral_radius_estimate(&self, iters: usize) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        const SHIFT: f64 = 0.5;
+        let mut x = vec![1.0; self.n];
+        let mut y = vec![0.0; self.n];
+        let mut lam = SHIFT;
+        for _ in 0..iters.max(8) {
+            for i in 0..self.n {
+                let (rs, re) = (self.indptr[i], self.indptr[i + 1]);
+                let mut s = SHIFT * x[i];
+                for e in rs..re {
+                    s += self.vals[e].abs() * x[self.cols[e]];
+                }
+                y[i] = s;
+            }
+            let norm = y.iter().fold(0.0f64, |m, &v| m.max(v));
+            if !norm.is_finite() {
+                return norm;
+            }
+            lam = norm;
+            let inv = 1.0 / norm;
+            for (xi, &yi) in x.iter_mut().zip(&y) {
+                *xi = yi * inv;
+            }
+        }
+        // The shifted iteration's ratio converges to ρ(|C|) + σ.
+        (lam - SHIFT).max(0.0)
+    }
+
     /// Entry range of row `k` in the flat arrays (empty ⇒ absorbing row).
     /// Exposed for the regenerative variant's custom walk loop.
     #[inline]
@@ -461,6 +526,83 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn spectral_estimate_handles_imprimitive_structure() {
+        // |C| = [[0, 4], [0.5, 0]] is period-2 (cyclic), so the raw
+        // per-step ∞-norm ratio oscillates between 0.5 and 4 forever; the
+        // true ρ(|C|) = √2. The geometric-mean estimator must report ≈√2
+        // at any iteration count — including counts of both parities and
+        // the degenerate 0/1 (clamped to 2).
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, -4.0);
+        coo.push(1, 0, -0.5);
+        coo.push(1, 1, 1.0);
+        let w = WalkMatrix::from_perturbed(&coo.to_csr(), 0.0);
+        let rho = 2.0f64.sqrt();
+        for iters in [31usize, 32, 33] {
+            let est = w.abs_spectral_radius_estimate(iters);
+            assert!(
+                (est - rho).abs() < 1e-9,
+                "iters = {iters}: estimate {est} vs ρ = {rho}"
+            );
+        }
+        // Degenerate iteration counts are clamped past the oscillatory
+        // transient: even iters = 0 must flag this divergent splitting
+        // (the old last-ratio estimator reported 0.5 here and let a
+        // divergent build through).
+        for iters in [0usize, 1, 2, 8] {
+            let est = w.abs_spectral_radius_estimate(iters);
+            assert!(
+                (est - rho).abs() < 0.05,
+                "iters = {iters}: estimate {est} vs ρ = {rho}"
+            );
+            assert!(est > 1.0, "iters = {iters} must still flag divergence");
+        }
+    }
+
+    #[test]
+    fn spectral_estimate_handles_longer_cycles() {
+        // Directed 3-cycle with wildly unequal weights: |C| entries 9.6,
+        // 1.2, 0.15 around the cycle ⇒ ρ = (9.6·1.2·0.15)^(1/3) = 1.2.
+        // Per-step ratios cycle with period 3, so any fixed-window
+        // geometric mean not a multiple of 3 misestimates badly (down to
+        // ~0.42 — below the safeguard limit); the shifted iteration must
+        // converge to the true ρ regardless of `iters` mod 3.
+        let mut coo = Coo::new(3, 3);
+        for (i, wgt) in [(0usize, 9.6f64), (1, 1.2), (2, 0.15)] {
+            coo.push(i, i, 1.0);
+            coo.push(i, (i + 1) % 3, wgt);
+        }
+        let w = WalkMatrix::from_perturbed(&coo.to_csr(), 0.0);
+        for iters in [30usize, 31, 32] {
+            let est = w.abs_spectral_radius_estimate(iters);
+            assert!(
+                (est - 1.2).abs() < 1e-4,
+                "iters = {iters}: estimate {est} vs ρ = 1.2"
+            );
+            assert!(est > 1.0, "divergent 3-cycle must be flagged");
+        }
+    }
+
+    #[test]
+    fn spectral_estimate_converges_on_aperiodic_structure() {
+        // Ring with unequal neighbour weights and a self-damping diagonal
+        // contribution through α: the estimate must agree with the exact
+        // ρ(|C|) computed densely. For a circulant |C| with entries
+        // (0, a, 0, b) per row, ρ = a + b (Perron value at eigenvector 1).
+        let mut coo = Coo::new(4, 4);
+        for i in 0..4usize {
+            coo.push(i, i, 3.0);
+            coo.push(i, (i + 1) % 4, -1.0);
+            coo.push(i, (i + 3) % 4, -0.5);
+        }
+        let w = WalkMatrix::from_perturbed(&coo.to_csr(), 0.5);
+        // |c| entries: 1/4.5 and 0.5/4.5 ⇒ ρ = 1.5/4.5 = 1/3.
+        let est = w.abs_spectral_radius_estimate(64);
+        assert!((est - 1.0 / 3.0).abs() < 1e-9, "estimate {est}");
     }
 
     #[test]

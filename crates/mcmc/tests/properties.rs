@@ -82,24 +82,108 @@ proptest! {
         }
     }
 
-    /// A row cap of k leaves at most k entries per row and keeps each
-    /// row's largest-magnitude entry.
+    /// A row cap of k leaves at most k entries per row, never drops a
+    /// stored diagonal (it claims one slot with priority), and fills the
+    /// remaining slots with the largest-magnitude off-diagonals.
     #[test]
-    fn row_topk_caps_and_keeps_the_heaviest(((n, ts), cap) in (arb_matrix(), 1usize..4)) {
+    fn row_topk_caps_and_never_drops_the_diagonal(((n, ts), cap) in (arb_matrix(), 1usize..4)) {
         let p = build(n, &ts);
         let kept = sparsify(&p, 0.0, Some(cap));
         for i in 0..n {
             prop_assert!(kept.row_indices(i).len() <= cap);
-            let vals = p.row_values(i);
-            if !vals.is_empty() {
-                let best = vals.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            // The satellite contract: a cap smaller than the row's nnz
+            // must not evict the diagonal.
+            if p.row_indices(i).contains(&i) {
+                prop_assert!(
+                    kept.row_indices(i).contains(&i),
+                    "row {} lost its diagonal under cap {}", i, cap
+                );
+            } else if !p.row_indices(i).is_empty() {
+                // No diagonal stored: the heaviest entry survives.
+                let best = p.row_values(i).iter().fold(0.0f64, |m, v| m.max(v.abs()));
                 let kept_best = kept
                     .row_values(i)
                     .iter()
                     .fold(0.0f64, |m, v| m.max(v.abs()));
                 prop_assert_eq!(kept_best, best, "row {} lost its heaviest entry", i);
             }
+            // Off-diagonal selection is by magnitude: every kept
+            // off-diagonal is at least as heavy as every dropped one.
+            let kept_cols = kept.row_indices(i);
+            let min_kept = p
+                .row_indices(i)
+                .iter()
+                .zip(p.row_values(i))
+                .filter(|(&j, _)| j != i && kept_cols.contains(&j))
+                .fold(f64::INFINITY, |m, (_, v)| m.min(v.abs()));
+            let max_dropped = p
+                .row_indices(i)
+                .iter()
+                .zip(p.row_values(i))
+                .filter(|(&j, _)| j != i && !kept_cols.contains(&j))
+                .fold(0.0f64, |m, (_, v)| m.max(v.abs()));
+            prop_assert!(
+                min_kept >= max_dropped,
+                "row {}: kept off-diagonal {} lighter than dropped {}",
+                i, min_kept, max_dropped
+            );
         }
+    }
+
+    /// `drop_tol` edge cases: empty rows stay empty, singleton rows are
+    /// untouched for any tolerance ≤ 1 (the sole entry is its own row
+    /// maximum), and a stored diagonal survives any tolerance.
+    #[test]
+    fn drop_tol_zero_and_singleton_rows(((n, ts), tol) in (arb_matrix(), 0.0f64..1.0)) {
+        let p = build(n, &ts);
+        let kept = sparsify(&p, tol, None);
+        for i in 0..n {
+            if p.row_indices(i).is_empty() {
+                prop_assert!(kept.row_indices(i).is_empty(), "row {} grew entries", i);
+            }
+            if p.row_indices(i).len() == 1 {
+                prop_assert_eq!(kept.row_indices(i), p.row_indices(i),
+                    "singleton row {} was modified", i);
+                prop_assert_eq!(kept.row_values(i), p.row_values(i));
+            }
+            if p.row_indices(i).contains(&i) {
+                prop_assert!(kept.row_indices(i).contains(&i),
+                    "row {} lost its diagonal at drop_tol {}", i, tol);
+            }
+        }
+    }
+
+    /// Report invariants for arbitrary policies: the nnz ratio and the
+    /// Frobenius mass fraction are genuine fractions, byte accounting
+    /// matches the precision, and compression never grows the operator.
+    #[test]
+    fn report_invariants_hold_for_any_policy(
+        ((n, ts), tol, cap_raw, precision_raw)
+            in (arb_matrix(), 0.0f64..0.5, 0usize..6, 0usize..2)
+    ) {
+        let f32_storage = precision_raw == 1;
+        let p = build(n, &ts);
+        let policy = CompressionPolicy {
+            drop_tol: tol,
+            // 0 encodes "no cap" so the cap axis covers both branches.
+            row_topk: if cap_raw == 0 { None } else { Some(cap_raw) },
+            precision: if f32_storage {
+                mcmcmi_mcmc::StoragePrecision::F32
+            } else {
+                mcmcmi_mcmc::StoragePrecision::F64
+            },
+        };
+        let (cp, r) = compress(&p, &policy);
+        prop_assert!(r.nnz_after <= r.nnz_before, "nnz grew");
+        prop_assert!((0.0..=1.0).contains(&r.nnz_kept) || r.nnz_before == 0,
+            "nnz_kept {} out of range", r.nnz_kept);
+        prop_assert!((0.0..=1.0).contains(&r.fro_mass_kept),
+            "fro_mass_kept {} out of range", r.fro_mass_kept);
+        prop_assert_eq!(r.value_bytes_before, p.nnz() * 8);
+        let per_value = if f32_storage { 4 } else { 8 };
+        prop_assert_eq!(r.value_bytes_after, r.nnz_after * per_value);
+        prop_assert_eq!(cp.nnz(), r.nnz_after);
+        prop_assert_eq!(cp.value_bytes(), r.value_bytes_after);
     }
 }
 

@@ -214,6 +214,60 @@ fn surrogate_training_deterministic() {
     assert_eq!(p1, p2);
 }
 
+/// The closed tuning loop end to end: the autotune recommendation (joint
+/// `(α, ε, δ) × CompressionPolicy` search with safeguarded builds, TPE
+/// sampling, and probe solves) and the resulting tuned build + solve must
+/// be bit-identical across thread counts. This leans on every layer at
+/// once — deterministic sampler seeding, schedule-independent builds,
+/// lockstep batched probes, and the byte-cost score (which deliberately
+/// prices bytes, not wall-clock, exactly so this test can exist).
+#[test]
+fn autotune_recommendation_and_tuned_solve_identical_across_thread_counts() {
+    use mcmcmi::core::autotune::{AutoTuner, AutotuneConfig};
+    use mcmcmi::krylov::{SolveSession, TuneBudget};
+    let a = mcmcmi::matgen::pdd_real_sparse(72, 9);
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).sin()).collect();
+    let run = |threads: Option<usize>| {
+        let mut tuner = AutoTuner::new(AutotuneConfig::default());
+        let mut tune = || SolveSession::auto(&a, TuneBudget::smoke(11), &mut tuner).unwrap();
+        let (mut session, report) = match threads {
+            None => tune(),
+            Some(t) => rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .unwrap()
+                .install(tune),
+        };
+        let solve = session.solve(&b);
+        (report, solve)
+    };
+    let (ref_report, ref_solve) = run(None);
+    for threads in [1usize, 8] {
+        let (report, solve) = run(Some(threads));
+        // Recommendation: chosen parameters, policy, score, and the whole
+        // trial trail match bit for bit.
+        assert_eq!(report.params, ref_report.params, "{threads} threads");
+        assert_eq!(
+            report.policy.drop_tol, ref_report.policy.drop_tol,
+            "{threads} threads"
+        );
+        assert_eq!(report.policy.row_topk, ref_report.policy.row_topk);
+        assert_eq!(report.policy.precision, ref_report.policy.precision);
+        assert_eq!(report.score, ref_report.score, "{threads} threads");
+        assert_eq!(report.trials.len(), ref_report.trials.len());
+        for (t, (got, want)) in report.trials.iter().zip(&ref_report.trials).enumerate() {
+            assert_eq!(got.requested, want.requested, "trial {t}");
+            assert_eq!(got.score, want.score, "trial {t}");
+            assert_eq!(got.probe_iters, want.probe_iters, "trial {t}");
+        }
+        // Tuned build + solve: the session's answer matches bit for bit.
+        assert_eq!(solve.x, ref_solve.x, "{threads} threads");
+        assert_eq!(solve.iterations, ref_solve.iterations);
+        assert_eq!(solve.rel_residual, ref_solve.rel_residual);
+    }
+}
+
 /// The mixed-precision apply path: a compressed f32 preconditioner applied
 /// through the cached-partition SpMV/SpMM kernels is bit-identical at any
 /// thread count, both per vector and per block column.
