@@ -53,7 +53,7 @@ use mcmcmi_mcmc::{
     BuildConfig, CompressionPolicy, CompressionReport, McmcInverse, McmcParams, SafeguardConfig,
     StoragePrecision,
 };
-use mcmcmi_sparse::Csr;
+use mcmcmi_sparse::{Csr, SpecializedBackend};
 use serde::{Deserialize, Serialize};
 
 /// `row_topk` values the categorical axis can choose (index 0 = no cap).
@@ -294,6 +294,11 @@ impl AutoTuner {
         assert!(budget.trials >= 1, "AutoTuner: need at least one trial");
         let flex = self.cfg.solver.flexible();
         let builder = McmcInverse::new(self.cfg.build);
+        // Detect A's structure once up front: every trial's probe solve and
+        // every certification solve re-traverses the same operator, so the
+        // one-time scan amortises across the whole budget and each matvec
+        // dispatches straight to the banded/stencil/generic kernel family.
+        let a_op = SpecializedBackend::detect(a.clone());
         let rhs = Self::probe_rhs(a, budget.probe_rhs.max(1));
         // Ranking fidelity: two orders of magnitude looser and a quarter
         // of the depth — losing candidates must fail cheaply. The 1e-3
@@ -396,7 +401,7 @@ impl AutoTuner {
                 }
                 Ok(guarded) => {
                     let (precond, report) = guarded.compress(&policy);
-                    let results = solve_batch(a, &rhs, &precond, flex, relaxed_opts);
+                    let results = solve_batch(&a_op, &rhs, &precond, flex, relaxed_opts);
                     let converged = results.iter().all(|r| r.converged);
                     let iters = results.iter().map(|r| r.iterations).max().unwrap_or(0);
                     let rel = results
@@ -449,7 +454,7 @@ impl AutoTuner {
         // Bounded so a pathological relaxed ranking cannot re-spend the
         // whole probe budget.
         for (attempt, cand) in candidates.into_iter().enumerate() {
-            let results = solve_batch(a, &rhs, &cand.precond, flex, budget.probe_opts);
+            let results = solve_batch(&a_op, &rhs, &cand.precond, flex, budget.probe_opts);
             let rel = results
                 .iter()
                 .map(|r| r.rel_residual)

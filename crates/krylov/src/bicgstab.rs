@@ -6,7 +6,7 @@ use crate::solver::{ColEnd, ColOutcome, SolveOptions, SolveResult};
 use mcmcmi_dense::{
     axpy, axpy_cols_masked, dot, dot_cols_masked, norm2, norm2_col, norm2_cols_masked, scatter_col,
 };
-use mcmcmi_sparse::Csr;
+use mcmcmi_sparse::KernelBackend;
 
 /// Reusable scratch for repeated scalar BiCGStab solves on same-size
 /// systems. After the first solve, subsequent [`bicgstab_with`] calls
@@ -39,8 +39,8 @@ impl BiCgStabWorkspace {
 /// Breakdown (`ρ → 0` or `ω → 0`) is flagged rather than panicking, because
 /// divergent MCMC preconditioners are *expected* inputs in the paper's
 /// dataset (near-zero α rows).
-pub fn bicgstab<P: Preconditioner>(
-    a: &Csr,
+pub fn bicgstab<A: KernelBackend + ?Sized, P: Preconditioner>(
+    a: &A,
     b: &[f64],
     precond: &P,
     opts: SolveOptions,
@@ -50,8 +50,8 @@ pub fn bicgstab<P: Preconditioner>(
 
 /// [`bicgstab`] with caller-owned scratch ([`BiCgStabWorkspace`]) —
 /// identical results, zero per-call allocation of the iteration vectors.
-pub fn bicgstab_with<P: Preconditioner>(
-    a: &Csr,
+pub fn bicgstab_with<A: KernelBackend + ?Sized, P: Preconditioner>(
+    a: &A,
     b: &[f64],
     precond: &P,
     opts: SolveOptions,
@@ -113,7 +113,7 @@ pub fn bicgstab_with<P: Preconditioner>(
         }
         rho = rho_new;
         // v = PA p
-        a.spmv_auto(&ws.p, &mut ws.tmp);
+        a.spmv(&ws.p, &mut ws.tmp);
         precond.apply(&ws.tmp, &mut ws.v);
         let rhv = dot(&ws.r_hat, &ws.v);
         if rhv.abs() < 1e-300 || !rhv.is_finite() {
@@ -130,7 +130,7 @@ pub fn bicgstab_with<P: Preconditioner>(
             break;
         }
         // t = PA s
-        a.spmv_auto(&ws.s, &mut ws.tmp);
+        a.spmv(&ws.s, &mut ws.tmp);
         precond.apply(&ws.tmp, &mut ws.t);
         let tt = dot(&ws.t, &ws.t);
         if tt.abs() < 1e-300 || !tt.is_finite() {
@@ -204,8 +204,8 @@ impl BiCgStabBlockWorkspace {
 ///
 /// # Panics
 /// Panics if `A` is not square or any rhs has the wrong length.
-pub fn bicgstab_batch<P: Preconditioner>(
-    a: &Csr,
+pub fn bicgstab_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
+    a: &A,
     rhs: &[Vec<f64>],
     precond: &P,
     opts: SolveOptions,
@@ -367,7 +367,7 @@ pub fn bicgstab_batch<P: Preconditioner>(
         }
 
         // V = P·A·P-block: one SpMM + one block apply for every column.
-        a.spmm_auto(&ws.pb, k, &mut ws.tmpb);
+        a.spmm(&ws.pb, k, &mut ws.tmpb);
         precond.apply_block(&ws.tmpb, k, &mut ws.vb);
 
         // Phase B: α, the intermediate residual s, and its early exit.
@@ -429,7 +429,7 @@ pub fn bicgstab_batch<P: Preconditioner>(
         }
 
         // T = P·A·S-block for the columns still in this iteration.
-        a.spmm_auto(&ws.sb, k, &mut ws.tmpb);
+        a.spmm(&ws.sb, k, &mut ws.tmpb);
         precond.apply_block(&ws.tmpb, k, &mut ws.tb);
 
         // Phase C: ω, the solution/residual updates, and convergence.

@@ -16,7 +16,7 @@ use crate::cg::cg;
 use crate::precond::Preconditioner;
 use crate::solver::{SolveOptions, SolveResult};
 use mcmcmi_dense::{norm2_col, scatter_col, Lu, Mat};
-use mcmcmi_sparse::Csr;
+use mcmcmi_sparse::KernelBackend;
 
 /// Dot of column `ci` of block `x` with column `cj` of block `y`
 /// (row-major `n×k` blocks). Block CG has no bit-identity contract, so
@@ -124,8 +124,8 @@ fn block_axpy(coeff: &Mat, x: &[f64], y: &mut [f64], k: usize, sign: f64) {
 ///
 /// # Panics
 /// Panics if `A` is not square or any rhs has the wrong length.
-pub fn block_cg<P: Preconditioner>(
-    a: &Csr,
+pub fn block_cg<A: KernelBackend + ?Sized, P: Preconditioner>(
+    a: &A,
     rhs: &[Vec<f64>],
     precond: &P,
     opts: SolveOptions,
@@ -166,7 +166,7 @@ pub fn block_cg<P: Preconditioner>(
         // R = B − A·X for the current frozen-at-restart X: one traversal
         // serves every active column.
         let mut rb = vec![0.0; n * k];
-        a.spmm_auto(&xb, k, &mut rb);
+        a.spmm(&xb, k, &mut rb);
         for (c, &orig) in act.iter().enumerate() {
             for (ri, &bi) in rb[c..].iter_mut().step_by(k).zip(&rhs[orig]) {
                 *ri = bi - *ri;
@@ -184,7 +184,7 @@ pub fn block_cg<P: Preconditioner>(
         let mut deflate: Vec<usize> = Vec::new(); // positions within `act`
         while steps < opts.max_iter {
             steps += 1;
-            a.spmm_auto(&pb, k, &mut qb);
+            a.spmm(&pb, k, &mut qb);
             let pq = gram(&pb, &qb, k);
             // α = (PᵀAP)⁻¹ (ZᵀR): direction-coupling solve.
             let Some(alpha) = solve_small(&pq, &rho) else {
@@ -234,7 +234,8 @@ pub fn block_cg<P: Preconditioner>(
     // `A·dx = b − A·x` from its current iterate.
     if collapsed {
         for &orig in &act {
-            let ax = a.spmv_alloc(&x_final[orig]);
+            let mut ax = vec![0.0; n];
+            a.spmv(&x_final[orig], &mut ax);
             let r: Vec<f64> = rhs[orig]
                 .iter()
                 .zip(&ax)
@@ -270,7 +271,7 @@ pub fn block_cg<P: Preconditioner>(
         scatter_col(x, &mut xfull, k_orig, c);
     }
     let mut axb = vec![0.0; n * k_orig];
-    a.spmm_auto(&xfull, k_orig, &mut axb);
+    a.spmm(&xfull, k_orig, &mut axb);
     (0..k_orig)
         .map(|c| {
             for (ri, bi) in axb[c..].iter_mut().step_by(k_orig).zip(&rhs[c]) {

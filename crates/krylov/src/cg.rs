@@ -6,7 +6,7 @@ use crate::solver::{ColEnd, ColOutcome, SolveOptions, SolveResult};
 use mcmcmi_dense::{
     axpy, axpy_cols_masked, dot, dot_cols_masked, norm2, norm2_col, norm2_cols_masked, scatter_col,
 };
-use mcmcmi_sparse::Csr;
+use mcmcmi_sparse::KernelBackend;
 
 /// Reusable scratch for repeated scalar CG solves on same-size systems.
 /// After the first solve, subsequent [`cg_with`] calls allocate nothing
@@ -33,14 +33,19 @@ impl CgWorkspace {
 /// inverse (generally nonsymmetric) callers should pass the symmetrised
 /// form ([`crate::precond::SparsePrecond::symmetrized`]), matching the
 /// paper's use of CG on the SPD Laplace family.
-pub fn cg<P: Preconditioner>(a: &Csr, b: &[f64], precond: &P, opts: SolveOptions) -> SolveResult {
+pub fn cg<A: KernelBackend + ?Sized, P: Preconditioner>(
+    a: &A,
+    b: &[f64],
+    precond: &P,
+    opts: SolveOptions,
+) -> SolveResult {
     cg_with(a, b, precond, opts, &mut CgWorkspace::new())
 }
 
 /// [`cg`] with caller-owned scratch ([`CgWorkspace`]) — identical results,
 /// zero per-call allocation of the iteration vectors.
-pub fn cg_with<P: Preconditioner>(
-    a: &Csr,
+pub fn cg_with<A: KernelBackend + ?Sized, P: Preconditioner>(
+    a: &A,
     b: &[f64],
     precond: &P,
     opts: SolveOptions,
@@ -74,7 +79,7 @@ pub fn cg_with<P: Preconditioner>(
 
     while iters < opts.max_iter {
         iters += 1;
-        a.spmv_auto(&ws.p, &mut ws.ap);
+        a.spmv(&ws.p, &mut ws.ap);
         let pap = dot(&ws.p, &ws.ap);
         if pap.abs() < 1e-300 || !pap.is_finite() {
             breakdown = true;
@@ -144,8 +149,8 @@ impl CgBlockWorkspace {
 ///
 /// # Panics
 /// Panics if `A` is not square or any rhs has the wrong length.
-pub fn cg_batch<P: Preconditioner>(
-    a: &Csr,
+pub fn cg_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
+    a: &A,
     rhs: &[Vec<f64>],
     precond: &P,
     opts: SolveOptions,
@@ -229,7 +234,7 @@ pub fn cg_batch<P: Preconditioner>(
         // One traversal serves every column: AP = A·P; then one fused
         // block sweep per reduction/update (contiguous row order — the
         // strided per-column form would touch one element per cache line).
-        a.spmm_auto(&ws.pb, k, &mut ws.apb);
+        a.spmm(&ws.pb, k, &mut ws.apb);
         dot_cols_masked(&ws.pb, &ws.apb, k, &active, &mut pap);
         for c in 0..k {
             updating[c] = false;

@@ -20,7 +20,7 @@ use crate::solver::{ColEnd, ColOutcome, SolveOptions, SolveResult};
 use mcmcmi_dense::{
     axpy, axpy_cols_masked, dot, dot_cols_masked, norm2, norm2_col, norm2_cols_masked, scatter_col,
 };
-use mcmcmi_sparse::Csr;
+use mcmcmi_sparse::KernelBackend;
 
 /// Reusable scratch for repeated scalar FCG solves on same-size systems.
 /// After the first solve, subsequent [`fcg_with`] calls allocate nothing
@@ -46,14 +46,19 @@ impl FcgWorkspace {
 /// Unlike [`crate::cg`], the preconditioner need not be applied exactly or
 /// symmetrically — compressed MCMC inverses can be passed raw, without the
 /// `symmetrized()` copy classical CG needs.
-pub fn fcg<P: Preconditioner>(a: &Csr, b: &[f64], precond: &P, opts: SolveOptions) -> SolveResult {
+pub fn fcg<A: KernelBackend + ?Sized, P: Preconditioner>(
+    a: &A,
+    b: &[f64],
+    precond: &P,
+    opts: SolveOptions,
+) -> SolveResult {
     fcg_with(a, b, precond, opts, &mut FcgWorkspace::new())
 }
 
 /// [`fcg`] with caller-owned scratch ([`FcgWorkspace`]) — identical
 /// results, zero per-call allocation of the iteration vectors.
-pub fn fcg_with<P: Preconditioner>(
-    a: &Csr,
+pub fn fcg_with<A: KernelBackend + ?Sized, P: Preconditioner>(
+    a: &A,
     b: &[f64],
     precond: &P,
     opts: SolveOptions,
@@ -87,7 +92,7 @@ pub fn fcg_with<P: Preconditioner>(
 
     while iters < opts.max_iter {
         iters += 1;
-        a.spmv_auto(&ws.p, &mut ws.ap);
+        a.spmv(&ws.p, &mut ws.ap);
         let pap = dot(&ws.p, &ws.ap);
         if pap.abs() < 1e-300 || !pap.is_finite() {
             breakdown = true;
@@ -157,8 +162,8 @@ impl FcgBlockWorkspace {
 ///
 /// # Panics
 /// Panics if `A` is not square or any rhs has the wrong length.
-pub fn fcg_batch<P: Preconditioner>(
-    a: &Csr,
+pub fn fcg_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
+    a: &A,
     rhs: &[Vec<f64>],
     precond: &P,
     opts: SolveOptions,
@@ -242,7 +247,7 @@ pub fn fcg_batch<P: Preconditioner>(
         }
         // One traversal serves every column: AP = A·P; then one fused
         // block sweep per reduction/update.
-        a.spmm_auto(&ws.pb, k, &mut ws.apb);
+        a.spmm(&ws.pb, k, &mut ws.apb);
         dot_cols_masked(&ws.pb, &ws.apb, k, &active, &mut pap);
         for c in 0..k {
             updating[c] = false;

@@ -25,7 +25,7 @@ use crate::solver::{ColEnd, ColOutcome, SolveOptions, SolveResult};
 use mcmcmi_dense::{
     axpy_col, copy_col, dot_col, norm2, norm2_col, scale_col, scale_in_place, scatter_col,
 };
-use mcmcmi_sparse::Csr;
+use mcmcmi_sparse::KernelBackend;
 
 /// Reusable scratch for repeated scalar FGMRES solves on same-shape
 /// problems (same `n` and restart length). After the first solve,
@@ -88,8 +88,8 @@ impl FgmresWorkspace {
 /// [`crate::gmres`]'s reporting. Convergence is declared on the true
 /// residual (right preconditioning leaves it undistorted) and verified by
 /// the shared finalize step.
-pub fn fgmres<P: Preconditioner>(
-    a: &Csr,
+pub fn fgmres<A: KernelBackend + ?Sized, P: Preconditioner>(
+    a: &A,
     b: &[f64],
     precond: &P,
     opts: SolveOptions,
@@ -100,8 +100,8 @@ pub fn fgmres<P: Preconditioner>(
 /// [`fgmres`] with caller-owned scratch ([`FgmresWorkspace`]) — identical
 /// results, zero per-call allocation of the two Krylov bases and the
 /// Hessenberg factors.
-pub fn fgmres_with<P: Preconditioner>(
-    a: &Csr,
+pub fn fgmres_with<A: KernelBackend + ?Sized, P: Preconditioner>(
+    a: &A,
     b: &[f64],
     precond: &P,
     opts: SolveOptions,
@@ -128,7 +128,7 @@ pub fn fgmres_with<P: Preconditioner>(
     let mut breakdown = false;
     'outer: while total_iters < opts.max_iter {
         // r = b − Ax (true residual; no preconditioner on the residual).
-        a.spmv_auto(&x, &mut ws.aw);
+        a.spmv(&x, &mut ws.aw);
         for ((vi, &bi), &ai) in ws.v[0].iter_mut().zip(b).zip(&ws.aw) {
             *vi = bi - ai;
         }
@@ -152,7 +152,7 @@ pub fn fgmres_with<P: Preconditioner>(
             total_iters += 1;
             // z_k = P v_k (kept!), w = A z_k.
             precond.apply(&ws.v[k], &mut ws.z[k]);
-            a.spmv_auto(&ws.z[k], &mut ws.w);
+            a.spmv(&ws.z[k], &mut ws.w);
             // Modified Gram–Schmidt against the orthonormal V basis.
             for i in 0..=k {
                 let hik = mcmcmi_dense::dot(&ws.w, &ws.v[i]);
@@ -335,8 +335,8 @@ enum FgmresMode {
 ///
 /// # Panics
 /// Panics if `A` is not square or any rhs has the wrong length.
-pub fn fgmres_batch<P: Preconditioner>(
-    a: &Csr,
+pub fn fgmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
+    a: &A,
     rhs: &[Vec<f64>],
     precond: &P,
     opts: SolveOptions,
@@ -480,7 +480,7 @@ pub fn fgmres_batch<P: Preconditioner>(
                 FgmresMode::Done => {}
             }
         }
-        a.spmm_auto(&ws.inb, k, &mut ws.awb);
+        a.spmm(&ws.inb, k, &mut ws.awb);
 
         // Post-phase: column-local arithmetic, exactly the scalar sequence.
         for c in 0..k {

@@ -4,8 +4,10 @@
 //! is solved incrementally with Givens rotations, so each inner iteration is
 //! O(restart · n) plus one SpMV and one preconditioner application.
 //!
-//! Matvecs go through [`Csr::spmv_auto`] (nnz-balanced parallel path above
-//! a size threshold, bit-identical to serial), and the solver itself runs
+//! Matvecs go through the [`KernelBackend`] seam (auto-dispatched
+//! nnz-balanced parallel path above a size threshold, bit-identical to
+//! serial, structure-specialized kernels when the backend carries a
+//! detected form), and the solver itself runs
 //! out of a workspace allocated once up front — the inner and restart
 //! loops perform no allocations of their own (the parallel SpMV path
 //! allocates its per-call chunk bookkeeping when it engages).
@@ -16,7 +18,7 @@ use mcmcmi_dense::{
     axpy_col, axpy_cols_masked, dot_col, dot_cols_masked, norm2, norm2_col, norm2_cols_masked,
     scale_col, scale_in_place, scatter_col,
 };
-use mcmcmi_sparse::Csr;
+use mcmcmi_sparse::KernelBackend;
 
 /// Reusable scratch for repeated scalar GMRES solves on same-shape
 /// problems (same `n` and restart length). After the first solve,
@@ -75,8 +77,8 @@ impl GmresWorkspace {
 /// declared on the preconditioned recursive residual and then verified
 /// against the true residual (a final correction loop runs if the true
 /// residual lags, which left preconditioning can cause).
-pub fn gmres<P: Preconditioner>(
-    a: &Csr,
+pub fn gmres<A: KernelBackend + ?Sized, P: Preconditioner>(
+    a: &A,
     b: &[f64],
     precond: &P,
     opts: SolveOptions,
@@ -87,8 +89,8 @@ pub fn gmres<P: Preconditioner>(
 /// [`gmres`] with caller-owned scratch ([`GmresWorkspace`]) — identical
 /// results, zero per-call allocation of the Krylov basis and Hessenberg
 /// factors.
-pub fn gmres_with<P: Preconditioner>(
-    a: &Csr,
+pub fn gmres_with<A: KernelBackend + ?Sized, P: Preconditioner>(
+    a: &A,
     b: &[f64],
     precond: &P,
     opts: SolveOptions,
@@ -118,7 +120,7 @@ pub fn gmres_with<P: Preconditioner>(
     let mut breakdown = false;
     'outer: while total_iters < opts.max_iter {
         // r = P(b − Ax)
-        a.spmv_auto(&x, &mut ws.aw);
+        a.spmv(&x, &mut ws.aw);
         for ((wi, &bi), &ai) in ws.w.iter_mut().zip(b).zip(&ws.aw) {
             *wi = bi - ai;
         }
@@ -142,7 +144,7 @@ pub fn gmres_with<P: Preconditioner>(
             }
             total_iters += 1;
             // w = P(A v_k)
-            a.spmv_auto(&ws.v[k], &mut ws.aw);
+            a.spmv(&ws.v[k], &mut ws.aw);
             precond.apply(&ws.aw, &mut ws.w);
             // Modified Gram–Schmidt.
             for i in 0..=k {
@@ -316,8 +318,8 @@ enum GmresMode {
 ///
 /// # Panics
 /// Panics if `A` is not square or any rhs has the wrong length.
-pub fn gmres_batch<P: Preconditioner>(
-    a: &Csr,
+pub fn gmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
+    a: &A,
     rhs: &[Vec<f64>],
     precond: &P,
     opts: SolveOptions,
@@ -542,7 +544,7 @@ pub fn gmres_batch<P: Preconditioner>(
         }
 
         // One traversal for the whole batch, then one block precondition.
-        a.spmm_auto(&ws.inb, k, &mut ws.awb);
+        a.spmm(&ws.inb, k, &mut ws.awb);
         for c in 0..k {
             match mode[c] {
                 GmresMode::Restart => {

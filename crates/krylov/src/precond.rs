@@ -1,8 +1,6 @@
 //! The preconditioner abstraction and the simplest implementations.
 
-use mcmcmi_sparse::{Csr, Scalar};
-use std::ops::Range;
-use std::sync::{Arc, RwLock};
+use mcmcmi_sparse::{Csr, KernelBackend, Scalar, SpecializedBackend, Structure};
 
 /// A left preconditioner: an operator `P ≈ A⁻¹` applied as `z ← P·r`.
 ///
@@ -28,7 +26,8 @@ pub trait Preconditioner: Sync {
     /// solves like ILU(0)/IC(0) keep this default: their recurrences can't
     /// share a traversal across columns). Implementations whose application
     /// *is* a sparse multiply override this to amortise one matrix
-    /// traversal over all `k` columns ([`SparsePrecond`] → `spmm_auto`).
+    /// traversal over all `k` columns ([`SparsePrecond`] → its backend's
+    /// structure-dispatched SpMM).
     ///
     /// # Panics
     /// Implementations may panic on dimension mismatch or `k == 0`.
@@ -145,80 +144,57 @@ impl Preconditioner for JacobiPrecond {
 /// mixed-precision form — values stream at half the bandwidth while every
 /// kernel still accumulates in f64 (see [`mcmcmi_sparse::Scalar`]).
 ///
-/// The preconditioner is applied once per Krylov iteration, so it caches
-/// its nnz-balanced row partition on first parallel use and reuses it for
-/// every subsequent `apply`/`apply_block` — repeated applications (the
-/// scalar session path as much as `solve_batch`) re-derive nothing and
-/// allocate nothing beyond rayon's per-call task handles.
+/// Application routes through [`mcmcmi_sparse::SpecializedBackend`]: the
+/// preconditioner runs structure detection once at construction (MCMC
+/// inverses are usually unstructured and bail out of detection within a
+/// few hundred rows; *compressed* inverses can gain or lose structure, and
+/// re-wrapping after sparsification re-detects automatically) and every
+/// `apply`/`apply_block` dispatches to the matching kernel family. The
+/// backend also owns the cached nnz-balanced row partition, so repeated
+/// applications (the scalar session path as much as `solve_batch`)
+/// re-derive nothing and allocate nothing beyond rayon's per-call task
+/// handles.
 #[derive(Debug)]
 pub struct SparsePrecond<T: Scalar = f64> {
-    p: Csr<T>,
-    /// Lazily computed `(parts, nnz_balanced_row_ranges(parts))` for the
-    /// thread count the parallel apply path last ran under, shared by the
-    /// vector and block arms. Only populated when the parallel arm is
-    /// actually taken (small operators never pay the partition scan), and
-    /// rebuilt — not abandoned — if the thread count changes, so one
-    /// apply under an odd-sized pool can't degrade the rest of the
-    /// preconditioner's life. The partition is behind an `Arc` so readers
-    /// can detach it and drop the lock before entering the kernel.
-    ranges: RangeCache,
+    op: SpecializedBackend<T>,
 }
-
-/// `(parts, partition)` cache slot for [`SparsePrecond`]: the row partition
-/// last used by the parallel apply path, keyed by the thread count it was
-/// built for.
-type RangeCache = RwLock<Option<(usize, Arc<Vec<Range<usize>>>)>>;
 
 impl<T: Scalar> Clone for SparsePrecond<T> {
     fn clone(&self) -> Self {
-        // The partition cache is derived state; let the clone rebuild it
-        // lazily rather than tying it to the source's thread count.
-        Self::new(self.p.clone())
+        // Backend clone carries the detected structure over (a property of
+        // the matrix) and rebuilds the partition cache lazily.
+        Self {
+            op: self.op.clone(),
+        }
     }
 }
 
 impl<T: Scalar> SparsePrecond<T> {
-    /// Wrap an explicit approximate inverse.
+    /// Wrap an explicit approximate inverse, detecting its sparsity
+    /// structure once for all subsequent applies.
     ///
     /// # Panics
     /// Panics if `p` is not square.
     pub fn new(p: Csr<T>) -> Self {
         assert_eq!(p.nrows(), p.ncols(), "SparsePrecond: matrix must be square");
         Self {
-            p,
-            ranges: RwLock::new(None),
+            op: SpecializedBackend::detect(p),
         }
     }
 
     /// Borrow the underlying matrix.
     pub fn matrix(&self) -> &Csr<T> {
-        &self.p
+        self.op.csr()
     }
 
-    /// Run `f` with the cached row partition for the current thread count,
-    /// (re)building the cache on first use or after a thread-count change.
-    /// Any in-order disjoint cover yields bit-identical results, so the
-    /// cache is a pure perf artifact. No lock is ever held across the
-    /// O(nnz) kernel — readers detach the `Arc` and drop the guard, the
-    /// rebuild path runs on a local partition and takes the write lock only
-    /// for the O(parts) swap — so concurrent appliers sharing one
-    /// preconditioner can't stall behind each other, and a rayon worker
-    /// re-entering `apply` can't deadlock on a queued writer.
-    fn with_ranges<R>(&self, f: impl FnOnce(&[Range<usize>]) -> R) -> R {
-        let parts = rayon::current_num_threads();
-        let cached = {
-            let guard = self.ranges.read().unwrap();
-            guard.as_ref().and_then(|(cached_parts, ranges)| {
-                (*cached_parts == parts).then(|| Arc::clone(ranges))
-            })
-        };
-        if let Some(ranges) = cached {
-            return f(&ranges);
-        }
-        let ranges = self.p.nnz_balanced_row_ranges(parts);
-        let out = f(&ranges);
-        *self.ranges.write().unwrap() = Some((parts, Arc::new(ranges)));
-        out
+    /// The kernel backend the applies dispatch through.
+    pub fn backend(&self) -> &SpecializedBackend<T> {
+        &self.op
+    }
+
+    /// The detected structure of the wrapped operator.
+    pub fn structure(&self) -> &Structure {
+        self.op.structure()
     }
 }
 
@@ -226,40 +202,34 @@ impl SparsePrecond<f64> {
     /// Symmetrised copy `(P + Pᵀ)/2`, needed when feeding a (generally
     /// nonsymmetric) MCMC inverse into CG.
     pub fn symmetrized(&self) -> Self {
-        let sym = mcmcmi_sparse::csr_add(0.5, &self.p, 0.5, &self.p.transpose());
+        let sym = mcmcmi_sparse::csr_add(0.5, self.matrix(), 0.5, &self.matrix().transpose());
         Self::new(sym)
     }
 
     /// Demote the stored values to f32 ([`mcmcmi_sparse::Csr::to_precision`]);
-    /// the application kernels keep accumulating in f64.
+    /// the application kernels keep accumulating in f64. Re-detects on the
+    /// demoted copy (detection is pattern-only, so the result matches).
     pub fn to_f32(&self) -> SparsePrecond<f32> {
-        SparsePrecond::new(self.p.to_precision())
+        SparsePrecond::new(self.matrix().to_precision())
     }
 }
 
 impl<T: Scalar> Preconditioner for SparsePrecond<T> {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
-        // spmv_auto's dispatch rule (shared `par_pays_off` predicate), with
-        // the cached partition on the parallel arm; bit-identical either
-        // way. The serial arm never touches (or builds) the cache.
-        if self.p.par_pays_off(self.p.nnz()) {
-            self.with_ranges(|ranges| self.p.spmv_in_ranges(ranges, r, z));
-        } else {
-            self.p.spmv(r, z);
-        }
+        // The backend applies spmv_auto's dispatch rule (shared
+        // `par_pays_off` predicate) with the cached partition on the
+        // parallel arm and the structure-specialized row kernel on both
+        // arms; bit-identical every way.
+        self.op.spmv(r, z);
     }
     fn dim(&self) -> usize {
-        self.p.nrows()
+        self.op.nrows()
     }
     fn apply_block(&self, r: &[f64], k: usize, z: &mut [f64]) {
         // One traversal of P serves all k residual columns — the batched
         // form of the "embarrassingly parallel application" advantage, and
         // bit-identical per column to `apply` by the SpMM kernel contract.
-        if self.p.par_pays_off(self.p.nnz().saturating_mul(k)) {
-            self.with_ranges(|ranges| self.p.spmm_in_ranges(ranges, r, k, z));
-        } else {
-            self.p.spmm(r, k, z);
-        }
+        self.op.spmm(r, k, z);
     }
 }
 
@@ -299,6 +269,18 @@ impl CompressedPrecond {
         match self {
             CompressedPrecond::F64(_) => <f64 as Scalar>::NAME,
             CompressedPrecond::F32(_) => <f32 as Scalar>::NAME,
+        }
+    }
+
+    /// Kernel family the compressed operator's applies dispatch to
+    /// (`"banded"`, `"stencil"`, or `"generic-csr"`). Structure is
+    /// re-detected on the *sparsified* pattern when the precond is built,
+    /// so compression can both create structure (dropping stray entries
+    /// collapses P onto a band) and destroy it.
+    pub fn kernel_name(&self) -> &'static str {
+        match self {
+            CompressedPrecond::F64(p) => p.backend().kernel_name(),
+            CompressedPrecond::F32(p) => p.backend().kernel_name(),
         }
     }
 }
@@ -447,12 +429,22 @@ mod tests {
         assert_eq!(p32.matrix().value_bytes() * 2, p64.matrix().value_bytes());
     }
 
+    /// Serialises the two tests below, which read/write the process-global
+    /// parallel-threshold override.
+    static THRESHOLD_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// Restores the default threshold even if the test panics.
+    struct RestoreThreshold;
+    impl Drop for RestoreThreshold {
+        fn drop(&mut self) {
+            mcmcmi_sparse::set_par_threshold_for_tests(None);
+        }
+    }
+
     #[test]
     fn cached_partition_path_is_bit_identical_to_auto() {
-        // Force the parallel path by applying a matrix above the threshold
-        // is impractical in-tests; instead verify the cached partition and
-        // the serial kernel agree (the in_ranges contract is covered in
-        // mcmcmi_sparse). Repeated applies reuse the same cache.
+        let _serial = THRESHOLD_LOCK.lock().unwrap();
+        let _restore = RestoreThreshold;
         let a = {
             let mut coo = Coo::new(64, 64);
             for i in 0..64usize {
@@ -465,49 +457,67 @@ mod tests {
         };
         let p = SparsePrecond::new(a.clone());
         let r: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin()).collect();
-        let mut z1 = vec![0.0; 64];
-        let mut z2 = vec![0.0; 64];
-        p.apply(&r, &mut z1);
-        p.apply(&r, &mut z2);
-        assert_eq!(z1, z2);
         let mut want = vec![0.0; 64];
         a.spmv(&r, &mut want);
+        // Serial arm first: the partition cache stays cold.
+        let mut z1 = vec![0.0; 64];
+        p.apply(&r, &mut z1);
         assert_eq!(z1, want);
-        // The partition cache serves (and rebuilds across thread-count
-        // changes) bit-identical applies.
-        p.with_ranges(|ranges| {
-            let mut via_ranges = vec![0.0; 64];
-            a.spmv_in_ranges(ranges, &r, &mut via_ranges);
-            assert_eq!(via_ranges, want);
-        });
-        let first_parts = rayon::current_num_threads();
-        let other = rayon::ThreadPoolBuilder::new()
-            .num_threads(first_parts + 3)
-            .build()
-            .unwrap();
-        other.install(|| {
-            // Rebuilt for the new pool, not pinned to the old one…
-            p.with_ranges(|ranges| {
-                assert_eq!(ranges, p.matrix().nnz_balanced_row_ranges(first_parts + 3));
+        assert_eq!(p.backend().cached_partition_threads(), None);
+        // Force the parallel arm and apply under two different pools: the
+        // cache follows the active thread count and every path stays
+        // bit-identical to the serial kernel.
+        mcmcmi_sparse::set_par_threshold_for_tests(Some(1));
+        for extra in [1usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(extra + 1)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                let mut z = vec![0.0; 64];
+                p.apply(&r, &mut z);
+                assert_eq!(z, want);
+                assert_eq!(p.backend().cached_partition_threads(), Some(extra + 1));
+                // Repeated applies reuse the cache and stay identical.
+                let mut z2 = vec![0.0; 64];
+                p.apply(&r, &mut z2);
+                assert_eq!(z2, want);
             });
-            let mut z = vec![0.0; 64];
-            p.apply(&r, &mut z);
-            assert_eq!(z, want);
-        });
-        // …and recovered again back on the original thread count.
-        p.with_ranges(|ranges| {
-            assert_eq!(ranges, p.matrix().nnz_balanced_row_ranges(first_parts));
-        });
+        }
     }
 
     #[test]
     fn small_operator_apply_never_builds_the_partition_cache() {
+        let _serial = THRESHOLD_LOCK.lock().unwrap();
         let p = SparsePrecond::new(csr_eye(8));
         let mut z = vec![0.0; 8];
         p.apply(&[1.0; 8], &mut z);
         p.apply_block(&[1.0; 16], 2, &mut z.repeat(2));
         // Below par_threshold the serial arm runs and the cache stays cold.
-        assert!(p.ranges.read().unwrap().is_none());
+        assert_eq!(p.backend().cached_partition_threads(), None);
+    }
+
+    #[test]
+    fn precond_detects_structure_of_wrapped_operator() {
+        // A tridiagonal approximate inverse dispatches the banded kernels…
+        let mut coo = Coo::new(32, 32);
+        for i in 0..32usize {
+            coo.push(i, i, 2.0);
+            if i > 0 {
+                coo.push(i, i - 1, -0.5);
+                coo.push(i - 1, i, -0.5);
+            }
+        }
+        let p = SparsePrecond::new(coo.to_csr());
+        assert_eq!(p.backend().kernel_name(), "banded");
+        assert!(matches!(
+            p.structure(),
+            mcmcmi_sparse::Structure::Banded { lower: 1, upper: 1 }
+        ));
+        // …and the structure survives cloning and symmetrisation.
+        assert_eq!(p.clone().backend().kernel_name(), "banded");
+        assert_eq!(p.symmetrized().backend().kernel_name(), "banded");
+        assert_eq!(p.to_f32().backend().kernel_name(), "banded");
     }
 
     #[test]

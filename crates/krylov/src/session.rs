@@ -21,7 +21,7 @@ use crate::fgmres::{fgmres_batch, fgmres_with, FgmresBlockWorkspace, FgmresWorks
 use crate::gmres::{gmres_batch, gmres_with, GmresBlockWorkspace, GmresWorkspace};
 use crate::precond::Preconditioner;
 use crate::solver::{SolveOptions, SolveResult, SolverType};
-use mcmcmi_sparse::Csr;
+use mcmcmi_sparse::{Csr, KernelBackend, SpecializedBackend, Structure};
 use std::collections::BTreeMap;
 
 /// Scalar scratch for the session's solver type.
@@ -54,7 +54,10 @@ enum BlockWs {
 /// matrix traversal and preconditioner application across the batch.
 #[derive(Clone, Debug)]
 pub struct SolveSession<P: Preconditioner> {
-    a: Csr,
+    /// The operator behind the kernel seam: structure is detected once at
+    /// session build, so every matvec in every solve dispatches straight
+    /// to the banded/stencil/generic kernel family.
+    a: SpecializedBackend,
     precond: P,
     solver: SolverType,
     opts: SolveOptions,
@@ -83,7 +86,7 @@ impl<P: Preconditioner> SolveSession<P> {
             SolverType::FCg => ScalarWs::FCg(FcgWorkspace::new()),
         };
         Self {
-            a,
+            a: SpecializedBackend::detect(a),
             precond,
             solver,
             opts,
@@ -94,7 +97,17 @@ impl<P: Preconditioner> SolveSession<P> {
 
     /// The session's matrix.
     pub fn matrix(&self) -> &Csr {
+        self.a.csr()
+    }
+
+    /// The kernel backend the session's matvecs dispatch through.
+    pub fn backend(&self) -> &SpecializedBackend {
         &self.a
+    }
+
+    /// The structure detected for the session's matrix at build time.
+    pub fn structure(&self) -> &Structure {
+        self.a.structure()
     }
 
     /// The session's preconditioner.
@@ -162,7 +175,7 @@ impl<P: Preconditioner> SolveSession<P> {
 
     /// Tear the session apart, recovering the matrix and preconditioner.
     pub fn into_parts(self) -> (Csr, P) {
-        (self.a, self.precond)
+        (self.a.into_csr(), self.precond)
     }
 }
 

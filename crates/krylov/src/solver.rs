@@ -1,7 +1,7 @@
 //! Common solver options, results, and the type-dispatched entry point.
 
 use crate::precond::Preconditioner;
-use mcmcmi_sparse::Csr;
+use mcmcmi_sparse::KernelBackend;
 use serde::{Deserialize, Serialize};
 
 /// The Krylov method to use — the categorical component of the paper's
@@ -106,9 +106,14 @@ impl SolveResult {
     /// recursive or preconditioned residual; callers want the real thing),
     /// writing the residual into caller-owned scratch so workspace-backed
     /// solvers stay allocation-free.
-    pub(crate) fn finalize_with(mut self, a: &Csr, b: &[f64], scratch: &mut Vec<f64>) -> Self {
+    pub(crate) fn finalize_with<A: KernelBackend + ?Sized>(
+        mut self,
+        a: &A,
+        b: &[f64],
+        scratch: &mut Vec<f64>,
+    ) -> Self {
         scratch.resize(b.len(), 0.0);
-        a.spmv_auto(&self.x, scratch);
+        a.spmv(&self.x, scratch);
         for (ri, &bi) in scratch.iter_mut().zip(b) {
             *ri = bi - *ri;
         }
@@ -154,8 +159,8 @@ pub(crate) struct ColOutcome {
 /// residuals of all `k` columns with a single SpMM traversal, replicating
 /// the scalar `finalize` arithmetic per column bit-for-bit, and unpack the
 /// solution block into per-column [`SolveResult`]s.
-pub(crate) fn finalize_columns(
-    a: &Csr,
+pub(crate) fn finalize_columns<A: KernelBackend + ?Sized>(
+    a: &A,
     bb: &[f64],
     xb: &[f64],
     k: usize,
@@ -166,7 +171,7 @@ pub(crate) fn finalize_columns(
     let n = a.nrows();
     debug_assert_eq!(outcomes.len(), k);
     scratch.resize(n * k, 0.0);
-    a.spmm_auto(xb, k, scratch);
+    a.spmm(xb, k, scratch);
     let mut results = Vec::with_capacity(k);
     for (c, o) in outcomes.iter().enumerate() {
         let mut x = vec![0.0; n];
@@ -216,12 +221,15 @@ pub(crate) fn finalize_columns(
     results
 }
 
-/// Solve `Ax = b` with the chosen method and left preconditioner.
+/// Solve `Ax = b` with the chosen method and left preconditioner. `a` is
+/// any [`KernelBackend`] — a bare [`mcmcmi_sparse::Csr`] (generic kernels)
+/// or a [`mcmcmi_sparse::SpecializedBackend`] (structure-dispatched
+/// kernels, bit-identical results).
 ///
 /// # Panics
 /// Panics if dimensions disagree.
-pub fn solve<P: Preconditioner>(
-    a: &Csr,
+pub fn solve<A: KernelBackend + ?Sized, P: Preconditioner>(
+    a: &A,
     b: &[f64],
     precond: &P,
     solver: SolverType,
@@ -255,8 +263,8 @@ pub fn solve<P: Preconditioner>(
 ///
 /// # Panics
 /// Panics if dimensions disagree.
-pub fn solve_batch<P: Preconditioner>(
-    a: &Csr,
+pub fn solve_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
+    a: &A,
     rhs: &[Vec<f64>],
     precond: &P,
     solver: SolverType,

@@ -14,8 +14,10 @@ pub mod suite;
 
 pub use chebyshev::{chebyshev_diff_matrix, chebyshev_points, unsteady_adv_diff, AdvDiffOrder};
 pub use families::{
-    convection_diffusion_2d, fd_laplace_2d, laplace_1d, stretched_climate_operator,
-    ConvectionDiffusionParams,
+    banded_climate_rows, banded_climate_rows_with_structure, convection_diffusion_2d,
+    convection_diffusion_2d_with_structure, fd_laplace_2d, fd_laplace_2d_with_structure,
+    laplace_1d, laplace_1d_with_structure, stretched_climate_operator, ConvectionDiffusionParams,
+    StructureTruth,
 };
 pub use random::{pdd_real_sparse, random_sparse, spd_random};
 pub use suite::{analytic_laplace_cond_2d, PaperMatrix, PaperRow};

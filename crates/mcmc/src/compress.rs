@@ -347,6 +347,38 @@ mod tests {
     }
 
     #[test]
+    fn compression_rediscovers_structure_after_sparsification() {
+        // A tridiagonal inverse polluted by tiny far-off-band couplings: the
+        // raw operator defeats both banded and stencil detection, but the
+        // drop tolerance removes exactly those entries, so the compressed
+        // precond re-detects and dispatches the banded kernels.
+        let n = 24;
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+            if i > 0 {
+                coo.push(i, i - 1, -0.5);
+                coo.push(i - 1, i, -0.5);
+            }
+            if i + 7 < n && i % 3 == 0 {
+                coo.push(i, i + 7, 1e-8);
+            }
+        }
+        let p = coo.to_csr();
+        assert_eq!(
+            mcmcmi_sparse::detect_structure(&p).kernel_name(),
+            "generic-csr"
+        );
+        for policy in [CompressionPolicy::f64(1e-4), CompressionPolicy::f32(1e-4)] {
+            let (c, _) = compress(&p, &policy);
+            assert_eq!(c.kernel_name(), "banded", "{}", policy.precision.name());
+        }
+        // A tolerance that keeps the stray couplings keeps the generic path.
+        let (c, _) = compress(&p, &CompressionPolicy::f64(0.0));
+        assert_eq!(c.kernel_name(), "generic-csr");
+    }
+
+    #[test]
     fn f32_compressed_apply_tracks_f64_apply() {
         let p = sample();
         let (c64, _) = compress(&p, &CompressionPolicy::f64(0.01));

@@ -139,6 +139,14 @@ impl<T: Scalar> Csr<T> {
         &mut self.data[self.indptr[i]..self.indptr[i + 1]]
     }
 
+    /// Values of the contiguous row range `rows` as one slice — the
+    /// stencil run kernels in [`crate::backend`] stream a whole
+    /// equal-width run of rows without per-row `indptr` loads.
+    #[inline]
+    pub(crate) fn rows_values(&self, rows: std::ops::Range<usize>) -> &[T] {
+        &self.data[self.indptr[rows.start]..self.indptr[rows.end]]
+    }
+
     /// Entry accessor (binary search within the row); zero when not stored.
     pub fn get(&self, i: usize, j: usize) -> T {
         let cols = self.row_indices(i);
@@ -187,9 +195,11 @@ impl<T: Scalar> Csr<T> {
 
     /// Serial SpMV over a contiguous row range, writing `y[i - rows.start]`.
     /// The single row kernel shared by [`Csr::spmv`] and [`Csr::spmv_par`] —
-    /// sharing it is what makes the two bit-identical.
+    /// sharing it is what makes the two bit-identical. Crate-visible so the
+    /// structure-specialized backend's generic fallback runs the very same
+    /// kernel (`crate::backend`).
     #[inline]
-    fn spmv_rows(&self, rows: std::ops::Range<usize>, x: &[f64], y: &mut [f64]) {
+    pub(crate) fn spmv_rows(&self, rows: std::ops::Range<usize>, x: &[f64], y: &mut [f64]) {
         let base = rows.start;
         for i in rows {
             let cols = &self.indices[self.indptr[i]..self.indptr[i + 1]];
@@ -343,9 +353,16 @@ impl<T: Scalar> Csr<T> {
     /// Serial SpMM over a contiguous row range, writing block row
     /// `i - rows.start` of `y`. The single block row kernel shared by
     /// [`Csr::spmm`] and [`Csr::spmm_par`] — sharing it is what makes the
-    /// two bit-identical.
+    /// two bit-identical. Crate-visible for the same reason as
+    /// [`Csr::spmv_rows`].
     #[inline]
-    fn spmm_rows(&self, rows: std::ops::Range<usize>, x: &[f64], k: usize, y: &mut [f64]) {
+    pub(crate) fn spmm_rows(
+        &self,
+        rows: std::ops::Range<usize>,
+        x: &[f64],
+        k: usize,
+        y: &mut [f64],
+    ) {
         let base = rows.start;
         for i in rows {
             let cols = &self.indices[self.indptr[i]..self.indptr[i + 1]];
@@ -684,7 +701,7 @@ impl Csr<f64> {
 }
 
 /// Does `ranges` cover `0..n` exactly, in order, with no overlap?
-fn partition_covers(ranges: &[std::ops::Range<usize>], n: usize) -> bool {
+pub(crate) fn partition_covers(ranges: &[std::ops::Range<usize>], n: usize) -> bool {
     let mut next = 0usize;
     for r in ranges {
         if r.start != next || r.end < r.start {
@@ -744,11 +761,29 @@ impl<T: Scalar> Deserialize for Csr<T> {
 /// which is exactly what the `MCMCMI_PAR_THRESHOLD` override is for.
 pub const DEFAULT_PAR_THRESHOLD: usize = 1 << 19;
 
-/// The parallel-dispatch work threshold, read once per process: the
-/// `MCMCMI_PAR_THRESHOLD` env var when set to a positive integer, else
-/// [`DEFAULT_PAR_THRESHOLD`]. Cached in a `OnceLock` because the env scan
-/// is far too slow for per-matvec hot paths.
+/// Process-wide override slot for [`par_threshold`]; `0` means "no
+/// override, use the env-latched value". A relaxed atomic rather than the
+/// `OnceLock` so tests can change the dispatch threshold *after* the env
+/// value has been latched — one relaxed load on the hot path.
+static PAR_THRESHOLD_OVERRIDE: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(0);
+
+/// The parallel-dispatch work threshold: the test override when one is set
+/// (see [`set_par_threshold_for_tests`]), else the `MCMCMI_PAR_THRESHOLD`
+/// env var when set to a positive integer, else [`DEFAULT_PAR_THRESHOLD`].
+/// The env read is cached in a `OnceLock` because the env scan is far too
+/// slow for per-matvec hot paths.
 pub fn par_threshold() -> usize {
+    match PAR_THRESHOLD_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => par_threshold_env(),
+        t => t,
+    }
+}
+
+/// The env-latched (no-override) threshold value; split out so tests can
+/// assert the documented default without racing a concurrently-installed
+/// override.
+fn par_threshold_env() -> usize {
     static THRESHOLD: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *THRESHOLD.get_or_init(|| {
         std::env::var("MCMCMI_PAR_THRESHOLD")
@@ -758,6 +793,27 @@ pub fn par_threshold() -> usize {
             .unwrap_or(DEFAULT_PAR_THRESHOLD)
     })
 }
+
+/// **Test-only.** Override (or with `None`, clear) the parallel-dispatch
+/// threshold for this process, bypassing the `OnceLock`-latched env value.
+/// Exists so threshold-sensitive tests can force the serial or parallel arm
+/// deterministically instead of depending on env-var ordering; it cannot be
+/// `#[cfg(test)]`-gated because downstream crates' test binaries compile
+/// this crate with `cfg(test)` off. Not for production dispatch tuning —
+/// that is what `MCMCMI_PAR_THRESHOLD` is for. The override is process-wide
+/// and visible to every thread; tests that set it must restore `None` (use
+/// a drop guard) and serialize with other threshold-reading tests in the
+/// same binary.
+#[doc(hidden)]
+pub fn set_par_threshold_for_tests(threshold: Option<usize>) {
+    PAR_THRESHOLD_OVERRIDE.store(threshold.unwrap_or(0), std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Serializes this crate's unit tests that read or install the
+/// process-wide threshold override, so they cannot observe each other's
+/// state (unit tests share one process and run on parallel threads).
+#[cfg(test)]
+pub(crate) static THRESHOLD_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 /// 4-wide unrolled sparse dot of one CSR row against a dense f64 vector.
 ///
@@ -1188,6 +1244,7 @@ mod tests {
 
     #[test]
     fn par_threshold_default_documented() {
+        let _guard = THRESHOLD_TEST_LOCK.lock().unwrap();
         // The OnceLock reads the env at most once per process. Only assert
         // the default when no override is present — the README explicitly
         // invites setting MCMCMI_PAR_THRESHOLD, and that must not turn
@@ -1202,6 +1259,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn par_threshold_override_takes_effect_and_clears() {
+        let _guard = THRESHOLD_TEST_LOCK.lock().unwrap();
+        let latched = par_threshold();
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                set_par_threshold_for_tests(None);
+            }
+        }
+        let _restore = Restore;
+        set_par_threshold_for_tests(Some(1));
+        assert_eq!(par_threshold(), 1);
+        // With a 1-work-unit threshold even a tiny matrix elects the
+        // parallel arm (given >1 thread) — the property threshold-sensitive
+        // tests rely on — and stays bit-identical to serial.
+        let a = skewed(40, 3);
+        let x: Vec<f64> = (0..40).map(|i| (i as f64 * 0.51).sin()).collect();
+        let reference = a.spmv_alloc(&x);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert!(pool.install(|| a.par_pays_off(a.nnz())));
+        let mut y = vec![0.0; 40];
+        pool.install(|| a.spmv_auto(&x, &mut y));
+        assert_eq!(y, reference);
+        set_par_threshold_for_tests(None);
+        assert_eq!(par_threshold(), latched, "override must clear");
     }
 
     #[test]

@@ -6,15 +6,19 @@
 //! the structural queries (symmetry, density, diagonal dominance) the
 //! paper's cheap matrix features `x_A` are built from.
 
+pub mod backend;
 pub mod coo;
 pub mod csc;
 pub mod csr;
 pub mod io;
 pub mod ops;
 pub mod scalar;
+pub mod structure;
 
+pub use backend::{KernelBackend, SpecializedBackend};
 pub use coo::Coo;
 pub use csc::Csc;
-pub use csr::{par_threshold, Csr, DEFAULT_PAR_THRESHOLD};
+pub use csr::{par_threshold, set_par_threshold_for_tests, Csr, DEFAULT_PAR_THRESHOLD};
 pub use ops::{csr_add, csr_add_diag, csr_eye, csr_scale};
 pub use scalar::Scalar;
+pub use structure::{detect_structure, StencilMap, Structure, MAX_STENCIL_PATTERNS};
