@@ -15,6 +15,7 @@ fn bench_solvers(c: &mut Criterion) {
         tol: 1e-8,
         max_iter: 2000,
         restart: 50,
+        ..Default::default()
     };
     let mut group = c.benchmark_group("krylov");
     for solver in [SolverType::Gmres, SolverType::BiCgStab, SolverType::Cg] {

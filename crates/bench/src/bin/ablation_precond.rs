@@ -12,6 +12,7 @@ fn main() {
         tol: 1e-8,
         max_iter: 2000,
         restart: 50,
+        ..Default::default()
     };
     let params = McmcParams::new(0.5, 0.0625, 0.0625);
     println!("Ablation A1 — GMRES iterations by preconditioner (MCMC at α=0.5, ε=δ=1/16)");

@@ -12,6 +12,7 @@ fn main() {
         tol: 1e-8,
         max_iter: 2000,
         restart: 50,
+        ..Default::default()
     };
     println!("Ablation A2 — classic vs regenerative MCMC inversion (GMRES iterations)");
     println!(

@@ -19,7 +19,10 @@ struct StrategySummary {
 }
 
 fn summarise(name: &str, records: &[DatasetRecord]) -> StrategySummary {
-    let medians: Vec<f64> = records.iter().map(|r| median(&r.ys)).collect();
+    let medians: Vec<f64> = records
+        .iter()
+        .map(|r| median(&r.ys).unwrap_or(f64::INFINITY))
+        .collect();
     let best_idx = medians
         .iter()
         .enumerate()
@@ -30,9 +33,9 @@ fn summarise(name: &str, records: &[DatasetRecord]) -> StrategySummary {
     StrategySummary {
         name: name.to_string(),
         evaluations: records.len(),
-        box_stats: BoxStats::from_data(&medians),
+        box_stats: BoxStats::from_data(&medians).expect("finite medians"),
         best_params: best.params.as_vec(),
-        best_median: median(&best.ys),
+        best_median: median(&best.ys).unwrap_or(f64::INFINITY),
         best_observations: best.ys.clone(),
     }
 }

@@ -203,6 +203,7 @@ fn main() {
                 tol: 1e-6,
                 max_iter: 4000,
                 restart: 300,
+                ..Default::default()
             },
             seed: 0,
         };
@@ -254,6 +255,7 @@ fn main() {
                 tol: 1e-6,
                 max_iter: 4000,
                 restart: 300,
+                ..Default::default()
             },
             2,
             6,
@@ -265,6 +267,7 @@ fn main() {
                 tol: 1e-8,
                 max_iter: 2000,
                 restart: 150,
+                ..Default::default()
             },
             8,
             10,
@@ -276,6 +279,7 @@ fn main() {
                 tol: 1e-8,
                 max_iter: 2000,
                 restart: 150,
+                ..Default::default()
             },
             8,
             10,

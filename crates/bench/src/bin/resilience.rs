@@ -1,0 +1,158 @@
+//! **Resilience record** — the PR-7 recovery ladder under deterministic
+//! fault injection: a NaN dropped into a mid-solve SpMV on a Table-1
+//! operator must end in a converged solve with a non-empty
+//! `RecoveryTrail`, and the whole episode must be bit-identical at any
+//! thread count.
+//!
+//! Writes `runs/resilience/resilience.json` with one record per scenario.
+//!
+//! `--smoke`: CI mode — asserts (a) the fault-injected solve recovers via
+//! the ladder, (b) the `RecoveryTrail` and the recovered solution are
+//! bit-identical on 1- and 8-thread Rayon pools, (c) a fault-free
+//! `solve_resilient` is bit-identical to the plain `solve` with an empty
+//! trail. No timing, no file writes.
+
+use mcmcmi_bench::{write_json, RunDir};
+use mcmcmi_krylov::{
+    solve, solve_resilient, IdentityPrecond, RecoveryContext, RecoveryPolicy, ResilientResult,
+    SolveOptions, SolverType,
+};
+use mcmcmi_matgen::fd_laplace_2d;
+use mcmcmi_sparse::{Csr, FaultSpec, FaultyBackend};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ScenarioRecord {
+    scenario: String,
+    trigger: Option<String>,
+    steps: Vec<String>,
+    recovered: bool,
+    converged: bool,
+    iterations: usize,
+    rel_residual: f64,
+}
+
+fn record(scenario: &str, res: &ResilientResult) -> ScenarioRecord {
+    ScenarioRecord {
+        scenario: scenario.to_string(),
+        trigger: res
+            .trail
+            .steps
+            .first()
+            .map(|s| s.trigger.label().to_string()),
+        steps: res
+            .trail
+            .steps
+            .iter()
+            .map(|s| s.step.label().to_string())
+            .collect(),
+        recovered: res.trail.recovered,
+        converged: res.result.converged,
+        iterations: res.result.iterations,
+        rel_residual: res.result.rel_residual,
+    }
+}
+
+fn rhs(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 * 0.37).sin() + 0.2).collect()
+}
+
+/// The headline scenario: NaN injected into SpMV call 4 on the 2-D FD
+/// Laplacian, default policy, no compression context — the flexible-swap
+/// rung re-solves past the transient fault.
+fn faulted_solve(a: &Csr, threads: usize) -> ResilientResult {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("rayon pool");
+    let b = rhs(a.nrows());
+    let n = a.nrows();
+    // Fresh wrapper per run: the call-count clock restarts from zero.
+    let faulty = FaultyBackend::new(a.clone(), vec![FaultSpec::nan(4, 7)]);
+    pool.install(|| {
+        solve_resilient(
+            &faulty,
+            &b,
+            &IdentityPrecond::new(n),
+            SolverType::Cg,
+            SolveOptions::default(),
+            &RecoveryPolicy::default(),
+            RecoveryContext::none(),
+        )
+    })
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let a = fd_laplace_2d(10);
+    let n = a.nrows();
+    let b = rhs(n);
+
+    // (a) The fault-injected solve recovers via the ladder.
+    let reference = faulted_solve(&a, 1);
+    assert!(
+        reference.result.converged,
+        "ladder must recover the faulted solve: {:?}",
+        reference.result.outcome
+    );
+    assert!(
+        !reference.trail.is_clean() && reference.trail.recovered,
+        "recovery must leave a trail"
+    );
+    println!(
+        "faulted solve recovers: trigger={}, trail=[{}]",
+        reference.trail.steps[0].trigger.label(),
+        reference.trail.summary()
+    );
+
+    // (b) Trail + solution bit-identical across thread counts.
+    for threads in [2usize, 8] {
+        let got = faulted_solve(&a, threads);
+        assert_eq!(
+            got.trail, reference.trail,
+            "trail must be bit-identical at {threads} threads"
+        );
+        assert_eq!(
+            got.result.x, reference.result.x,
+            "recovered solution must be bit-identical at {threads} threads"
+        );
+    }
+    println!("trail + solution bit-identical on 1/2/8-thread pools");
+
+    // (c) Fault-free resilient solve ≡ plain solve, empty trail.
+    let plain = solve(
+        &a,
+        &b,
+        &IdentityPrecond::new(n),
+        SolverType::Cg,
+        SolveOptions::default(),
+    );
+    let clean = solve_resilient(
+        &a,
+        &b,
+        &IdentityPrecond::new(n),
+        SolverType::Cg,
+        SolveOptions::default(),
+        &RecoveryPolicy::default(),
+        RecoveryContext::none(),
+    );
+    assert!(clean.trail.is_clean(), "clean solve must not escalate");
+    assert_eq!(
+        clean.result.x, plain.x,
+        "clean resilient solve must match plain solve bit-for-bit"
+    );
+    println!("fault-free solve_resilient ≡ solve, empty trail");
+
+    if smoke {
+        println!("smoke ok");
+        return;
+    }
+
+    let records = vec![
+        record("nan_spmv_call4_laplace2d_h10", &reference),
+        record("fault_free_laplace2d_h10", &clean),
+    ];
+    let rd = RunDir::new("resilience").expect("runs dir");
+    write_json(&rd.path("resilience.json"), &records).expect("write json");
+    println!("wrote {}", rd.path("resilience.json").display());
+}

@@ -37,6 +37,7 @@ fn kappa_sparse(a: &Csr) -> Option<f64> {
         tol: 1e-8,
         max_iter: 4000,
         restart: 100,
+        ..Default::default()
     };
     let solve_a = |b: &[f64]| {
         let r = solve(a, b, &ilu, SolverType::Gmres, opts);

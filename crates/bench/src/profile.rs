@@ -57,6 +57,7 @@ impl Profile {
                     tol: 1e-8,
                     max_iter: 2000,
                     restart: 300,
+                    ..Default::default()
                 },
                 ..Default::default()
             },
@@ -97,6 +98,7 @@ impl Profile {
                     tol: 1e-8,
                     max_iter: 4000,
                     restart: 300,
+                    ..Default::default()
                 },
                 ..Default::default()
             },

@@ -50,8 +50,8 @@ use mcmcmi_krylov::{
     TunedParts,
 };
 use mcmcmi_mcmc::{
-    BuildConfig, CompressionPolicy, CompressionReport, McmcInverse, McmcParams, SafeguardConfig,
-    StoragePrecision,
+    BuildAttempt, BuildConfig, CompressionPolicy, CompressionReport, McmcInverse, McmcParams,
+    SafeguardConfig, StoragePrecision,
 };
 use mcmcmi_sparse::{Csr, SpecializedBackend};
 use serde::{Deserialize, Serialize};
@@ -110,6 +110,11 @@ pub struct TrialRecord {
     /// Deterministic byte-cost score at the relaxed fidelity (lower is
     /// better).
     pub score: f64,
+    /// The safeguard's full α-backoff trail for this trial — for rejected
+    /// builds this is *why* the trial failed (every α tried and its
+    /// ρ-estimate), not just that it scored badly.
+    #[serde(default)]
+    pub attempts: Vec<BuildAttempt>,
 }
 
 /// Diagnostics of a finished tuning run (everything except the
@@ -397,6 +402,7 @@ impl AutoTuner {
                         // More divergent ⇒ worse, so the sampler still
                         // gets a gradient out of failed builds.
                         score: divergent_penalty * (1.0 + last.rho_estimate.min(1e3)),
+                        attempts: attempts.clone(),
                     }
                 }
                 Ok(guarded) => {
@@ -424,6 +430,7 @@ impl AutoTuner {
                         probe_iters: iters,
                         nnz_kept: report.nnz_kept,
                         score,
+                        attempts: guarded.attempts.clone(),
                     };
                     if converged {
                         candidates.push(Candidate {
@@ -653,6 +660,15 @@ mod tests {
             .trials
             .iter()
             .any(|t| t.effective_alpha.unwrap_or(0.0) > t.requested.alpha));
+        // The backoff trail rides along in each trial record: a backed-off
+        // build shows every α it burned, with the rejected ones first.
+        let backed = report
+            .trials
+            .iter()
+            .find(|t| t.effective_alpha.unwrap_or(0.0) > t.requested.alpha)
+            .unwrap();
+        assert!(backed.attempts.len() > 1, "backoff must record each α");
+        assert!(backed.attempts.windows(2).all(|w| w[0].alpha < w[1].alpha));
         let b: Vec<f64> = (0..48).map(|i| (i as f64 * 0.4).cos()).collect();
         assert!(session.solve(&b).converged);
     }

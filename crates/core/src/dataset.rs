@@ -188,6 +188,7 @@ mod tests {
                 tol: 1e-6,
                 max_iter: 300,
                 restart: 30,
+                ..Default::default()
             },
             ..Default::default()
         })

@@ -25,6 +25,7 @@ impl Default for MeasureConfig {
                 tol: 1e-8,
                 max_iter: 2000,
                 restart: 50,
+                ..Default::default()
             },
             build: BuildConfig::default(),
             y_cap: 5.0,
@@ -287,6 +288,7 @@ mod tests {
                 tol: 1e-8,
                 max_iter: 500,
                 restart: 200,
+                ..Default::default()
             },
             ..Default::default()
         });

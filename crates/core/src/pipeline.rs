@@ -280,7 +280,7 @@ impl Recommender {
                 cfg.seed.wrapping_add(77_000 + ci as u64 * 131),
             );
             let ys: Vec<f64> = ms.iter().map(|m| m.y).collect();
-            let med = mcmcmi_stats::median(&ys);
+            let med = mcmcmi_stats::median(&ys).unwrap_or(f64::INFINITY);
             if best.as_ref().is_none_or(|(_, b)| med < *b) {
                 best = Some((params, med));
             }
@@ -328,6 +328,7 @@ mod tests {
                 tol: 1e-6,
                 max_iter: 300,
                 restart: 30,
+                ..Default::default()
             },
             ..Default::default()
         })

@@ -21,6 +21,7 @@ fn small_recommender(matrices: &[(String, Csr, bool)]) -> Recommender {
             tol: 1e-6,
             max_iter: 200,
             restart: 25,
+            ..Default::default()
         },
         ..Default::default()
     });

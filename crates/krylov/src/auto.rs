@@ -50,6 +50,7 @@ impl Default for TuneBudget {
                 tol: 1e-6,
                 max_iter: 1500,
                 restart: 100,
+                ..Default::default()
             },
             seed: 0,
         }
@@ -66,6 +67,7 @@ impl TuneBudget {
                 tol: 1e-6,
                 max_iter: 800,
                 restart: 100,
+                ..Default::default()
             },
             seed,
         }

@@ -2,7 +2,10 @@
 //! workspace, and the lockstep batched (multi-RHS) driver.
 
 use crate::precond::Preconditioner;
-use crate::solver::{ColEnd, ColOutcome, SolveOptions, SolveResult};
+use crate::solver::{
+    wrap_scalar, BreakdownKind, ColEnd, ColOutcome, SolveFailure, SolveOptions, SolveResult,
+};
+use crate::watchdog::Watchdog;
 use mcmcmi_dense::{
     axpy, axpy_cols_masked, dot, dot_cols_masked, norm2, norm2_col, norm2_cols_masked, scatter_col,
 };
@@ -39,7 +42,7 @@ impl BiCgStabWorkspace {
 /// Breakdown (`ρ → 0` or `ω → 0`) is flagged rather than panicking, because
 /// divergent MCMC preconditioners are *expected* inputs in the paper's
 /// dataset (near-zero α rows).
-pub fn bicgstab<A: KernelBackend + ?Sized, P: Preconditioner>(
+pub fn bicgstab<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
     a: &A,
     b: &[f64],
     precond: &P,
@@ -50,7 +53,7 @@ pub fn bicgstab<A: KernelBackend + ?Sized, P: Preconditioner>(
 
 /// [`bicgstab`] with caller-owned scratch ([`BiCgStabWorkspace`]) —
 /// identical results, zero per-call allocation of the iteration vectors.
-pub fn bicgstab_with<A: KernelBackend + ?Sized, P: Preconditioner>(
+pub fn bicgstab_with<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
     a: &A,
     b: &[f64],
     precond: &P,
@@ -66,14 +69,21 @@ pub fn bicgstab_with<A: KernelBackend + ?Sized, P: Preconditioner>(
     precond.apply(b, &mut ws.pb);
     let pb_norm = norm2(&ws.pb);
     if pb_norm == 0.0 || !pb_norm.is_finite() {
-        let res = SolveResult {
+        let failure = (!pb_norm.is_finite()).then(|| SolveFailure::NonFinite {
+            what: "preconditioned rhs".to_string(),
+        });
+        return wrap_scalar(
+            a,
+            b,
             x,
-            converged: pb_norm == 0.0,
-            iterations: 0,
-            rel_residual: 0.0,
-            breakdown: !pb_norm.is_finite(),
-        };
-        return res.finalize_with(a, b, &mut ws.fin);
+            0,
+            failure,
+            opts.tol,
+            ColEnd::Preset {
+                converged: pb_norm == 0.0,
+            },
+            &mut ws.fin,
+        );
     }
 
     ws.r.clear();
@@ -89,13 +99,23 @@ pub fn bicgstab_with<A: KernelBackend + ?Sized, P: Preconditioner>(
     let mut alpha = 1.0f64;
     let mut omega = 1.0f64;
     let mut iters = 0usize;
-    let mut breakdown = false;
+    let mut failure: Option<SolveFailure> = None;
+    let mut wd = Watchdog::new(opts.watchdog);
 
     while iters < opts.max_iter {
         iters += 1;
         let rho_new = dot(&ws.r_hat, &ws.r);
         if rho_new.abs() < 1e-300 || !rho_new.is_finite() {
-            breakdown = true;
+            failure = Some(if !rho_new.is_finite() {
+                SolveFailure::NonFinite {
+                    what: "ρ".to_string(),
+                }
+            } else {
+                SolveFailure::Breakdown {
+                    kind: BreakdownKind::RhoZero,
+                    iteration: iters,
+                }
+            });
             break;
         }
         if iters == 1 {
@@ -103,7 +123,9 @@ pub fn bicgstab_with<A: KernelBackend + ?Sized, P: Preconditioner>(
         } else {
             let beta = (rho_new / rho) * (alpha / omega);
             if !beta.is_finite() {
-                breakdown = true;
+                failure = Some(SolveFailure::NonFinite {
+                    what: "β".to_string(),
+                });
                 break;
             }
             // p = r + beta (p − omega v)
@@ -117,7 +139,16 @@ pub fn bicgstab_with<A: KernelBackend + ?Sized, P: Preconditioner>(
         precond.apply(&ws.tmp, &mut ws.v);
         let rhv = dot(&ws.r_hat, &ws.v);
         if rhv.abs() < 1e-300 || !rhv.is_finite() {
-            breakdown = true;
+            failure = Some(if !rhv.is_finite() {
+                SolveFailure::NonFinite {
+                    what: "⟨r̂, v⟩".to_string(),
+                }
+            } else {
+                SolveFailure::Breakdown {
+                    kind: BreakdownKind::RhatVZero,
+                    iteration: iters,
+                }
+            });
             break;
         }
         alpha = rho / rhv;
@@ -134,12 +165,30 @@ pub fn bicgstab_with<A: KernelBackend + ?Sized, P: Preconditioner>(
         precond.apply(&ws.tmp, &mut ws.t);
         let tt = dot(&ws.t, &ws.t);
         if tt.abs() < 1e-300 || !tt.is_finite() {
-            breakdown = true;
+            failure = Some(if !tt.is_finite() {
+                SolveFailure::NonFinite {
+                    what: "⟨t, t⟩".to_string(),
+                }
+            } else {
+                SolveFailure::Breakdown {
+                    kind: BreakdownKind::OmegaZero,
+                    iteration: iters,
+                }
+            });
             break;
         }
         omega = dot(&ws.t, &ws.s) / tt;
         if omega.abs() < 1e-300 || !omega.is_finite() {
-            breakdown = true;
+            failure = Some(if !omega.is_finite() {
+                SolveFailure::NonFinite {
+                    what: "ω".to_string(),
+                }
+            } else {
+                SolveFailure::Breakdown {
+                    kind: BreakdownKind::OmegaZero,
+                    iteration: iters,
+                }
+            });
             break;
         }
         // x += alpha p + omega s
@@ -149,27 +198,32 @@ pub fn bicgstab_with<A: KernelBackend + ?Sized, P: Preconditioner>(
         for ((ri, &si), &ti) in ws.r.iter_mut().zip(&ws.s).zip(&ws.t) {
             *ri = si - omega * ti;
         }
-        if norm2(&ws.r) <= opts.tol * pb_norm {
+        let rnorm = norm2(&ws.r);
+        if rnorm <= opts.tol * pb_norm {
             break;
         }
-        if !norm2(&ws.r).is_finite() {
-            breakdown = true;
+        if !rnorm.is_finite() {
+            failure = Some(SolveFailure::NonFinite {
+                what: "residual norm".to_string(),
+            });
+            break;
+        }
+        if let Some(f) = wd.observe(rnorm) {
+            failure = Some(f);
             break;
         }
     }
 
-    let result = SolveResult {
+    wrap_scalar(
+        a,
+        b,
         x,
-        converged: false,
-        iterations: iters,
-        rel_residual: f64::INFINITY,
-        breakdown,
-    }
-    .finalize_with(a, b, &mut ws.fin);
-    SolveResult {
-        converged: !result.breakdown && result.rel_residual <= opts.tol * 10.0,
-        ..result
-    }
+        iters,
+        failure,
+        opts.tol,
+        ColEnd::Wrapped,
+        &mut ws.fin,
+    )
 }
 
 /// Block workspace for [`bicgstab_batch`]: row-major `n×k` blocks reused
@@ -204,7 +258,7 @@ impl BiCgStabBlockWorkspace {
 ///
 /// # Panics
 /// Panics if `A` is not square or any rhs has the wrong length.
-pub fn bicgstab_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
+pub fn bicgstab_batch<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
     a: &A,
     rhs: &[Vec<f64>],
     precond: &P,
@@ -242,7 +296,7 @@ pub fn bicgstab_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
     let mut outcome = vec![
         ColOutcome {
             iterations: 0,
-            breakdown: false,
+            failure: None,
             end: ColEnd::Wrapped,
         };
         k
@@ -254,7 +308,9 @@ pub fn bicgstab_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
             // Scalar early return: keeps its preset `converged`, still
             // measures the true residual.
             active[c] = false;
-            outcome[c].breakdown = !pb_norm[c].is_finite();
+            outcome[c].failure = (!pb_norm[c].is_finite()).then(|| SolveFailure::NonFinite {
+                what: "preconditioned rhs".to_string(),
+            });
             outcome[c].end = ColEnd::Preset {
                 converged: pb_norm[c] == 0.0,
             };
@@ -287,6 +343,9 @@ pub fn bicgstab_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
     let mut copy_p = vec![false; k];
     let mut recur_p = vec![false; k];
     let mut early_exit = vec![false; k];
+    // Per-column watchdogs: same observations, same order as the scalar
+    // driver, so lockstep columns trip (or don't) identically.
+    let mut wds: Vec<Watchdog> = (0..k).map(|_| Watchdog::new(opts.watchdog)).collect();
 
     while active.iter().any(|&a| a) {
         // Scalar loop condition: `while iters < max_iter`.
@@ -313,7 +372,16 @@ pub fn bicgstab_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
             }
             iters[c] += 1;
             if rho_new[c].abs() < 1e-300 || !rho_new[c].is_finite() {
-                outcome[c].breakdown = true;
+                outcome[c].failure = Some(if !rho_new[c].is_finite() {
+                    SolveFailure::NonFinite {
+                        what: "ρ".to_string(),
+                    }
+                } else {
+                    SolveFailure::Breakdown {
+                        kind: BreakdownKind::RhoZero,
+                        iteration: iters[c],
+                    }
+                });
                 outcome[c].iterations = iters[c];
                 active[c] = false;
                 continue;
@@ -323,7 +391,9 @@ pub fn bicgstab_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
             } else {
                 beta[c] = (rho_new[c] / rho[c]) * (alpha[c] / omega[c]);
                 if !beta[c].is_finite() {
-                    outcome[c].breakdown = true;
+                    outcome[c].failure = Some(SolveFailure::NonFinite {
+                        what: "β".to_string(),
+                    });
                     outcome[c].iterations = iters[c];
                     active[c] = false;
                     continue;
@@ -377,7 +447,16 @@ pub fn bicgstab_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
                 continue;
             }
             if rhv[c].abs() < 1e-300 || !rhv[c].is_finite() {
-                outcome[c].breakdown = true;
+                outcome[c].failure = Some(if !rhv[c].is_finite() {
+                    SolveFailure::NonFinite {
+                        what: "⟨r̂, v⟩".to_string(),
+                    }
+                } else {
+                    SolveFailure::Breakdown {
+                        kind: BreakdownKind::RhatVZero,
+                        iteration: iters[c],
+                    }
+                });
                 outcome[c].iterations = iters[c];
                 active[c] = false;
                 in_round[c] = false;
@@ -440,7 +519,16 @@ pub fn bicgstab_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
                 continue;
             }
             if tt[c].abs() < 1e-300 || !tt[c].is_finite() {
-                outcome[c].breakdown = true;
+                outcome[c].failure = Some(if !tt[c].is_finite() {
+                    SolveFailure::NonFinite {
+                        what: "⟨t, t⟩".to_string(),
+                    }
+                } else {
+                    SolveFailure::Breakdown {
+                        kind: BreakdownKind::OmegaZero,
+                        iteration: iters[c],
+                    }
+                });
                 outcome[c].iterations = iters[c];
                 active[c] = false;
                 in_round[c] = false;
@@ -448,7 +536,16 @@ pub fn bicgstab_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
             }
             omega[c] = ts[c] / tt[c];
             if omega[c].abs() < 1e-300 || !omega[c].is_finite() {
-                outcome[c].breakdown = true;
+                outcome[c].failure = Some(if !omega[c].is_finite() {
+                    SolveFailure::NonFinite {
+                        what: "ω".to_string(),
+                    }
+                } else {
+                    SolveFailure::Breakdown {
+                        kind: BreakdownKind::OmegaZero,
+                        iteration: iters[c],
+                    }
+                });
                 outcome[c].iterations = iters[c];
                 active[c] = false;
                 in_round[c] = false;
@@ -495,7 +592,15 @@ pub fn bicgstab_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
                 continue;
             }
             if !rnorm[c].is_finite() {
-                outcome[c].breakdown = true;
+                outcome[c].failure = Some(SolveFailure::NonFinite {
+                    what: "residual norm".to_string(),
+                });
+                outcome[c].iterations = iters[c];
+                active[c] = false;
+                continue;
+            }
+            if let Some(f) = wds[c].observe(rnorm[c]) {
+                outcome[c].failure = Some(f);
                 outcome[c].iterations = iters[c];
                 active[c] = false;
                 continue;

@@ -14,7 +14,7 @@
 
 use crate::cg::cg;
 use crate::precond::Preconditioner;
-use crate::solver::{SolveOptions, SolveResult};
+use crate::solver::{classify, ColEnd, SolveFailure, SolveOptions, SolveResult};
 use mcmcmi_dense::{norm2_col, scatter_col, Lu, Mat};
 use mcmcmi_sparse::KernelBackend;
 
@@ -124,7 +124,7 @@ fn block_axpy(coeff: &Mat, x: &[f64], y: &mut [f64], k: usize, sign: f64) {
 ///
 /// # Panics
 /// Panics if `A` is not square or any rhs has the wrong length.
-pub fn block_cg<A: KernelBackend + ?Sized, P: Preconditioner>(
+pub fn block_cg<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
     a: &A,
     rhs: &[Vec<f64>],
     precond: &P,
@@ -147,7 +147,7 @@ pub fn block_cg<A: KernelBackend + ?Sized, P: Preconditioner>(
     let mut act: Vec<usize> = (0..k_orig).filter(|&c| b_norm_orig[c] > 0.0).collect();
     let mut x_final: Vec<Vec<f64>> = vec![vec![0.0; n]; k_orig];
     let mut conv_at = vec![0usize; k_orig]; // block step at first convergence
-    let mut col_breakdown = vec![false; k_orig];
+    let mut col_failure: Vec<Option<SolveFailure>> = vec![None; k_orig];
     let mut converged = vec![false; k_orig];
     for c in 0..k_orig {
         converged[c] = b_norm_orig[c] == 0.0;
@@ -252,13 +252,15 @@ pub fn block_cg<A: KernelBackend + ?Sized, P: Preconditioner>(
             let sub_opts = SolveOptions {
                 tol: (opts.tol * b_norm_orig[orig] / rn).min(0.5),
                 max_iter: opts.max_iter.saturating_sub(steps).max(1),
-                restart: opts.restart,
+                ..opts
             };
             let sub = cg(a, &r, precond, sub_opts);
             for (xi, di) in x_final[orig].iter_mut().zip(&sub.x) {
                 *xi += di;
             }
-            col_breakdown[orig] = sub.breakdown;
+            if sub.breakdown {
+                col_failure[orig] = sub.failure().cloned();
+            }
             converged[orig] = sub.converged;
             conv_at[orig] = steps + sub.iterations;
             final_steps[orig] = steps + sub.iterations;
@@ -283,18 +285,19 @@ pub fn block_cg<A: KernelBackend + ?Sized, P: Preconditioner>(
             } else {
                 rn
             };
-            let broke = col_breakdown[c] || !rel.is_finite();
-            SolveResult {
-                x: std::mem::take(&mut x_final[c]),
-                converged: !broke && rel <= opts.tol * 10.0,
-                iterations: if converged[c] {
-                    conv_at[c]
-                } else {
-                    final_steps[c]
-                },
-                rel_residual: rel,
-                breakdown: broke,
-            }
+            let iterations = if converged[c] {
+                conv_at[c]
+            } else {
+                final_steps[c]
+            };
+            classify(
+                std::mem::take(&mut x_final[c]),
+                iterations,
+                rel,
+                col_failure[c].take(),
+                opts.tol,
+                ColEnd::Wrapped,
+            )
         })
         .collect()
 }

@@ -2,7 +2,11 @@
 //! reusable workspace, and the lockstep batched (multi-RHS) driver.
 
 use crate::precond::Preconditioner;
-use crate::solver::{ColEnd, ColOutcome, SolveOptions, SolveResult};
+use crate::solver::{
+    wrap_scalar, BreakdownKind, ColEnd, ColOutcome, ConvergedWithin, SolveFailure, SolveOptions,
+    SolveOutcome, SolveResult,
+};
+use crate::watchdog::Watchdog;
 use mcmcmi_dense::{
     axpy, axpy_cols_masked, dot, dot_cols_masked, norm2, norm2_col, norm2_cols_masked, scatter_col,
 };
@@ -33,7 +37,7 @@ impl CgWorkspace {
 /// inverse (generally nonsymmetric) callers should pass the symmetrised
 /// form ([`crate::precond::SparsePrecond::symmetrized`]), matching the
 /// paper's use of CG on the SPD Laplace family.
-pub fn cg<A: KernelBackend + ?Sized, P: Preconditioner>(
+pub fn cg<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
     a: &A,
     b: &[f64],
     precond: &P,
@@ -44,7 +48,7 @@ pub fn cg<A: KernelBackend + ?Sized, P: Preconditioner>(
 
 /// [`cg`] with caller-owned scratch ([`CgWorkspace`]) — identical results,
 /// zero per-call allocation of the iteration vectors.
-pub fn cg_with<A: KernelBackend + ?Sized, P: Preconditioner>(
+pub fn cg_with<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
     a: &A,
     b: &[f64],
     precond: &P,
@@ -61,6 +65,7 @@ pub fn cg_with<A: KernelBackend + ?Sized, P: Preconditioner>(
             iterations: 0,
             rel_residual: 0.0,
             breakdown: false,
+            outcome: SolveOutcome::Converged(ConvergedWithin::Tol),
         };
     }
 
@@ -75,26 +80,43 @@ pub fn cg_with<A: KernelBackend + ?Sized, P: Preconditioner>(
     ws.ap.clear();
     ws.ap.resize(n, 0.0);
     let mut iters = 0usize;
-    let mut breakdown = false;
+    let mut failure: Option<SolveFailure> = None;
+    let mut wd = Watchdog::new(opts.watchdog);
 
     while iters < opts.max_iter {
         iters += 1;
         a.spmv(&ws.p, &mut ws.ap);
         let pap = dot(&ws.p, &ws.ap);
-        if pap.abs() < 1e-300 || !pap.is_finite() {
-            breakdown = true;
+        if !pap.is_finite() {
+            failure = Some(SolveFailure::NonFinite {
+                what: "pᵀAp".to_string(),
+            });
+            break;
+        }
+        if pap.abs() < 1e-300 {
+            failure = Some(SolveFailure::Breakdown {
+                kind: BreakdownKind::ZeroCurvature,
+                iteration: iters,
+            });
             break;
         }
         let alpha = rz / pap;
         axpy(alpha, &ws.p, &mut x);
         axpy(-alpha, &ws.ap, &mut ws.r);
-        if norm2(&ws.r) <= opts.tol * b_norm {
+        let rnorm = norm2(&ws.r);
+        if rnorm <= opts.tol * b_norm {
+            break;
+        }
+        if let Some(f) = wd.observe(rnorm) {
+            failure = Some(f);
             break;
         }
         precond.apply(&ws.r, &mut ws.z);
         let rz_new = dot(&ws.r, &ws.z);
         if !rz_new.is_finite() {
-            breakdown = true;
+            failure = Some(SolveFailure::NonFinite {
+                what: "⟨r, z⟩".to_string(),
+            });
             break;
         }
         let beta = rz_new / rz;
@@ -105,18 +127,16 @@ pub fn cg_with<A: KernelBackend + ?Sized, P: Preconditioner>(
         }
     }
 
-    let result = SolveResult {
+    wrap_scalar(
+        a,
+        b,
         x,
-        converged: false,
-        iterations: iters,
-        rel_residual: f64::INFINITY,
-        breakdown,
-    }
-    .finalize_with(a, b, &mut ws.fin);
-    SolveResult {
-        converged: !result.breakdown && result.rel_residual <= opts.tol * 10.0,
-        ..result
-    }
+        iters,
+        failure,
+        opts.tol,
+        ColEnd::Wrapped,
+        &mut ws.fin,
+    )
 }
 
 /// Block workspace for [`cg_batch`]: row-major `n×k` blocks reused across
@@ -149,7 +169,7 @@ impl CgBlockWorkspace {
 ///
 /// # Panics
 /// Panics if `A` is not square or any rhs has the wrong length.
-pub fn cg_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
+pub fn cg_batch<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
     a: &A,
     rhs: &[Vec<f64>],
     precond: &P,
@@ -179,7 +199,7 @@ pub fn cg_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
     let mut outcome = vec![
         ColOutcome {
             iterations: 0,
-            breakdown: false,
+            failure: None,
             end: ColEnd::Wrapped,
         };
         k
@@ -218,6 +238,9 @@ pub fn cg_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
     let mut beta = vec![0.0f64; k];
     let mut updating = vec![false; k];
     let mut continuing = vec![false; k];
+    // Per-column watchdogs: same observations, same order as the scalar
+    // driver, so lockstep columns trip (or don't) identically.
+    let mut wds: Vec<Watchdog> = (0..k).map(|_| Watchdog::new(opts.watchdog)).collect();
 
     let mut iters = vec![0usize; k];
     while active.iter().any(|&a| a) {
@@ -243,7 +266,16 @@ pub fn cg_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
             }
             iters[c] += 1;
             if pap[c].abs() < 1e-300 || !pap[c].is_finite() {
-                outcome[c].breakdown = true;
+                outcome[c].failure = Some(if !pap[c].is_finite() {
+                    SolveFailure::NonFinite {
+                        what: "pᵀAp".to_string(),
+                    }
+                } else {
+                    SolveFailure::Breakdown {
+                        kind: BreakdownKind::ZeroCurvature,
+                        iteration: iters[c],
+                    }
+                });
                 outcome[c].iterations = iters[c];
                 active[c] = false;
                 continue;
@@ -266,6 +298,12 @@ pub fn cg_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
                 active[c] = false;
                 continue;
             }
+            if let Some(f) = wds[c].observe(rnorm[c]) {
+                outcome[c].failure = Some(f);
+                outcome[c].iterations = iters[c];
+                active[c] = false;
+                continue;
+            }
             continuing[c] = true;
             any_continuing = true;
         }
@@ -280,7 +318,9 @@ pub fn cg_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
                 continue;
             }
             if !rz_new[c].is_finite() {
-                outcome[c].breakdown = true;
+                outcome[c].failure = Some(SolveFailure::NonFinite {
+                    what: "⟨r, z⟩".to_string(),
+                });
                 outcome[c].iterations = iters[c];
                 active[c] = false;
                 continuing[c] = false;

@@ -16,7 +16,11 @@
 //! vectors already in cache, no extra n-vector.
 
 use crate::precond::Preconditioner;
-use crate::solver::{ColEnd, ColOutcome, SolveOptions, SolveResult};
+use crate::solver::{
+    wrap_scalar, BreakdownKind, ColEnd, ColOutcome, ConvergedWithin, SolveFailure, SolveOptions,
+    SolveOutcome, SolveResult,
+};
+use crate::watchdog::Watchdog;
 use mcmcmi_dense::{
     axpy, axpy_cols_masked, dot, dot_cols_masked, norm2, norm2_col, norm2_cols_masked, scatter_col,
 };
@@ -46,7 +50,7 @@ impl FcgWorkspace {
 /// Unlike [`crate::cg`], the preconditioner need not be applied exactly or
 /// symmetrically — compressed MCMC inverses can be passed raw, without the
 /// `symmetrized()` copy classical CG needs.
-pub fn fcg<A: KernelBackend + ?Sized, P: Preconditioner>(
+pub fn fcg<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
     a: &A,
     b: &[f64],
     precond: &P,
@@ -57,7 +61,7 @@ pub fn fcg<A: KernelBackend + ?Sized, P: Preconditioner>(
 
 /// [`fcg`] with caller-owned scratch ([`FcgWorkspace`]) — identical
 /// results, zero per-call allocation of the iteration vectors.
-pub fn fcg_with<A: KernelBackend + ?Sized, P: Preconditioner>(
+pub fn fcg_with<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
     a: &A,
     b: &[f64],
     precond: &P,
@@ -74,6 +78,7 @@ pub fn fcg_with<A: KernelBackend + ?Sized, P: Preconditioner>(
             iterations: 0,
             rel_residual: 0.0,
             breakdown: false,
+            outcome: SolveOutcome::Converged(ConvergedWithin::Tol),
         };
     }
 
@@ -88,20 +93,35 @@ pub fn fcg_with<A: KernelBackend + ?Sized, P: Preconditioner>(
     ws.ap.clear();
     ws.ap.resize(n, 0.0);
     let mut iters = 0usize;
-    let mut breakdown = false;
+    let mut failure: Option<SolveFailure> = None;
+    let mut wd = Watchdog::new(opts.watchdog);
 
     while iters < opts.max_iter {
         iters += 1;
         a.spmv(&ws.p, &mut ws.ap);
         let pap = dot(&ws.p, &ws.ap);
-        if pap.abs() < 1e-300 || !pap.is_finite() {
-            breakdown = true;
+        if !pap.is_finite() {
+            failure = Some(SolveFailure::NonFinite {
+                what: "pᵀAp".to_string(),
+            });
+            break;
+        }
+        if pap.abs() < 1e-300 {
+            failure = Some(SolveFailure::Breakdown {
+                kind: BreakdownKind::ZeroCurvature,
+                iteration: iters,
+            });
             break;
         }
         let alpha = rz / pap;
         axpy(alpha, &ws.p, &mut x);
         axpy(-alpha, &ws.ap, &mut ws.r);
-        if norm2(&ws.r) <= opts.tol * b_norm {
+        let rnorm = norm2(&ws.r);
+        if rnorm <= opts.tol * b_norm {
+            break;
+        }
+        if let Some(f) = wd.observe(rnorm) {
+            failure = Some(f);
             break;
         }
         precond.apply(&ws.r, &mut ws.z);
@@ -109,7 +129,9 @@ pub fn fcg_with<A: KernelBackend + ?Sized, P: Preconditioner>(
         // Polak–Ribière numerator ⟨z₊, r₊ − r⟩ = −α·⟨z₊, Ap⟩.
         let zap = dot(&ws.z, &ws.ap);
         if !rz_new.is_finite() || !zap.is_finite() {
-            breakdown = true;
+            failure = Some(SolveFailure::NonFinite {
+                what: "⟨r, z⟩ / ⟨z, Ap⟩".to_string(),
+            });
             break;
         }
         let beta = -alpha * zap / rz;
@@ -120,18 +142,16 @@ pub fn fcg_with<A: KernelBackend + ?Sized, P: Preconditioner>(
         }
     }
 
-    let result = SolveResult {
+    wrap_scalar(
+        a,
+        b,
         x,
-        converged: false,
-        iterations: iters,
-        rel_residual: f64::INFINITY,
-        breakdown,
-    }
-    .finalize_with(a, b, &mut ws.fin);
-    SolveResult {
-        converged: !result.breakdown && result.rel_residual <= opts.tol * 10.0,
-        ..result
-    }
+        iters,
+        failure,
+        opts.tol,
+        ColEnd::Wrapped,
+        &mut ws.fin,
+    )
 }
 
 /// Block workspace for [`fcg_batch`]: row-major `n×k` blocks reused across
@@ -162,7 +182,7 @@ impl FcgBlockWorkspace {
 ///
 /// # Panics
 /// Panics if `A` is not square or any rhs has the wrong length.
-pub fn fcg_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
+pub fn fcg_batch<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
     a: &A,
     rhs: &[Vec<f64>],
     precond: &P,
@@ -192,7 +212,7 @@ pub fn fcg_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
     let mut outcome = vec![
         ColOutcome {
             iterations: 0,
-            breakdown: false,
+            failure: None,
             end: ColEnd::Wrapped,
         };
         k
@@ -232,6 +252,9 @@ pub fn fcg_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
     let mut beta = vec![0.0f64; k];
     let mut updating = vec![false; k];
     let mut continuing = vec![false; k];
+    // Per-column watchdogs: same observations, same order as the scalar
+    // driver, so lockstep columns trip (or don't) identically.
+    let mut wds: Vec<Watchdog> = (0..k).map(|_| Watchdog::new(opts.watchdog)).collect();
 
     let mut iters = vec![0usize; k];
     while active.iter().any(|&a| a) {
@@ -256,7 +279,16 @@ pub fn fcg_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
             }
             iters[c] += 1;
             if pap[c].abs() < 1e-300 || !pap[c].is_finite() {
-                outcome[c].breakdown = true;
+                outcome[c].failure = Some(if !pap[c].is_finite() {
+                    SolveFailure::NonFinite {
+                        what: "pᵀAp".to_string(),
+                    }
+                } else {
+                    SolveFailure::Breakdown {
+                        kind: BreakdownKind::ZeroCurvature,
+                        iteration: iters[c],
+                    }
+                });
                 outcome[c].iterations = iters[c];
                 active[c] = false;
                 continue;
@@ -279,6 +311,12 @@ pub fn fcg_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
                 active[c] = false;
                 continue;
             }
+            if let Some(f) = wds[c].observe(rnorm[c]) {
+                outcome[c].failure = Some(f);
+                outcome[c].iterations = iters[c];
+                active[c] = false;
+                continue;
+            }
             continuing[c] = true;
             any_continuing = true;
         }
@@ -296,7 +334,9 @@ pub fn fcg_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
                 continue;
             }
             if !rz_new[c].is_finite() || !zap[c].is_finite() {
-                outcome[c].breakdown = true;
+                outcome[c].failure = Some(SolveFailure::NonFinite {
+                    what: "⟨r, z⟩ / ⟨z, Ap⟩".to_string(),
+                });
                 outcome[c].iterations = iters[c];
                 active[c] = false;
                 continuing[c] = false;

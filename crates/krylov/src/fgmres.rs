@@ -21,7 +21,11 @@
 //! memory-for-robustness trade of FGMRES.
 
 use crate::precond::Preconditioner;
-use crate::solver::{ColEnd, ColOutcome, SolveOptions, SolveResult};
+use crate::solver::{
+    wrap_scalar, BreakdownKind, ColEnd, ColOutcome, ConvergedWithin, SolveFailure, SolveOptions,
+    SolveOutcome, SolveResult,
+};
+use crate::watchdog::Watchdog;
 use mcmcmi_dense::{
     axpy_col, copy_col, dot_col, norm2, norm2_col, scale_col, scale_in_place, scatter_col,
 };
@@ -88,7 +92,7 @@ impl FgmresWorkspace {
 /// [`crate::gmres`]'s reporting. Convergence is declared on the true
 /// residual (right preconditioning leaves it undistorted) and verified by
 /// the shared finalize step.
-pub fn fgmres<A: KernelBackend + ?Sized, P: Preconditioner>(
+pub fn fgmres<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
     a: &A,
     b: &[f64],
     precond: &P,
@@ -100,7 +104,7 @@ pub fn fgmres<A: KernelBackend + ?Sized, P: Preconditioner>(
 /// [`fgmres`] with caller-owned scratch ([`FgmresWorkspace`]) — identical
 /// results, zero per-call allocation of the two Krylov bases and the
 /// Hessenberg factors.
-pub fn fgmres_with<A: KernelBackend + ?Sized, P: Preconditioner>(
+pub fn fgmres_with<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
     a: &A,
     b: &[f64],
     precond: &P,
@@ -122,10 +126,12 @@ pub fn fgmres_with<A: KernelBackend + ?Sized, P: Preconditioner>(
             iterations: 0,
             rel_residual: 0.0,
             breakdown: false,
+            outcome: SolveOutcome::Converged(ConvergedWithin::Tol),
         };
     }
 
-    let mut breakdown = false;
+    let mut failure: Option<SolveFailure> = None;
+    let mut wd = Watchdog::new(opts.watchdog);
     'outer: while total_iters < opts.max_iter {
         // r = b − Ax (true residual; no preconditioner on the residual).
         a.spmv(&x, &mut ws.aw);
@@ -134,10 +140,16 @@ pub fn fgmres_with<A: KernelBackend + ?Sized, P: Preconditioner>(
         }
         let beta = norm2(&ws.v[0]);
         if !beta.is_finite() {
-            breakdown = true;
+            failure = Some(SolveFailure::NonFinite {
+                what: "restart residual".to_string(),
+            });
             break;
         }
         if beta <= opts.tol * b_norm {
+            break;
+        }
+        if let Some(f) = wd.observe(beta) {
+            failure = Some(f);
             break;
         }
         scale_in_place(1.0 / beta, &mut ws.v[0]);
@@ -162,7 +174,9 @@ pub fn fgmres_with<A: KernelBackend + ?Sized, P: Preconditioner>(
             let hkk = norm2(&ws.w);
             ws.h[k + 1][k] = hkk;
             if !hkk.is_finite() {
-                breakdown = true;
+                failure = Some(SolveFailure::NonFinite {
+                    what: "Hessenberg norm".to_string(),
+                });
                 break 'outer;
             }
             if hkk > 1e-14 {
@@ -194,6 +208,10 @@ pub fn fgmres_with<A: KernelBackend + ?Sized, P: Preconditioner>(
             if ws.g[k + 1].abs() <= opts.tol * b_norm {
                 break;
             }
+            if let Some(f) = wd.observe(ws.g[k + 1].abs()) {
+                failure = Some(f);
+                break 'outer;
+            }
         }
 
         // Back-substitute y, update x through the *preconditioned* basis Z.
@@ -205,7 +223,10 @@ pub fn fgmres_with<A: KernelBackend + ?Sized, P: Preconditioner>(
                 }
                 let d = ws.h[i][i];
                 if d.abs() < 1e-300 {
-                    breakdown = true;
+                    failure = Some(SolveFailure::Breakdown {
+                        kind: BreakdownKind::SingularHessenberg,
+                        iteration: total_iters,
+                    });
                     break 'outer;
                 }
                 ws.y[i] = s / d;
@@ -219,18 +240,16 @@ pub fn fgmres_with<A: KernelBackend + ?Sized, P: Preconditioner>(
     }
 
     // True-residual convergence check happens in finalize.
-    let result = SolveResult {
+    wrap_scalar(
+        a,
+        b,
         x,
-        converged: false,
-        iterations: total_iters,
-        rel_residual: f64::INFINITY,
-        breakdown,
-    }
-    .finalize_with(a, b, &mut ws.fin);
-    SolveResult {
-        converged: !result.breakdown && result.rel_residual <= opts.tol * 10.0,
-        ..result
-    }
+        total_iters,
+        failure,
+        opts.tol,
+        ColEnd::Wrapped,
+        &mut ws.fin,
+    )
 }
 
 /// Per-column Hessenberg/rotation scratch for [`fgmres_batch`].
@@ -335,7 +354,7 @@ enum FgmresMode {
 ///
 /// # Panics
 /// Panics if `A` is not square or any rhs has the wrong length.
-pub fn fgmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
+pub fn fgmres_batch<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
     a: &A,
     rhs: &[Vec<f64>],
     precond: &P,
@@ -361,12 +380,15 @@ pub fn fgmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
     let mut outcome = vec![
         ColOutcome {
             iterations: 0,
-            breakdown: false,
+            failure: None,
             end: ColEnd::Wrapped,
         };
         k
     ];
     let mut total_iters = vec![0usize; k];
+    // Per-column watchdogs: same observations, same order as the scalar
+    // driver, so lockstep columns trip (or don't) identically.
+    let mut wds: Vec<Watchdog> = (0..k).map(|_| Watchdog::new(opts.watchdog)).collect();
     let mut ki = vec![0usize; k]; // inner (Arnoldi) index per column
     let mut k_used = vec![0usize; k];
     let mut b_norm = vec![0.0f64; k];
@@ -393,7 +415,7 @@ pub fn fgmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
         k_used: usize,
         total_iters: usize,
         max_iter: usize,
-        breakdown: &mut bool,
+        failure: &mut Option<SolveFailure>,
     ) -> FgmresMode {
         if k_used == 0 {
             return FgmresMode::Done;
@@ -405,7 +427,10 @@ pub fn fgmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
             }
             let d = col.h[i][i];
             if d.abs() < 1e-300 {
-                *breakdown = true;
+                *failure = Some(SolveFailure::Breakdown {
+                    kind: BreakdownKind::SingularHessenberg,
+                    iteration: total_iters,
+                });
                 return FgmresMode::Done; // scalar `break 'outer`: x untouched
             }
             col.y[i] = s / d;
@@ -435,7 +460,7 @@ pub fn fgmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
                         k_used[c],
                         total_iters[c],
                         opts.max_iter,
-                        &mut outcome[c].breakdown,
+                        &mut outcome[c].failure,
                     );
                     debug_assert_eq!(mode[c], FgmresMode::Done);
                     outcome[c].iterations = total_iters[c];
@@ -497,12 +522,20 @@ pub fn fgmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
                     }
                     let beta = norm2_col(&ws.v[0], k, c);
                     if !beta.is_finite() {
-                        outcome[c].breakdown = true;
+                        outcome[c].failure = Some(SolveFailure::NonFinite {
+                            what: "restart residual".to_string(),
+                        });
                         outcome[c].iterations = total_iters[c];
                         mode[c] = FgmresMode::Done;
                         continue;
                     }
                     if beta <= opts.tol * b_norm[c] {
+                        outcome[c].iterations = total_iters[c];
+                        mode[c] = FgmresMode::Done;
+                        continue;
+                    }
+                    if let Some(f) = wds[c].observe(beta) {
+                        outcome[c].failure = Some(f);
                         outcome[c].iterations = total_iters[c];
                         mode[c] = FgmresMode::Done;
                         continue;
@@ -531,7 +564,9 @@ pub fn fgmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
                     if !hkk.is_finite() {
                         // Scalar `break 'outer`: retire without
                         // back-substitution.
-                        outcome[c].breakdown = true;
+                        outcome[c].failure = Some(SolveFailure::NonFinite {
+                            what: "Hessenberg norm".to_string(),
+                        });
                         outcome[c].iterations = total_iters[c];
                         mode[c] = FgmresMode::Done;
                         continue;
@@ -575,11 +610,17 @@ pub fn fgmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
                             k_used[c],
                             total_iters[c],
                             opts.max_iter,
-                            &mut outcome[c].breakdown,
+                            &mut outcome[c].failure,
                         );
                         if mode[c] == FgmresMode::Done {
                             outcome[c].iterations = total_iters[c];
                         }
+                    } else if let Some(f) = wds[c].observe(col.g[kc + 1].abs()) {
+                        // Scalar `break 'outer` on a tripped watchdog:
+                        // retire without back-substitution.
+                        outcome[c].failure = Some(f);
+                        outcome[c].iterations = total_iters[c];
+                        mode[c] = FgmresMode::Done;
                     } else {
                         ki[c] = kc + 1;
                     }
@@ -613,7 +654,7 @@ mod tests {
             SolveOptions {
                 restart: 7,
                 tol: 1e-10,
-                max_iter: 3000,
+                ..Default::default()
             },
         ] {
             let rg = gmres(&a, &b, &IdentityPrecond::new(n), opts);
@@ -669,7 +710,7 @@ mod tests {
         let opts = SolveOptions {
             restart: 10,
             tol: 1e-10,
-            max_iter: 5000,
+            ..Default::default()
         };
         let r = fgmres(&a, &b, &IdentityPrecond::new(n), opts);
         assert!(r.converged);

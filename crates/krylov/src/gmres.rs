@@ -13,7 +13,10 @@
 //! allocates its per-call chunk bookkeeping when it engages).
 
 use crate::precond::Preconditioner;
-use crate::solver::{ColEnd, ColOutcome, SolveOptions, SolveResult};
+use crate::solver::{
+    wrap_scalar, BreakdownKind, ColEnd, ColOutcome, SolveFailure, SolveOptions, SolveResult,
+};
+use crate::watchdog::Watchdog;
 use mcmcmi_dense::{
     axpy_col, axpy_cols_masked, dot_col, dot_cols_masked, norm2, norm2_col, norm2_cols_masked,
     scale_col, scale_in_place, scatter_col,
@@ -77,7 +80,7 @@ impl GmresWorkspace {
 /// declared on the preconditioned recursive residual and then verified
 /// against the true residual (a final correction loop runs if the true
 /// residual lags, which left preconditioning can cause).
-pub fn gmres<A: KernelBackend + ?Sized, P: Preconditioner>(
+pub fn gmres<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
     a: &A,
     b: &[f64],
     precond: &P,
@@ -89,7 +92,7 @@ pub fn gmres<A: KernelBackend + ?Sized, P: Preconditioner>(
 /// [`gmres`] with caller-owned scratch ([`GmresWorkspace`]) — identical
 /// results, zero per-call allocation of the Krylov basis and Hessenberg
 /// factors.
-pub fn gmres_with<A: KernelBackend + ?Sized, P: Preconditioner>(
+pub fn gmres_with<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
     a: &A,
     b: &[f64],
     precond: &P,
@@ -107,17 +110,25 @@ pub fn gmres_with<A: KernelBackend + ?Sized, P: Preconditioner>(
     let pb_norm = norm2(&ws.pb);
     if pb_norm == 0.0 || !pb_norm.is_finite() {
         // P b == 0 means x = 0 solves PA x = Pb; report against true residual.
-        let res = SolveResult {
+        let failure = (!pb_norm.is_finite()).then(|| SolveFailure::NonFinite {
+            what: "preconditioned rhs".to_string(),
+        });
+        return wrap_scalar(
+            a,
+            b,
             x,
-            converged: pb_norm == 0.0,
-            iterations: 0,
-            rel_residual: 0.0,
-            breakdown: !pb_norm.is_finite(),
-        };
-        return res.finalize_with(a, b, &mut ws.fin);
+            0,
+            failure,
+            opts.tol,
+            ColEnd::Preset {
+                converged: pb_norm == 0.0,
+            },
+            &mut ws.fin,
+        );
     }
 
-    let mut breakdown = false;
+    let mut failure: Option<SolveFailure> = None;
+    let mut wd = Watchdog::new(opts.watchdog);
     'outer: while total_iters < opts.max_iter {
         // r = P(b − Ax)
         a.spmv(&x, &mut ws.aw);
@@ -127,10 +138,16 @@ pub fn gmres_with<A: KernelBackend + ?Sized, P: Preconditioner>(
         precond.apply(&ws.w, &mut ws.v[0]);
         let beta = norm2(&ws.v[0]);
         if !beta.is_finite() {
-            breakdown = true;
+            failure = Some(SolveFailure::NonFinite {
+                what: "restart residual".to_string(),
+            });
             break;
         }
         if beta <= opts.tol * pb_norm {
+            break;
+        }
+        if let Some(f) = wd.observe(beta) {
+            failure = Some(f);
             break;
         }
         scale_in_place(1.0 / beta, &mut ws.v[0]);
@@ -155,7 +172,9 @@ pub fn gmres_with<A: KernelBackend + ?Sized, P: Preconditioner>(
             let hkk = norm2(&ws.w);
             ws.h[k + 1][k] = hkk;
             if !hkk.is_finite() {
-                breakdown = true;
+                failure = Some(SolveFailure::NonFinite {
+                    what: "Hessenberg norm".to_string(),
+                });
                 break 'outer;
             }
             if hkk > 1e-14 {
@@ -186,6 +205,10 @@ pub fn gmres_with<A: KernelBackend + ?Sized, P: Preconditioner>(
             if ws.g[k + 1].abs() <= opts.tol * pb_norm {
                 break;
             }
+            if let Some(f) = wd.observe(ws.g[k + 1].abs()) {
+                failure = Some(f);
+                break 'outer;
+            }
         }
 
         // Back-substitute y from the triangularised Hessenberg, update x.
@@ -197,7 +220,10 @@ pub fn gmres_with<A: KernelBackend + ?Sized, P: Preconditioner>(
                 }
                 let d = ws.h[i][i];
                 if d.abs() < 1e-300 {
-                    breakdown = true;
+                    failure = Some(SolveFailure::Breakdown {
+                        kind: BreakdownKind::SingularHessenberg,
+                        iteration: total_iters,
+                    });
                     break 'outer;
                 }
                 ws.y[i] = s / d;
@@ -211,18 +237,16 @@ pub fn gmres_with<A: KernelBackend + ?Sized, P: Preconditioner>(
     }
 
     // True-residual convergence check happens in finalize.
-    let result = SolveResult {
+    wrap_scalar(
+        a,
+        b,
         x,
-        converged: false,
-        iterations: total_iters,
-        rel_residual: f64::INFINITY,
-        breakdown,
-    }
-    .finalize_with(a, b, &mut ws.fin);
-    SolveResult {
-        converged: !result.breakdown && result.rel_residual <= opts.tol * 10.0,
-        ..result
-    }
+        total_iters,
+        failure,
+        opts.tol,
+        ColEnd::Wrapped,
+        &mut ws.fin,
+    )
 }
 
 /// Per-column Hessenberg/rotation scratch for [`gmres_batch`].
@@ -318,7 +342,7 @@ enum GmresMode {
 ///
 /// # Panics
 /// Panics if `A` is not square or any rhs has the wrong length.
-pub fn gmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
+pub fn gmres_batch<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
     a: &A,
     rhs: &[Vec<f64>],
     precond: &P,
@@ -344,7 +368,7 @@ pub fn gmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
     let mut outcome = vec![
         ColOutcome {
             iterations: 0,
-            breakdown: false,
+            failure: None,
             end: ColEnd::Wrapped,
         };
         k
@@ -360,7 +384,9 @@ pub fn gmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
         pb_norm[c] = norm2_col(&ws.poutb, k, c);
         if pb_norm[c] == 0.0 || !pb_norm[c].is_finite() {
             mode[c] = GmresMode::Done;
-            outcome[c].breakdown = !pb_norm[c].is_finite();
+            outcome[c].failure = (!pb_norm[c].is_finite()).then(|| SolveFailure::NonFinite {
+                what: "preconditioned rhs".to_string(),
+            });
             outcome[c].end = ColEnd::Preset {
                 converged: pb_norm[c] == 0.0,
             };
@@ -388,11 +414,14 @@ pub fn gmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
         k_used_c: &mut usize,
         mode_c: &mut GmresMode,
         outcome_c: &mut ColOutcome,
+        wd_c: &mut Watchdog,
     ) {
         col.h[kc + 1][kc] = hkk;
         if !hkk.is_finite() {
             // Scalar `break 'outer`: retire without back-substitution.
-            outcome_c.breakdown = true;
+            outcome_c.failure = Some(SolveFailure::NonFinite {
+                what: "Hessenberg norm".to_string(),
+            });
             outcome_c.iterations = total_iters_c;
             *mode_c = GmresMode::Done;
             return;
@@ -426,11 +455,17 @@ pub fn gmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
                 *k_used_c,
                 total_iters_c,
                 opts.max_iter,
-                &mut outcome_c.breakdown,
+                &mut outcome_c.failure,
             );
             if *mode_c == GmresMode::Done {
                 outcome_c.iterations = total_iters_c;
             }
+        } else if let Some(f) = wd_c.observe(col.g[kc + 1].abs()) {
+            // Scalar `break 'outer` on a tripped watchdog: retire without
+            // back-substitution.
+            outcome_c.failure = Some(f);
+            outcome_c.iterations = total_iters_c;
+            *mode_c = GmresMode::Done;
         } else {
             *ki_c = kc + 1;
         }
@@ -449,7 +484,7 @@ pub fn gmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
         k_used: usize,
         total_iters: usize,
         max_iter: usize,
-        breakdown: &mut bool,
+        failure: &mut Option<SolveFailure>,
     ) -> GmresMode {
         if k_used == 0 {
             return GmresMode::Done;
@@ -461,7 +496,10 @@ pub fn gmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
             }
             let d = col.h[i][i];
             if d.abs() < 1e-300 {
-                *breakdown = true;
+                *failure = Some(SolveFailure::Breakdown {
+                    kind: BreakdownKind::SingularHessenberg,
+                    iteration: total_iters,
+                });
                 return GmresMode::Done; // scalar `break 'outer`: x untouched
             }
             col.y[i] = s / d;
@@ -475,6 +513,10 @@ pub fn gmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
             GmresMode::Done
         }
     }
+
+    // Per-column watchdogs: same observations, same order as the scalar
+    // driver, so lockstep columns trip (or don't) identically.
+    let mut wds: Vec<Watchdog> = (0..k).map(|_| Watchdog::new(opts.watchdog)).collect();
 
     // Per-round scratch for the fused fast path, hoisted out of the hot loop.
     let mut mask = vec![false; k];
@@ -500,7 +542,7 @@ pub fn gmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
                         k_used[c],
                         total_iters[c],
                         opts.max_iter,
-                        &mut outcome[c].breakdown,
+                        &mut outcome[c].failure,
                     );
                     debug_assert_eq!(mode[c], GmresMode::Done);
                     outcome[c].iterations = total_iters[c];
@@ -648,6 +690,7 @@ pub fn gmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
                         &mut k_used[c],
                         &mut mode[c],
                         &mut outcome[c],
+                        &mut wds[c],
                     );
                 }
             }
@@ -666,12 +709,20 @@ pub fn gmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
                     }
                     let beta = norm2_col(&ws.v[0], k, c);
                     if !beta.is_finite() {
-                        outcome[c].breakdown = true;
+                        outcome[c].failure = Some(SolveFailure::NonFinite {
+                            what: "restart residual".to_string(),
+                        });
                         outcome[c].iterations = total_iters[c];
                         mode[c] = GmresMode::Done;
                         continue;
                     }
                     if beta <= opts.tol * pb_norm[c] {
+                        outcome[c].iterations = total_iters[c];
+                        mode[c] = GmresMode::Done;
+                        continue;
+                    }
+                    if let Some(f) = wds[c].observe(beta) {
+                        outcome[c].failure = Some(f);
                         outcome[c].iterations = total_iters[c];
                         mode[c] = GmresMode::Done;
                         continue;
@@ -718,6 +769,7 @@ pub fn gmres_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
                         &mut k_used[c],
                         &mut mode[c],
                         &mut outcome[c],
+                        &mut wds[c],
                     );
                 }
                 GmresMode::Done => {}
@@ -845,7 +897,7 @@ mod tests {
         let opts = SolveOptions {
             restart: 10,
             tol: 1e-10,
-            max_iter: 5000,
+            ..Default::default()
         };
         let r = gmres(&a, &b, &IdentityPrecond::new(n), opts);
         assert!(r.converged);

@@ -33,8 +33,10 @@ pub mod gmres;
 pub mod ic0;
 pub mod ilu0;
 pub mod precond;
+pub mod resilient;
 pub mod session;
 pub mod solver;
+pub mod watchdog;
 
 pub use auto::{SessionTuner, TuneBudget, TuneError, TunedParts};
 pub use bicgstab::{bicgstab, bicgstab_batch, bicgstab_with, BiCgStabWorkspace};
@@ -48,5 +50,13 @@ pub use ilu0::Ilu0;
 pub use precond::{
     CompressedPrecond, IdentityPrecond, JacobiPrecond, Preconditioner, SparsePrecond,
 };
+pub use resilient::{
+    solve_batch_resilient, solve_resilient, PrecondRebuild, RecoveryContext, RecoveryPolicy,
+    RecoveryStep, RecoveryStepKind, RecoveryTrail, ResilientResult,
+};
 pub use session::SolveSession;
-pub use solver::{solve, solve_batch, SolveOptions, SolveResult, SolverType};
+pub use solver::{
+    solve, solve_batch, BreakdownKind, ConvergedWithin, SolveFailure, SolveOptions, SolveOutcome,
+    SolveResult, SolverType, CONVERGENCE_SLACK,
+};
+pub use watchdog::{Watchdog, WatchdogConfig};

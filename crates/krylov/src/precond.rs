@@ -44,6 +44,43 @@ pub trait Preconditioner: Sync {
             mcmcmi_dense::scatter_col(&zc, z, k, c);
         }
     }
+
+    /// Whether this operator is a lossy compressed form of a full-precision
+    /// parent. The recovery ladder uses this to decide whether a
+    /// full-precision retry rung is meaningful.
+    fn is_compressed(&self) -> bool {
+        false
+    }
+}
+
+impl<P: Preconditioner + ?Sized> Preconditioner for &P {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        (**self).apply(r, z)
+    }
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn apply_block(&self, r: &[f64], k: usize, z: &mut [f64]) {
+        (**self).apply_block(r, k, z)
+    }
+    fn is_compressed(&self) -> bool {
+        (**self).is_compressed()
+    }
+}
+
+impl<P: Preconditioner + ?Sized> Preconditioner for Box<P> {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        (**self).apply(r, z)
+    }
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn apply_block(&self, r: &[f64], k: usize, z: &mut [f64]) {
+        (**self).apply_block(r, k, z)
+    }
+    fn is_compressed(&self) -> bool {
+        (**self).is_compressed()
+    }
 }
 
 /// No-op preconditioner (`P = I`): the "without preconditioner" baseline of
@@ -303,6 +340,9 @@ impl Preconditioner for CompressedPrecond {
             CompressedPrecond::F64(p) => p.apply_block(r, k, z),
             CompressedPrecond::F32(p) => p.apply_block(r, k, z),
         }
+    }
+    fn is_compressed(&self) -> bool {
+        true
     }
 }
 

@@ -1,0 +1,659 @@
+//! The recovery ladder: automatic, deterministic escalation after a
+//! failed solve.
+//!
+//! The MCMC preconditioner is stochastic by construction — a build can be
+//! subtly bad, compression can destroy it, and the Krylov drivers can break
+//! down or stagnate on it. Once a solve fails with a structured
+//! [`SolveFailure`], the ladder escalates through deterministic rungs, each
+//! strictly more conservative (and more expensive) than the last:
+//!
+//! 1. **Full-precision retry** — if the active preconditioner is a lossy
+//!    compressed form ([`Preconditioner::is_compressed`]) and the caller
+//!    supplied its full-precision parent, retry with the parent: compression
+//!    artifacts are the cheapest failure to undo.
+//! 2. **Flexible-driver swap** — rerun with the flexible variant of the
+//!    same Krylov family (FCG/FGMRES), which tolerates an inexact or
+//!    slightly nonsymmetric operator where the classical driver's theory
+//!    quietly assumed exactness.
+//! 3. **Preconditioner rebuild** — ask the caller's [`PrecondRebuild`] hook
+//!    for a fresh operator (the mcmc crate's rebuilder re-runs
+//!    `build_safeguarded` with α backed off, reusing the PR-5 attempt
+//!    machinery) and solve with it.
+//! 4. **Unpreconditioned GMRES** — the always-available floor: no
+//!    preconditioner to distrust, the most robust general-purpose driver.
+//!
+//! Every rung executed is appended to a [`RecoveryTrail`] — which rung, the
+//! failure that triggered it, the driver used, and the iteration cost — so
+//! callers (and the roadmap's serving daemon) can log and alert on degraded
+//! solves. A clean solve takes the exact same code path as
+//! [`crate::solve`]/[`crate::solve_batch`] and returns an empty trail:
+//! resilience costs nothing until something fails.
+
+use crate::precond::{IdentityPrecond, Preconditioner};
+use crate::solver::{solve, solve_batch, SolveFailure, SolveOptions, SolveResult, SolverType};
+use mcmcmi_sparse::KernelBackend;
+use serde::{Deserialize, Serialize};
+
+/// Which rungs of the ladder are allowed to run, in their fixed order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Rung 1: retry with the full-precision parent of a compressed
+    /// preconditioner (needs [`RecoveryContext::full_precision`]).
+    pub full_precision_retry: bool,
+    /// Rung 2: swap to the flexible driver of the same Krylov family.
+    pub flexible_swap: bool,
+    /// Rung 3: rebuild the preconditioner through the caller's
+    /// [`RecoveryContext::rebuilder`] hook.
+    pub rebuild: bool,
+    /// Rung 4: final fallback to unpreconditioned GMRES.
+    pub unpreconditioned_fallback: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            full_precision_retry: true,
+            flexible_swap: true,
+            rebuild: true,
+            unpreconditioned_fallback: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A policy with every rung disabled: `solve_resilient` degenerates to
+    /// a plain solve that also reports its trail (always empty).
+    pub fn disabled() -> Self {
+        Self {
+            full_precision_retry: false,
+            flexible_swap: false,
+            rebuild: false,
+            unpreconditioned_fallback: false,
+        }
+    }
+}
+
+/// Identifies a ladder rung in the trail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryStepKind {
+    /// Rung 1: same driver, full-precision preconditioner.
+    FullPrecisionRetry,
+    /// Rung 2: flexible driver (FCG/FGMRES), current preconditioner.
+    FlexibleSwap,
+    /// Rung 3: freshly rebuilt preconditioner.
+    Rebuild,
+    /// Rung 4: unpreconditioned GMRES.
+    UnpreconditionedFallback,
+}
+
+impl RecoveryStepKind {
+    /// Short stable label for logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryStepKind::FullPrecisionRetry => "full-precision-retry",
+            RecoveryStepKind::FlexibleSwap => "flexible-swap",
+            RecoveryStepKind::Rebuild => "rebuild",
+            RecoveryStepKind::UnpreconditionedFallback => "unpreconditioned-fallback",
+        }
+    }
+}
+
+/// One executed rung of the ladder.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryStep {
+    /// Which rung ran.
+    pub step: RecoveryStepKind,
+    /// The failure that triggered this escalation (the previous attempt's
+    /// diagnosis).
+    pub trigger: SolveFailure,
+    /// Krylov driver used at this rung.
+    pub solver: SolverType,
+    /// Iteration cost of this rung (summed over columns for batched
+    /// recovery).
+    pub iterations: usize,
+    /// Did this rung converge (all targeted columns, for batches)?
+    pub recovered: bool,
+}
+
+/// The full escalation record returned alongside a resilient solve.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryTrail {
+    /// Every rung executed, in ladder order. Empty for a clean solve.
+    pub steps: Vec<RecoveryStep>,
+    /// Final verdict: did the solve (every column, for batches) end
+    /// converged?
+    pub recovered: bool,
+}
+
+impl RecoveryTrail {
+    /// `true` when no recovery rung had to run.
+    pub fn is_clean(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// One-line human summary, e.g.
+    /// `"stagnated → flexible-swap(FGMRES, 213 it) ✓"`.
+    pub fn summary(&self) -> String {
+        if self.steps.is_empty() {
+            return "clean".to_string();
+        }
+        let mut out = String::new();
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                out.push_str("; ");
+            }
+            out.push_str(&format!(
+                "{} → {}({}, {} it) {}",
+                s.trigger.label(),
+                s.step.label(),
+                s.solver.name(),
+                s.iterations,
+                if s.recovered { "✓" } else { "✗" }
+            ));
+        }
+        out
+    }
+}
+
+/// A scalar resilient solve: the final (best) result plus its trail.
+#[derive(Clone, Debug)]
+pub struct ResilientResult {
+    /// The converged result of the first successful rung, or the best
+    /// attempt (smallest finite true residual) if every rung failed.
+    pub result: SolveResult,
+    /// What the ladder did to get there.
+    pub trail: RecoveryTrail,
+}
+
+/// Caller hook used by rung 3: produce a fresh preconditioner in response
+/// to a failure. The mcmc crate's `SafeguardedRebuilder` implements this by
+/// re-running `build_safeguarded` with α backed off one geometric step.
+pub trait PrecondRebuild {
+    /// Build a replacement preconditioner, or `None` if no (further)
+    /// rebuild is possible — the rung is then skipped.
+    fn rebuild(&mut self, trigger: &SolveFailure) -> Option<Box<dyn Preconditioner>>;
+}
+
+/// External resources the ladder may draw on. Both fields are optional:
+/// without them, rungs 1 and 3 are skipped.
+#[derive(Default)]
+pub struct RecoveryContext<'a> {
+    /// Full-precision parent of a compressed preconditioner, for rung 1.
+    pub full_precision: Option<&'a dyn Preconditioner>,
+    /// Rebuild hook for rung 3.
+    pub rebuilder: Option<&'a mut dyn PrecondRebuild>,
+}
+
+impl<'a> RecoveryContext<'a> {
+    /// A context with no external resources (rungs 1 and 3 are skipped).
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// The preconditioner currently active as the ladder escalates.
+enum ActivePrecond<'a> {
+    Borrowed(&'a dyn Preconditioner),
+    Owned(Box<dyn Preconditioner>),
+    Identity(IdentityPrecond),
+}
+
+impl ActivePrecond<'_> {
+    fn as_dyn(&self) -> &dyn Preconditioner {
+        match self {
+            ActivePrecond::Borrowed(p) => *p,
+            ActivePrecond::Owned(p) => p.as_ref(),
+            ActivePrecond::Identity(p) => p,
+        }
+    }
+}
+
+/// Is `candidate` a better terminal iterate than `best`? Converged beats
+/// non-converged; otherwise the smaller finite true residual wins
+/// (non-finite residuals lose to everything finite).
+fn better(candidate: &SolveResult, best: &SolveResult) -> bool {
+    if candidate.converged != best.converged {
+        return candidate.converged;
+    }
+    match (
+        candidate.rel_residual.is_finite(),
+        best.rel_residual.is_finite(),
+    ) {
+        (true, true) => candidate.rel_residual < best.rel_residual,
+        (true, false) => true,
+        _ => false,
+    }
+}
+
+/// The ladder's rung plan for one escalation run, shared by the scalar and
+/// batched paths so they escalate identically.
+struct Rung {
+    kind: RecoveryStepKind,
+    solver: SolverType,
+}
+
+/// Escalate a failed solve through the ladder. `base` is the already-failed
+/// result of the plain solve (so the clean path never enters this
+/// function). Shared by [`solve_resilient`] and
+/// [`crate::SolveSession::solve_resilient`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn escalate_scalar<A: KernelBackend + ?Sized>(
+    a: &A,
+    b: &[f64],
+    precond: &dyn Preconditioner,
+    solver: SolverType,
+    opts: SolveOptions,
+    policy: &RecoveryPolicy,
+    mut ctx: RecoveryContext<'_>,
+    base: SolveResult,
+) -> ResilientResult {
+    let mut trail = RecoveryTrail::default();
+    let mut trigger = base
+        .failure()
+        .cloned()
+        .unwrap_or(SolveFailure::BudgetExhausted);
+    let mut best = base;
+    let mut active = ActivePrecond::Borrowed(precond);
+    let mut active_solver = solver;
+
+    // Rung 1 — full-precision retry.
+    if policy.full_precision_retry && precond.is_compressed() {
+        if let Some(full) = ctx.full_precision {
+            active = ActivePrecond::Borrowed(full);
+            let r = solve(a, b, active.as_dyn(), active_solver, opts);
+            let done = record_scalar(
+                &mut trail,
+                &mut trigger,
+                &mut best,
+                RecoveryStepKind::FullPrecisionRetry,
+                active_solver,
+                r,
+            );
+            if done {
+                return finish_scalar(best, trail);
+            }
+        }
+    }
+
+    // Rung 2 — flexible-driver swap.
+    if policy.flexible_swap && !active_solver.is_flexible() {
+        active_solver = active_solver.flexible();
+        let r = solve(a, b, active.as_dyn(), active_solver, opts);
+        let done = record_scalar(
+            &mut trail,
+            &mut trigger,
+            &mut best,
+            RecoveryStepKind::FlexibleSwap,
+            active_solver,
+            r,
+        );
+        if done {
+            return finish_scalar(best, trail);
+        }
+    }
+
+    // Rung 3 — preconditioner rebuild.
+    if policy.rebuild {
+        if let Some(rebuilder) = ctx.rebuilder.as_deref_mut() {
+            if let Some(fresh) = rebuilder.rebuild(&trigger) {
+                active = ActivePrecond::Owned(fresh);
+                let r = solve(a, b, active.as_dyn(), active_solver, opts);
+                let done = record_scalar(
+                    &mut trail,
+                    &mut trigger,
+                    &mut best,
+                    RecoveryStepKind::Rebuild,
+                    active_solver,
+                    r,
+                );
+                if done {
+                    return finish_scalar(best, trail);
+                }
+            }
+        }
+    }
+
+    // Rung 4 — unpreconditioned GMRES: nothing left to distrust.
+    if policy.unpreconditioned_fallback {
+        let id = ActivePrecond::Identity(IdentityPrecond::new(b.len()));
+        let r = solve(a, b, id.as_dyn(), SolverType::Gmres, opts);
+        record_scalar(
+            &mut trail,
+            &mut trigger,
+            &mut best,
+            RecoveryStepKind::UnpreconditionedFallback,
+            SolverType::Gmres,
+            r,
+        );
+    }
+
+    finish_scalar(best, trail)
+}
+
+/// Append one scalar rung to the trail, fold its result into `best`, and
+/// roll the trigger forward. Returns `true` when the rung converged (the
+/// ladder stops).
+fn record_scalar(
+    trail: &mut RecoveryTrail,
+    trigger: &mut SolveFailure,
+    best: &mut SolveResult,
+    kind: RecoveryStepKind,
+    solver: SolverType,
+    r: SolveResult,
+) -> bool {
+    let recovered = r.converged;
+    trail.steps.push(RecoveryStep {
+        step: kind,
+        trigger: trigger.clone(),
+        solver,
+        iterations: r.iterations,
+        recovered,
+    });
+    if let Some(f) = r.failure() {
+        *trigger = f.clone();
+    }
+    if better(&r, best) {
+        *best = r;
+    }
+    recovered
+}
+
+fn finish_scalar(best: SolveResult, mut trail: RecoveryTrail) -> ResilientResult {
+    trail.recovered = best.converged;
+    ResilientResult {
+        result: best,
+        trail,
+    }
+}
+
+/// Batched escalation: each rung re-solves only the still-failing columns
+/// (as one lockstep sub-batch), keeping the already-converged siblings'
+/// results untouched — recovery never perturbs a healthy column. Shared by
+/// [`solve_batch_resilient`] and
+/// [`crate::SolveSession::solve_batch_resilient`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn escalate_batch<A: KernelBackend + ?Sized>(
+    a: &A,
+    rhs: &[Vec<f64>],
+    precond: &dyn Preconditioner,
+    solver: SolverType,
+    opts: SolveOptions,
+    policy: &RecoveryPolicy,
+    mut ctx: RecoveryContext<'_>,
+    mut results: Vec<SolveResult>,
+) -> (Vec<SolveResult>, RecoveryTrail) {
+    let mut trail = RecoveryTrail::default();
+    let mut failing: Vec<usize> = (0..results.len())
+        .filter(|&c| !results[c].converged)
+        .collect();
+    if failing.is_empty() {
+        trail.recovered = true;
+        return (results, trail);
+    }
+    // The trigger reported per rung is the first failing column's failure —
+    // a deterministic representative of the batch's trouble.
+    let mut trigger = results[failing[0]]
+        .failure()
+        .cloned()
+        .unwrap_or(SolveFailure::BudgetExhausted);
+    let mut active = ActivePrecond::Borrowed(precond);
+    let mut active_solver = solver;
+
+    let mut rungs: Vec<Rung> = Vec::new();
+    if policy.full_precision_retry && precond.is_compressed() && ctx.full_precision.is_some() {
+        rungs.push(Rung {
+            kind: RecoveryStepKind::FullPrecisionRetry,
+            solver: active_solver,
+        });
+    }
+    if policy.flexible_swap && !active_solver.is_flexible() {
+        rungs.push(Rung {
+            kind: RecoveryStepKind::FlexibleSwap,
+            solver: active_solver.flexible(),
+        });
+    }
+    if policy.rebuild && ctx.rebuilder.is_some() {
+        rungs.push(Rung {
+            kind: RecoveryStepKind::Rebuild,
+            // Solver carried over from whatever the previous rung selected;
+            // patched below when the rung actually runs.
+            solver: active_solver,
+        });
+    }
+    if policy.unpreconditioned_fallback {
+        rungs.push(Rung {
+            kind: RecoveryStepKind::UnpreconditionedFallback,
+            solver: SolverType::Gmres,
+        });
+    }
+
+    let identity = IdentityPrecond::new(a.nrows());
+    for rung in rungs {
+        if failing.is_empty() {
+            break;
+        }
+        match rung.kind {
+            RecoveryStepKind::FullPrecisionRetry => {
+                if let Some(full) = ctx.full_precision {
+                    active = ActivePrecond::Borrowed(full);
+                }
+            }
+            RecoveryStepKind::FlexibleSwap => {
+                active_solver = rung.solver;
+            }
+            RecoveryStepKind::Rebuild => {
+                let Some(fresh) = ctx
+                    .rebuilder
+                    .as_deref_mut()
+                    .and_then(|r| r.rebuild(&trigger))
+                else {
+                    continue;
+                };
+                active = ActivePrecond::Owned(fresh);
+            }
+            RecoveryStepKind::UnpreconditionedFallback => {
+                active = ActivePrecond::Borrowed(&identity);
+                active_solver = SolverType::Gmres;
+            }
+        }
+        let sub_rhs: Vec<Vec<f64>> = failing.iter().map(|&c| rhs[c].clone()).collect();
+        let sub = solve_batch(a, &sub_rhs, active.as_dyn(), active_solver, opts);
+        let iterations: usize = sub.iter().map(|r| r.iterations).sum();
+        let mut still_failing = Vec::new();
+        let mut next_trigger = None;
+        for (&c, r) in failing.iter().zip(sub) {
+            if !r.converged {
+                if next_trigger.is_none() {
+                    next_trigger = Some(
+                        r.failure()
+                            .cloned()
+                            .unwrap_or(SolveFailure::BudgetExhausted),
+                    );
+                }
+                still_failing.push(c);
+            }
+            if better(&r, &results[c]) {
+                results[c] = r;
+            }
+        }
+        trail.steps.push(RecoveryStep {
+            step: rung.kind,
+            trigger: trigger.clone(),
+            solver: active_solver,
+            iterations,
+            recovered: still_failing.is_empty(),
+        });
+        failing = still_failing;
+        if let Some(t) = next_trigger {
+            trigger = t;
+        }
+    }
+    trail.recovered = results.iter().all(|r| r.converged);
+    (results, trail)
+}
+
+/// Solve with automatic recovery: run the plain [`solve`] first (the clean
+/// path is bit-identical to it, including workspace-free allocation
+/// behaviour), and on a structured failure escalate through the
+/// [`RecoveryPolicy`] ladder. The returned [`RecoveryTrail`] records every
+/// rung executed; it is empty exactly when the first attempt converged.
+///
+/// # Panics
+/// Panics if dimensions disagree.
+pub fn solve_resilient<A: KernelBackend + ?Sized, P: Preconditioner>(
+    a: &A,
+    b: &[f64],
+    precond: &P,
+    solver: SolverType,
+    opts: SolveOptions,
+    policy: &RecoveryPolicy,
+    ctx: RecoveryContext<'_>,
+) -> ResilientResult {
+    let base = solve(a, b, precond, solver, opts);
+    if base.converged {
+        return ResilientResult {
+            result: base,
+            trail: RecoveryTrail {
+                steps: Vec::new(),
+                recovered: true,
+            },
+        };
+    }
+    escalate_scalar(a, b, precond, solver, opts, policy, ctx, base)
+}
+
+/// Batched [`solve_resilient`]: the clean path is exactly
+/// [`solve_batch`] (bit-identical), and recovery rungs re-solve only the
+/// failing columns in lockstep sub-batches.
+///
+/// # Panics
+/// Panics if dimensions disagree.
+pub fn solve_batch_resilient<A: KernelBackend + ?Sized, P: Preconditioner>(
+    a: &A,
+    rhs: &[Vec<f64>],
+    precond: &P,
+    solver: SolverType,
+    opts: SolveOptions,
+    policy: &RecoveryPolicy,
+    ctx: RecoveryContext<'_>,
+) -> (Vec<SolveResult>, RecoveryTrail) {
+    let base = solve_batch(a, rhs, precond, solver, opts);
+    escalate_batch(a, rhs, precond, solver, opts, policy, ctx, base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::JacobiPrecond;
+    use mcmcmi_matgen::fd_laplace_2d;
+
+    #[test]
+    fn clean_solve_has_empty_trail_and_identical_bits() {
+        let a = fd_laplace_2d(10);
+        let b: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.17).sin()).collect();
+        let jac = JacobiPrecond::new(&a);
+        let opts = SolveOptions::default();
+        let plain = solve(&a, &b, &jac, SolverType::Cg, opts);
+        let res = solve_resilient(
+            &a,
+            &b,
+            &jac,
+            SolverType::Cg,
+            opts,
+            &RecoveryPolicy::default(),
+            RecoveryContext::none(),
+        );
+        assert!(res.trail.is_clean() && res.trail.recovered);
+        assert_eq!(res.result.x, plain.x);
+        assert_eq!(res.result.iterations, plain.iterations);
+        assert_eq!(res.result.rel_residual, plain.rel_residual);
+        assert_eq!(res.trail.summary(), "clean");
+    }
+
+    #[test]
+    fn disabled_policy_never_escalates() {
+        // CG on a symmetric-indefinite operator breaks down; with every
+        // rung off the ladder must return the failure untouched.
+        let mut coo = mcmcmi_sparse::Coo::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        let a = coo.to_csr();
+        let res = solve_resilient(
+            &a,
+            &[1.0, 0.0],
+            &IdentityPrecond::new(2),
+            SolverType::Cg,
+            SolveOptions::default(),
+            &RecoveryPolicy::disabled(),
+            RecoveryContext::none(),
+        );
+        assert!(!res.result.converged);
+        assert!(res.trail.is_clean() && !res.trail.recovered);
+    }
+
+    #[test]
+    fn cg_breakdown_recovers_via_ladder() {
+        // A = [[0,1],[1,0]] with b = e₀: pᵀAp = 0 on the very first CG
+        // step (ZeroCurvature), but GMRES solves it trivially — the ladder
+        // must walk flexible-swap (FCG also sees zero curvature) down to
+        // the unpreconditioned-GMRES floor.
+        let mut coo = mcmcmi_sparse::Coo::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        let a = coo.to_csr();
+        let res = solve_resilient(
+            &a,
+            &[1.0, 0.0],
+            &IdentityPrecond::new(2),
+            SolverType::Cg,
+            SolveOptions::default(),
+            &RecoveryPolicy::default(),
+            RecoveryContext::none(),
+        );
+        assert!(res.result.converged, "{:?}", res.result.outcome);
+        assert!(res.trail.recovered);
+        assert!(!res.trail.is_clean());
+        let last = res.trail.steps.last().unwrap();
+        assert_eq!(last.step, RecoveryStepKind::UnpreconditionedFallback);
+        assert!(last.recovered);
+        // x = A⁻¹ b = e₁.
+        assert!((res.result.x[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn batch_recovery_preserves_converged_siblings() {
+        // Column 0 solves cleanly under CG; column 1 sits on the broken
+        // 2×2 block of a block-diagonal operator and needs the ladder.
+        let mut coo = mcmcmi_sparse::Coo::new(4, 4);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 1, 3.0);
+        coo.push(2, 3, 1.0);
+        coo.push(3, 2, 1.0);
+        let a = coo.to_csr();
+        let rhs = vec![vec![2.0, 3.0, 0.0, 0.0], vec![0.0, 0.0, 1.0, 0.0]];
+        let (results, trail) = solve_batch_resilient(
+            &a,
+            &rhs,
+            &IdentityPrecond::new(4),
+            SolverType::Cg,
+            SolveOptions::default(),
+            &RecoveryPolicy::default(),
+            RecoveryContext::none(),
+        );
+        assert!(trail.recovered, "{}", trail.summary());
+        assert!(!trail.is_clean());
+        assert!(results.iter().all(|r| r.converged));
+        // The healthy column's solution is the plain-solve solution.
+        let plain = solve_batch(
+            &a,
+            &rhs,
+            &IdentityPrecond::new(4),
+            SolverType::Cg,
+            SolveOptions::default(),
+        );
+        assert_eq!(results[0].x, plain[0].x);
+        assert_eq!(results[0].iterations, plain[0].iterations);
+        // The recovered column actually solves its system: x[3] = 1.
+        assert!((results[1].x[3] - 1.0).abs() < 1e-8);
+    }
+}

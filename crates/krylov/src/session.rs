@@ -20,6 +20,10 @@ use crate::fcg::{fcg_batch, fcg_with, FcgBlockWorkspace, FcgWorkspace};
 use crate::fgmres::{fgmres_batch, fgmres_with, FgmresBlockWorkspace, FgmresWorkspace};
 use crate::gmres::{gmres_batch, gmres_with, GmresBlockWorkspace, GmresWorkspace};
 use crate::precond::Preconditioner;
+use crate::resilient::{
+    escalate_batch, escalate_scalar, RecoveryContext, RecoveryPolicy, RecoveryTrail,
+    ResilientResult,
+};
 use crate::solver::{SolveOptions, SolveResult, SolverType};
 use mcmcmi_sparse::{Csr, KernelBackend, SpecializedBackend, Structure};
 use std::collections::BTreeMap;
@@ -171,6 +175,69 @@ impl<P: Preconditioner> SolveSession<P> {
             BlockWs::Fgmres(ws) => fgmres_batch(&self.a, rhs, &self.precond, self.opts, ws),
             BlockWs::FCg(ws) => fcg_batch(&self.a, rhs, &self.precond, self.opts, ws),
         }
+    }
+
+    /// [`SolveSession::solve`] with the recovery ladder behind it: a clean
+    /// solve takes exactly the workspace-reusing session path (bit-identical
+    /// results, empty trail); on a structured failure the
+    /// [`RecoveryPolicy`] rungs escalate deterministically and the
+    /// [`crate::RecoveryTrail`] records each one.
+    ///
+    /// # Panics
+    /// Panics if `b` has the wrong length.
+    pub fn solve_resilient(
+        &mut self,
+        b: &[f64],
+        policy: &RecoveryPolicy,
+        ctx: RecoveryContext<'_>,
+    ) -> ResilientResult {
+        let base = self.solve(b);
+        if base.converged {
+            return ResilientResult {
+                result: base,
+                trail: RecoveryTrail {
+                    steps: Vec::new(),
+                    recovered: true,
+                },
+            };
+        }
+        escalate_scalar(
+            &self.a,
+            b,
+            &self.precond,
+            self.solver,
+            self.opts,
+            policy,
+            ctx,
+            base,
+        )
+    }
+
+    /// [`SolveSession::solve_batch`] with the recovery ladder behind it: a
+    /// clean batch is bit-identical to the plain batched path (empty
+    /// trail); on failures, each ladder rung re-solves only the
+    /// still-failing columns in a lockstep sub-batch, leaving converged
+    /// siblings' results untouched.
+    ///
+    /// # Panics
+    /// Panics if any rhs has the wrong length.
+    pub fn solve_batch_resilient(
+        &mut self,
+        rhs: &[Vec<f64>],
+        policy: &RecoveryPolicy,
+        ctx: RecoveryContext<'_>,
+    ) -> (Vec<SolveResult>, RecoveryTrail) {
+        let base = self.solve_batch(rhs);
+        escalate_batch(
+            &self.a,
+            rhs,
+            &self.precond,
+            self.solver,
+            self.opts,
+            policy,
+            ctx,
+            base,
+        )
     }
 
     /// Tear the session apart, recovering the matrix and preconditioner.

@@ -1,6 +1,8 @@
-//! Common solver options, results, and the type-dispatched entry point.
+//! Common solver options, results, the failure taxonomy, and the
+//! type-dispatched entry point.
 
 use crate::precond::Preconditioner;
+use crate::watchdog::WatchdogConfig;
 use mcmcmi_sparse::KernelBackend;
 use serde::{Deserialize, Serialize};
 
@@ -73,6 +75,11 @@ pub struct SolveOptions {
     pub max_iter: usize,
     /// GMRES restart length (ignored by CG/BiCGStab).
     pub restart: usize,
+    /// Mid-solve stagnation/divergence/non-finite monitor (see
+    /// [`crate::watchdog::Watchdog`]). The defaults are conservative enough
+    /// that healthy solves never trip; disable entirely with
+    /// [`WatchdogConfig::disabled`].
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for SolveOptions {
@@ -81,8 +88,105 @@ impl Default for SolveOptions {
             tol: 1e-8,
             max_iter: 5000,
             restart: 50,
+            watchdog: WatchdogConfig::default(),
         }
     }
+}
+
+/// Slack factor on the convergence wrap: a solve whose *true* final
+/// residual lands within `tol × CONVERGENCE_SLACK` still counts as
+/// converged (the recursive/preconditioned residual the driver monitors can
+/// lag the true residual slightly). [`ConvergedWithin`] records which side
+/// of `tol` the result actually landed on, so callers that need the strict
+/// contract can check.
+pub const CONVERGENCE_SLACK: f64 = 10.0;
+
+/// Which convergence contract the final *true* residual satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConvergedWithin {
+    /// `rel_residual ≤ tol`: the strict contract.
+    Tol,
+    /// `rel_residual ≤ tol ×` [`CONVERGENCE_SLACK`] (or a driver-preset
+    /// convergence, e.g. the zero-`Pb` early exit): close enough for the
+    /// default contract, but strict-tolerance callers should escalate.
+    Slack,
+}
+
+/// What kind of algebraic breakdown stopped a driver: which quantity in the
+/// short recurrence (or the restarted least-squares solve) degenerated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakdownKind {
+    /// CG/FCG: `pᵀAp ≈ 0` — the search direction has (numerically) zero
+    /// curvature; the operator is not SPD on the Krylov subspace.
+    ZeroCurvature,
+    /// BiCGStab: `ρ = ⟨r̂₀, r⟩ ≈ 0` — the shadow residual became orthogonal
+    /// to the residual (Lanczos breakdown).
+    RhoZero,
+    /// BiCGStab: `⟨r̂₀, A·p̂⟩ ≈ 0` — the α denominator vanished.
+    RhatVZero,
+    /// BiCGStab: `⟨t, t⟩ ≈ 0` or `ω ≈ 0` — the stabilisation step
+    /// degenerated.
+    OmegaZero,
+    /// GMRES/FGMRES: a zero pivot in the back-substitution of the
+    /// least-squares triangle — the Hessenberg system is singular.
+    SingularHessenberg,
+}
+
+/// Structured reason a solve failed — the taxonomy every driver (scalar and
+/// batched) reports through [`SolveOutcome`] instead of a bare flag.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SolveFailure {
+    /// A short-recurrence quantity degenerated mid-iteration.
+    Breakdown {
+        /// Which quantity broke down.
+        kind: BreakdownKind,
+        /// Iteration at which the driver stopped.
+        iteration: usize,
+    },
+    /// The watchdog saw no meaningful residual progress for a full window.
+    Stagnated {
+        /// Length of the no-progress window that tripped.
+        window: usize,
+        /// Best residual norm seen before the monitor gave up.
+        best_residual: f64,
+    },
+    /// The residual grew explosively relative to the best seen so far.
+    Diverged {
+        /// `residual / best_residual` at the moment the monitor tripped.
+        growth: f64,
+    },
+    /// A NaN/Inf surfaced (in a recurrence scalar, a residual norm, or the
+    /// final true-residual measurement).
+    NonFinite {
+        /// Which quantity went non-finite.
+        what: String,
+    },
+    /// The iteration budget (`max_iter`) ran out without convergence and
+    /// without any sharper diagnosis.
+    BudgetExhausted,
+}
+
+impl SolveFailure {
+    /// Short stable label for logs and trail summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SolveFailure::Breakdown { .. } => "breakdown",
+            SolveFailure::Stagnated { .. } => "stagnated",
+            SolveFailure::Diverged { .. } => "diverged",
+            SolveFailure::NonFinite { .. } => "non-finite",
+            SolveFailure::BudgetExhausted => "budget-exhausted",
+        }
+    }
+}
+
+/// Structured outcome of a solve: converged (and how tightly), or failed
+/// (and why).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SolveOutcome {
+    /// The solve converged; the payload records the strict/slack contract.
+    Converged(ConvergedWithin),
+    /// The solve failed; the payload is the structured diagnosis.
+    Failed(SolveFailure),
 }
 
 /// Outcome of a solve.
@@ -96,38 +200,22 @@ pub struct SolveResult {
     pub iterations: usize,
     /// Final true relative residual ‖b − Ax‖/‖b‖.
     pub rel_residual: f64,
-    /// Set when the method hit a numerical breakdown (ρ ≈ 0, ω ≈ 0,
-    /// non-finite values): the run is reported as not converged.
+    /// Legacy flag: set when the structured outcome is a numerical
+    /// breakdown or a non-finite value (kept so existing callers keep
+    /// working; prefer [`SolveResult::outcome`]).
     pub breakdown: bool,
+    /// The structured outcome: converged-within-which-contract, or the
+    /// failure taxonomy variant that stopped the solve.
+    pub outcome: SolveOutcome,
 }
 
 impl SolveResult {
-    /// Recompute and store the true relative residual (solvers track a
-    /// recursive or preconditioned residual; callers want the real thing),
-    /// writing the residual into caller-owned scratch so workspace-backed
-    /// solvers stay allocation-free.
-    pub(crate) fn finalize_with<A: KernelBackend + ?Sized>(
-        mut self,
-        a: &A,
-        b: &[f64],
-        scratch: &mut Vec<f64>,
-    ) -> Self {
-        scratch.resize(b.len(), 0.0);
-        a.spmv(&self.x, scratch);
-        for (ri, &bi) in scratch.iter_mut().zip(b) {
-            *ri = bi - *ri;
+    /// The structured failure, if the solve did not converge.
+    pub fn failure(&self) -> Option<&SolveFailure> {
+        match &self.outcome {
+            SolveOutcome::Failed(f) => Some(f),
+            SolveOutcome::Converged(_) => None,
         }
-        let bn = mcmcmi_dense::norm2(b);
-        self.rel_residual = if bn > 0.0 {
-            mcmcmi_dense::norm2(scratch) / bn
-        } else {
-            mcmcmi_dense::norm2(scratch)
-        };
-        if !self.rel_residual.is_finite() {
-            self.breakdown = true;
-            self.converged = false;
-        }
-        self
     }
 }
 
@@ -136,8 +224,8 @@ impl SolveResult {
 #[derive(Clone, Copy, Debug)]
 pub(crate) enum ColEnd {
     /// Normal completion: measure the true residual, then
-    /// `converged := !breakdown && rel ≤ tol·10` (the wrap every scalar
-    /// solver applies after `finalize`).
+    /// `converged := no failure && rel ≤ tol × CONVERGENCE_SLACK` (the wrap
+    /// every scalar solver applies after `finalize`).
     Wrapped,
     /// Early return that still measures the true residual but keeps its
     /// preset `converged` flag (the BiCGStab/GMRES zero-`Pb` path).
@@ -148,17 +236,90 @@ pub(crate) enum ColEnd {
 }
 
 /// Per-column outcome a lockstep driver hands to [`finalize_columns`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct ColOutcome {
     pub iterations: usize,
-    pub breakdown: bool,
+    pub failure: Option<SolveFailure>,
     pub end: ColEnd,
 }
 
-/// Batched counterpart of [`SolveResult::finalize`]: recompute the true
-/// residuals of all `k` columns with a single SpMM traversal, replicating
-/// the scalar `finalize` arithmetic per column bit-for-bit, and unpack the
-/// solution block into per-column [`SolveResult`]s.
+/// Shared classification: turn a measured true relative residual plus the
+/// driver's structured failure (if any) into a [`SolveResult`]. This is the
+/// single place the `converged`/`breakdown` flags and the
+/// [`SolveOutcome`]/[`ConvergedWithin`] fields are derived, for scalar and
+/// batched drivers alike — pure flag logic, no floating-point arithmetic,
+/// so clean solves stay bit-identical.
+pub(crate) fn classify(
+    x: Vec<f64>,
+    iterations: usize,
+    rel: f64,
+    mut failure: Option<SolveFailure>,
+    tol: f64,
+    end: ColEnd,
+) -> SolveResult {
+    if !rel.is_finite() && failure.is_none() {
+        failure = Some(SolveFailure::NonFinite {
+            what: "true residual".to_string(),
+        });
+    }
+    let converged = match end {
+        ColEnd::Wrapped => failure.is_none() && rel.is_finite() && rel <= tol * CONVERGENCE_SLACK,
+        ColEnd::Preset { converged } | ColEnd::Skip { converged } => converged && rel.is_finite(),
+    };
+    let outcome = if converged {
+        SolveOutcome::Converged(if rel <= tol {
+            ConvergedWithin::Tol
+        } else {
+            ConvergedWithin::Slack
+        })
+    } else {
+        SolveOutcome::Failed(failure.unwrap_or(SolveFailure::BudgetExhausted))
+    };
+    let breakdown = matches!(
+        &outcome,
+        SolveOutcome::Failed(SolveFailure::Breakdown { .. } | SolveFailure::NonFinite { .. })
+    );
+    SolveResult {
+        x,
+        converged,
+        iterations,
+        rel_residual: rel,
+        breakdown,
+        outcome,
+    }
+}
+
+/// Measure the true relative residual of `x` (one SpMV into caller-owned
+/// scratch, so workspace-backed solvers stay allocation-free) and classify
+/// via [`classify`]. Every scalar driver exits through this.
+pub(crate) fn wrap_scalar<A: KernelBackend + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x: Vec<f64>,
+    iterations: usize,
+    failure: Option<SolveFailure>,
+    tol: f64,
+    end: ColEnd,
+    scratch: &mut Vec<f64>,
+) -> SolveResult {
+    scratch.resize(b.len(), 0.0);
+    a.spmv(&x, scratch);
+    for (ri, &bi) in scratch.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+    let bn = mcmcmi_dense::norm2(b);
+    let rel = if bn > 0.0 {
+        mcmcmi_dense::norm2(scratch) / bn
+    } else {
+        mcmcmi_dense::norm2(scratch)
+    };
+    classify(x, iterations, rel, failure, tol, end)
+}
+
+/// Batched counterpart of [`wrap_scalar`]: recompute the true residuals of
+/// all `k` columns with a single SpMM traversal, replicating the scalar
+/// finalize arithmetic per column bit-for-bit, and unpack the solution
+/// block into per-column [`SolveResult`]s.
 pub(crate) fn finalize_columns<A: KernelBackend + ?Sized>(
     a: &A,
     bb: &[f64],
@@ -176,14 +337,15 @@ pub(crate) fn finalize_columns<A: KernelBackend + ?Sized>(
     for (c, o) in outcomes.iter().enumerate() {
         let mut x = vec![0.0; n];
         mcmcmi_dense::gather_col(xb, k, c, &mut x);
-        if let ColEnd::Skip { converged } = o.end {
-            results.push(SolveResult {
+        if let ColEnd::Skip { .. } = o.end {
+            results.push(classify(
                 x,
-                converged,
-                iterations: o.iterations,
-                rel_residual: 0.0,
-                breakdown: o.breakdown,
-            });
+                o.iterations,
+                0.0,
+                o.failure.clone(),
+                tol,
+                o.end,
+            ));
             continue;
         }
         // r[:,c] = b[:,c] − (A·X)[:,c], elementwise in row order — the same
@@ -198,25 +360,14 @@ pub(crate) fn finalize_columns<A: KernelBackend + ?Sized>(
         let bn = mcmcmi_dense::norm2_col(bb, k, c);
         let rn = mcmcmi_dense::norm2_col(scratch, k, c);
         let rel = if bn > 0.0 { rn / bn } else { rn };
-        let mut breakdown = o.breakdown;
-        let mut converged = match o.end {
-            ColEnd::Preset { converged } => converged,
-            _ => false,
-        };
-        if !rel.is_finite() {
-            breakdown = true;
-            converged = false;
-        }
-        if let ColEnd::Wrapped = o.end {
-            converged = !breakdown && rel <= tol * 10.0;
-        }
-        results.push(SolveResult {
+        results.push(classify(
             x,
-            converged,
-            iterations: o.iterations,
-            rel_residual: rel,
-            breakdown,
-        });
+            o.iterations,
+            rel,
+            o.failure.clone(),
+            tol,
+            o.end,
+        ));
     }
     results
 }
@@ -228,7 +379,7 @@ pub(crate) fn finalize_columns<A: KernelBackend + ?Sized>(
 ///
 /// # Panics
 /// Panics if dimensions disagree.
-pub fn solve<A: KernelBackend + ?Sized, P: Preconditioner>(
+pub fn solve<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
     a: &A,
     b: &[f64],
     precond: &P,
@@ -263,7 +414,7 @@ pub fn solve<A: KernelBackend + ?Sized, P: Preconditioner>(
 ///
 /// # Panics
 /// Panics if dimensions disagree.
-pub fn solve_batch<A: KernelBackend + ?Sized, P: Preconditioner>(
+pub fn solve_batch<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
     a: &A,
     rhs: &[Vec<f64>],
     precond: &P,
@@ -330,5 +481,77 @@ mod tests {
         assert_eq!(o.tol, 1e-8);
         assert_eq!(o.max_iter, 5000);
         assert_eq!(o.restart, 50);
+        assert!(o.watchdog.enabled);
+    }
+
+    #[test]
+    fn classify_separates_tol_from_slack() {
+        let tol = 1e-8;
+        // Strictly within tol.
+        let r = classify(vec![0.0], 3, 5e-9, None, tol, ColEnd::Wrapped);
+        assert!(r.converged && !r.breakdown);
+        assert_eq!(r.outcome, SolveOutcome::Converged(ConvergedWithin::Tol));
+        // Within tol × CONVERGENCE_SLACK only.
+        let r = classify(vec![0.0], 3, 5e-8, None, tol, ColEnd::Wrapped);
+        assert!(r.converged);
+        assert_eq!(r.outcome, SolveOutcome::Converged(ConvergedWithin::Slack));
+        // Past the slack: budget exhausted when no sharper diagnosis exists.
+        let r = classify(vec![0.0], 3, 1e-6, None, tol, ColEnd::Wrapped);
+        assert!(!r.converged && !r.breakdown);
+        assert_eq!(
+            r.outcome,
+            SolveOutcome::Failed(SolveFailure::BudgetExhausted)
+        );
+    }
+
+    #[test]
+    fn classify_maps_failures_to_legacy_flags() {
+        let tol = 1e-8;
+        let bd = SolveFailure::Breakdown {
+            kind: BreakdownKind::ZeroCurvature,
+            iteration: 7,
+        };
+        let r = classify(vec![0.0], 7, 0.5, Some(bd.clone()), tol, ColEnd::Wrapped);
+        assert!(!r.converged && r.breakdown);
+        assert_eq!(r.failure(), Some(&bd));
+        // Stagnation/divergence are *not* legacy breakdowns.
+        let st = SolveFailure::Stagnated {
+            window: 10,
+            best_residual: 0.1,
+        };
+        let r = classify(vec![0.0], 50, 0.1, Some(st), tol, ColEnd::Wrapped);
+        assert!(!r.converged && !r.breakdown);
+        // A non-finite true residual is diagnosed even with no driver failure.
+        let r = classify(vec![f64::NAN], 2, f64::NAN, None, tol, ColEnd::Wrapped);
+        assert!(!r.converged && r.breakdown);
+        assert!(matches!(
+            r.failure(),
+            Some(SolveFailure::NonFinite { what }) if what == "true residual"
+        ));
+    }
+
+    #[test]
+    fn classify_preset_keeps_driver_verdict() {
+        // The zero-Pb early exit declares convergence regardless of rel.
+        let r = classify(
+            vec![0.0],
+            0,
+            1.0,
+            None,
+            1e-8,
+            ColEnd::Preset { converged: true },
+        );
+        assert!(r.converged);
+        assert_eq!(r.outcome, SolveOutcome::Converged(ConvergedWithin::Slack));
+        // …unless the measured residual is non-finite.
+        let r = classify(
+            vec![f64::NAN],
+            0,
+            f64::NAN,
+            None,
+            1e-8,
+            ColEnd::Preset { converged: true },
+        );
+        assert!(!r.converged && r.breakdown);
     }
 }

@@ -19,6 +19,7 @@
 pub mod builder;
 pub mod compress;
 pub mod params;
+pub mod recover;
 pub mod regenerative;
 pub mod safeguard;
 pub mod walk;
@@ -26,6 +27,7 @@ pub mod walk;
 pub use builder::{BuildConfig, BuildOutcome, McmcInverse};
 pub use compress::{compress, sparsify, CompressionPolicy, CompressionReport, StoragePrecision};
 pub use params::McmcParams;
+pub use recover::SafeguardedRebuilder;
 pub use regenerative::{regenerative_inverse, RegenerativeConfig};
 pub use safeguard::{BuildAttempt, BuildError, SafeguardConfig, SafeguardedBuild};
 pub use walk::{RowWalkStats, WalkMatrix};

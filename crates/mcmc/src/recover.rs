@@ -1,0 +1,198 @@
+//! The mcmc side of the recovery ladder: a [`PrecondRebuild`] hook that
+//! re-runs the safeguarded build with α backed off one more geometric step
+//! each time the ladder asks.
+//!
+//! Rung 3 of `mcmcmi_krylov`'s [`RecoveryPolicy`] escalation is "rebuild
+//! the preconditioner" — but the krylov crate cannot know *how* MCMC
+//! builds work. [`SafeguardedRebuilder`] closes the loop: it owns the
+//! matrix reference, the current [`McmcParams`], and a [`SafeguardConfig`],
+//! and every [`PrecondRebuild::rebuild`] call advances α by the same
+//! `max(α, floor) × growth` step PR-5's in-build backoff uses, then runs
+//! [`McmcInverse::build_safeguarded`] from there. The full [`BuildAttempt`]
+//! trail accumulates across calls, so a caller can see exactly which α
+//! values were burned on recovery.
+//!
+//! [`RecoveryPolicy`]: mcmcmi_krylov::RecoveryPolicy
+
+use crate::builder::McmcInverse;
+use crate::params::McmcParams;
+use crate::safeguard::{BuildAttempt, BuildError, SafeguardConfig};
+use mcmcmi_krylov::{PrecondRebuild, Preconditioner, SolveFailure};
+use mcmcmi_sparse::Csr;
+
+/// A [`PrecondRebuild`] implementation backed by the safeguarded MCMC
+/// build: each `rebuild` call backs α off one geometric step and rebuilds.
+pub struct SafeguardedRebuilder<'a> {
+    a: &'a Csr,
+    builder: McmcInverse,
+    params: McmcParams,
+    guard: SafeguardConfig,
+    symmetrize: bool,
+    attempts: Vec<BuildAttempt>,
+    rebuilds: usize,
+    max_rebuilds: usize,
+}
+
+impl<'a> SafeguardedRebuilder<'a> {
+    /// A rebuilder starting from the parameters the failed preconditioner
+    /// was built with. `symmetrize` should be `true` when the consuming
+    /// driver is the CG family (the MCMC inverse is generally
+    /// nonsymmetric).
+    pub fn new(
+        a: &'a Csr,
+        builder: McmcInverse,
+        params: McmcParams,
+        guard: SafeguardConfig,
+        symmetrize: bool,
+    ) -> Self {
+        Self {
+            a,
+            builder,
+            params,
+            guard,
+            symmetrize,
+            attempts: Vec::new(),
+            rebuilds: 0,
+            max_rebuilds: 2,
+        }
+    }
+
+    /// Cap on how many rebuilds this hook will serve (default 2); further
+    /// `rebuild` calls return `None` so the ladder falls through to its
+    /// unpreconditioned floor instead of burning build time forever.
+    pub fn with_max_rebuilds(mut self, max_rebuilds: usize) -> Self {
+        self.max_rebuilds = max_rebuilds;
+        self
+    }
+
+    /// Every build attempt made across all rebuild calls, in order —
+    /// the same [`BuildAttempt`] records PR-5's safeguard machinery emits.
+    pub fn attempts(&self) -> &[BuildAttempt] {
+        &self.attempts
+    }
+
+    /// The parameters the *next* rebuild would start from (α reflects the
+    /// backoffs taken so far).
+    pub fn params(&self) -> McmcParams {
+        self.params
+    }
+}
+
+impl PrecondRebuild for SafeguardedRebuilder<'_> {
+    fn rebuild(&mut self, _trigger: &SolveFailure) -> Option<Box<dyn Preconditioner>> {
+        if self.rebuilds >= self.max_rebuilds {
+            return None;
+        }
+        self.rebuilds += 1;
+        // One geometric backoff step before the safeguarded build — the
+        // previous α already produced a preconditioner that failed a solve,
+        // so retrying it unchanged would reproduce the same operator.
+        self.params.alpha = self.params.alpha.max(self.guard.alpha_floor) * self.guard.alpha_growth;
+        match self
+            .builder
+            .build_safeguarded(self.a, self.params, &self.guard)
+        {
+            Ok(guarded) => {
+                self.attempts.extend_from_slice(&guarded.attempts);
+                self.params = guarded.params;
+                let precond = if self.symmetrize {
+                    guarded.outcome.precond.symmetrized()
+                } else {
+                    guarded.outcome.precond
+                };
+                Some(Box::new(precond))
+            }
+            Err(BuildError::Divergent { attempts }) => {
+                self.attempts.extend_from_slice(&attempts);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BuildConfig;
+    use mcmcmi_krylov::{
+        solve_resilient, RecoveryContext, RecoveryPolicy, RecoveryStepKind, SolverType,
+    };
+
+    #[test]
+    fn rebuilder_backs_alpha_off_and_builds() {
+        let a = mcmcmi_matgen::fd_laplace_2d(8);
+        let params = McmcParams::new(0.5, 0.5, 0.25);
+        let mut rb = SafeguardedRebuilder::new(
+            &a,
+            McmcInverse::new(BuildConfig::default()),
+            params,
+            SafeguardConfig::default(),
+            false,
+        );
+        let p = rb
+            .rebuild(&SolveFailure::BudgetExhausted)
+            .expect("laplacian build must pass");
+        assert_eq!(p.dim(), a.nrows());
+        assert!(rb.params().alpha > 0.5, "α must have backed off upward");
+        assert!(!rb.attempts().is_empty());
+    }
+
+    #[test]
+    fn rebuild_cap_exhausts_to_none() {
+        let a = mcmcmi_matgen::fd_laplace_2d(6);
+        let mut rb = SafeguardedRebuilder::new(
+            &a,
+            McmcInverse::new(BuildConfig::default()),
+            McmcParams::new(0.5, 0.5, 0.25),
+            SafeguardConfig::default(),
+            false,
+        )
+        .with_max_rebuilds(1);
+        assert!(rb.rebuild(&SolveFailure::BudgetExhausted).is_some());
+        assert!(rb.rebuild(&SolveFailure::BudgetExhausted).is_none());
+    }
+
+    #[test]
+    fn ladder_rebuild_rung_uses_the_mcmc_rebuilder() {
+        // Identity "preconditioner" that lies about convergence never helps
+        // CG on this operator within 3 iterations, so the ladder reaches the
+        // rebuild rung; the rebuilt MCMC inverse (or the floor) recovers.
+        let a = mcmcmi_matgen::fd_laplace_2d(8);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.23).sin()).collect();
+        let mut rb = SafeguardedRebuilder::new(
+            &a,
+            McmcInverse::new(BuildConfig::default()),
+            McmcParams::new(0.5, 0.25, 0.125),
+            SafeguardConfig::default(),
+            true,
+        );
+        let opts = mcmcmi_krylov::SolveOptions {
+            max_iter: 3, // starve the base solve so it fails with BudgetExhausted
+            ..Default::default()
+        };
+        let policy = RecoveryPolicy {
+            flexible_swap: false,
+            unpreconditioned_fallback: false,
+            ..Default::default()
+        };
+        let res = solve_resilient(
+            &a,
+            &b,
+            &mcmcmi_krylov::IdentityPrecond::new(n),
+            SolverType::Cg,
+            opts,
+            &policy,
+            RecoveryContext {
+                full_precision: None,
+                rebuilder: Some(&mut rb),
+            },
+        );
+        assert!(!res.trail.is_clean());
+        assert!(res
+            .trail
+            .steps
+            .iter()
+            .any(|s| s.step == RecoveryStepKind::Rebuild));
+    }
+}

@@ -10,6 +10,7 @@ pub mod backend;
 pub mod coo;
 pub mod csc;
 pub mod csr;
+pub mod fault;
 pub mod io;
 pub mod ops;
 pub mod scalar;
@@ -19,6 +20,7 @@ pub use backend::{KernelBackend, SpecializedBackend};
 pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::{par_threshold, set_par_threshold_for_tests, Csr, DEFAULT_PAR_THRESHOLD};
+pub use fault::{corrupt_rows, FaultKind, FaultSpec, FaultyBackend};
 pub use ops::{csr_add, csr_add_diag, csr_eye, csr_scale};
 pub use scalar::Scalar;
 pub use structure::{detect_structure, StencilMap, Structure, MAX_STENCIL_PATTERNS};

@@ -24,28 +24,34 @@ pub fn sample_std(xs: &[f64]) -> f64 {
     sample_var(xs).sqrt()
 }
 
-/// Linear-interpolation quantile (the "type 7" scheme NumPy defaults to).
+/// Linear-interpolation quantile (the "type 7" scheme NumPy defaults to)
+/// over the *finite* values of `xs`.
 ///
-/// # Panics
-/// Panics on an empty slice or `q` outside [0, 1].
-pub fn quantile(xs: &[f64], q: f64) -> f64 {
-    assert!(!xs.is_empty(), "quantile: empty data");
-    assert!((0.0..=1.0).contains(&q), "quantile: q must be in [0,1]");
-    let mut v = xs.to_vec();
-    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in data"));
+/// Non-finite values (NaN, ±∞) are filtered out before ranking — a
+/// divergent build's statistics must never panic the recorder. Returns
+/// `None` when no finite value remains or `q` lies outside [0, 1].
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values compare totally"));
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
-    if lo == hi {
+    Some(if lo == hi {
         v[lo]
     } else {
         let w = pos - lo as f64;
         v[lo] * (1.0 - w) + v[hi] * w
-    }
+    })
 }
 
-/// Median (50% quantile).
-pub fn median(xs: &[f64]) -> f64 {
+/// Median (50% quantile) of the finite values; `None` if none remain.
+pub fn median(xs: &[f64]) -> Option<f64> {
     quantile(xs, 0.5)
 }
 
@@ -73,15 +79,13 @@ pub struct BoxStats {
 }
 
 impl BoxStats {
-    /// Compute the summary.
-    ///
-    /// # Panics
-    /// Panics on empty input.
-    pub fn from_data(xs: &[f64]) -> Self {
-        assert!(!xs.is_empty(), "BoxStats: empty data");
-        let q1 = quantile(xs, 0.25);
-        let med = quantile(xs, 0.5);
-        let q3 = quantile(xs, 0.75);
+    /// Compute the summary over the finite values of `xs`; non-finite
+    /// values are dropped. Returns `None` when no finite value remains.
+    pub fn from_data(xs: &[f64]) -> Option<Self> {
+        let finite: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+        let q1 = quantile(&finite, 0.25)?;
+        let med = quantile(&finite, 0.5)?;
+        let q3 = quantile(&finite, 0.75)?;
         let iqr = q3 - q1;
         let lo_fence = q1 - 1.5 * iqr;
         let hi_fence = q3 + 1.5 * iqr;
@@ -90,7 +94,7 @@ impl BoxStats {
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         let mut outliers = Vec::new();
-        for &x in xs {
+        for &x in &finite {
             min = min.min(x);
             max = max.max(x);
             if x >= lo_fence && x <= hi_fence {
@@ -106,7 +110,7 @@ impl BoxStats {
             whisker_hi = med;
         }
         outliers.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
-        Self {
+        Some(Self {
             min,
             whisker_lo,
             q1,
@@ -115,7 +119,7 @@ impl BoxStats {
             whisker_hi,
             max,
             outliers,
-        }
+        })
     }
 }
 
@@ -140,27 +144,45 @@ mod tests {
 
     #[test]
     fn median_odd_even() {
-        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
-        assert!((median(&[1.0, 2.0, 3.0, 4.0]) - 2.5).abs() < 1e-15);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert!((median(&[1.0, 2.0, 3.0, 4.0]).unwrap() - 2.5).abs() < 1e-15);
     }
 
     #[test]
     fn quantile_endpoints() {
         let xs = [5.0, 1.0, 3.0];
-        assert_eq!(quantile(&xs, 0.0), 1.0);
-        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(5.0));
     }
 
     #[test]
     fn quantile_interpolates() {
         let xs = [0.0, 10.0];
-        assert!((quantile(&xs, 0.25) - 2.5).abs() < 1e-15);
+        assert!((quantile(&xs, 0.25).unwrap() - 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantile_never_panics_on_nonfinite() {
+        // Regression: a divergent build hands the recorder NaN/∞ samples;
+        // the old implementation panicked inside sort's partial_cmp.
+        let xs = [f64::NAN, 3.0, f64::INFINITY, 1.0, f64::NEG_INFINITY, 2.0];
+        assert_eq!(quantile(&xs, 0.5), Some(2.0));
+        assert_eq!(median(&xs), Some(2.0));
+        assert_eq!(quantile(&[f64::NAN, f64::INFINITY], 0.5), None);
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[1.0], 1.5), None);
+        let b = BoxStats::from_data(&xs).expect("finite values remain");
+        assert_eq!(b.median, 2.0);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.max, 3.0);
+        assert!(BoxStats::from_data(&[f64::NAN]).is_none());
+        assert!(BoxStats::from_data(&[]).is_none());
     }
 
     #[test]
     fn box_stats_no_outliers() {
         let xs: Vec<f64> = (1..=9).map(|i| i as f64).collect();
-        let b = BoxStats::from_data(&xs);
+        let b = BoxStats::from_data(&xs).unwrap();
         assert_eq!(b.median, 5.0);
         assert_eq!(b.whisker_lo, 1.0);
         assert_eq!(b.whisker_hi, 9.0);
@@ -171,7 +193,7 @@ mod tests {
     fn box_stats_detects_outlier() {
         let mut xs: Vec<f64> = (1..=9).map(|i| i as f64).collect();
         xs.push(100.0);
-        let b = BoxStats::from_data(&xs);
+        let b = BoxStats::from_data(&xs).unwrap();
         assert_eq!(b.outliers, vec![100.0]);
         assert!(b.whisker_hi <= 9.0 + 1e-12);
         assert_eq!(b.max, 100.0);
@@ -179,7 +201,7 @@ mod tests {
 
     #[test]
     fn box_stats_constant_data() {
-        let b = BoxStats::from_data(&[4.0; 6]);
+        let b = BoxStats::from_data(&[4.0; 6]).unwrap();
         assert_eq!(b.median, 4.0);
         assert_eq!(b.q1, 4.0);
         assert_eq!(b.q3, 4.0);

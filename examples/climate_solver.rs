@@ -27,6 +27,7 @@ fn main() {
         tol: 1e-8,
         max_iter: 1500,
         restart: 50,
+        ..Default::default()
     };
 
     let t1 = std::time::Instant::now();

@@ -100,7 +100,7 @@ fn main() {
             r.params.alpha,
             r.params.eps,
             r.params.delta,
-            median(&r.ys)
+            median(&r.ys).unwrap_or(f64::NAN)
         );
     }
     println!(

@@ -80,6 +80,7 @@ fn tuned_build_converges_on_climate_with_smoke_budget() {
             tol: 1e-6,
             max_iter: 4000,
             restart: 300,
+            ..Default::default()
         },
         seed: 0,
     };

@@ -14,6 +14,7 @@ fn runner() -> MeasurementRunner {
             tol: 1e-6,
             max_iter: 400,
             restart: 30,
+            ..Default::default()
         },
         ..Default::default()
     })

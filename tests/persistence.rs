@@ -28,6 +28,7 @@ fn dataset_json_roundtrip_preserves_everything() {
             tol: 1e-6,
             max_iter: 200,
             restart: 25,
+            ..Default::default()
         },
         ..Default::default()
     });
@@ -53,6 +54,7 @@ fn recommender_snapshot_roundtrip_preserves_predictions() {
             tol: 1e-6,
             max_iter: 200,
             restart: 25,
+            ..Default::default()
         },
         ..Default::default()
     });
