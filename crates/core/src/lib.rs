@@ -23,6 +23,7 @@ pub mod dataset;
 pub mod features;
 pub mod measure;
 pub mod pipeline;
+pub mod snapshot;
 
 pub use adapter::GnnSurrogateAdapter;
 pub use autotune::{AutoTuner, AutotuneConfig, AutotuneReport, TrialRecord};
@@ -30,3 +31,4 @@ pub use dataset::{DatasetRecord, PaperDataset};
 pub use features::matrix_features;
 pub use measure::{MeasureConfig, Measurement, MeasurementRunner};
 pub use pipeline::{BoRoundOutcome, PipelineConfig, Recommender};
+pub use snapshot::{load_json_snapshot, save_json_snapshot};

@@ -1,0 +1,94 @@
+//! Crash-safe JSON snapshot files — the persistence primitive behind the
+//! PR-5 model snapshots and the serving daemon's tuned-parameter store.
+//!
+//! A snapshot is a single JSON document written atomically: the bytes go
+//! to a `.tmp` sibling first and are renamed over the target, so a crash
+//! (or a drain deadline firing mid-write) leaves either the old snapshot
+//! or the new one on disk — never a torn file. Loading tolerates a missing
+//! file (fresh start) but surfaces parse errors loudly: a corrupt snapshot
+//! is a bug to investigate, not a state to silently reset.
+
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Serialize `value` as JSON and atomically replace `path` with it.
+///
+/// The temporary sibling lives in the same directory (`<name>.tmp`) so the
+/// final `rename` never crosses a filesystem boundary.
+pub fn save_json_snapshot<T: Serialize>(path: &Path, value: &T) -> io::Result<()> {
+    let json = serde_json::to_string(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, json.as_bytes())?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Load a JSON snapshot written by [`save_json_snapshot`].
+///
+/// Returns `Ok(None)` when the file does not exist (first boot), the
+/// parsed value when it does, and an error for unreadable or unparsable
+/// contents.
+pub fn load_json_snapshot<T: Deserialize>(path: &Path) -> io::Result<Option<T>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    serde_json::from_str(&text)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Demo {
+        name: String,
+        seeds: Vec<u64>,
+        scale: f64,
+    }
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mcmcmi_snapshot_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip_and_overwrite() {
+        let path = tmp_path("round_trip");
+        let a = Demo {
+            name: "x".into(),
+            seeds: vec![1, 2, 3],
+            scale: 0.1,
+        };
+        save_json_snapshot(&path, &a).unwrap();
+        assert_eq!(load_json_snapshot::<Demo>(&path).unwrap().unwrap(), a);
+        let b = Demo {
+            name: "y".into(),
+            seeds: vec![9],
+            scale: -2.5,
+        };
+        save_json_snapshot(&path, &b).unwrap();
+        assert_eq!(load_json_snapshot::<Demo>(&path).unwrap().unwrap(), b);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_a_fresh_start() {
+        let path = tmp_path("missing");
+        assert!(load_json_snapshot::<Demo>(&path).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_an_error_not_a_reset() {
+        let path = tmp_path("corrupt");
+        std::fs::write(&path, b"{ not json").unwrap();
+        assert!(load_json_snapshot::<Demo>(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

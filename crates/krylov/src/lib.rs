@@ -26,6 +26,7 @@
 pub mod auto;
 pub mod bicgstab;
 pub mod block_cg;
+pub mod cancel;
 pub mod cg;
 pub mod fcg;
 pub mod fgmres;
@@ -41,6 +42,7 @@ pub mod watchdog;
 pub use auto::{SessionTuner, TuneBudget, TuneError, TunedParts};
 pub use bicgstab::{bicgstab, bicgstab_batch, bicgstab_with, BiCgStabWorkspace};
 pub use block_cg::block_cg;
+pub use cancel::{with_cancel, CancelToken};
 pub use cg::{cg, cg_batch, cg_with, CgWorkspace};
 pub use fcg::{fcg, fcg_batch, fcg_with, FcgWorkspace};
 pub use fgmres::{fgmres, fgmres_batch, fgmres_with, FgmresWorkspace};

@@ -253,6 +253,12 @@ pub(crate) fn escalate_scalar<A: KernelBackend + ?Sized>(
         .cloned()
         .unwrap_or(SolveFailure::BudgetExhausted);
     let mut best = base;
+    // A cancelled solve is out of deadline budget, not out of numerical
+    // luck — every rung would burn post-deadline CPU on a result nobody is
+    // waiting for. Hand back the best iterate with an empty trail.
+    if matches!(trigger, SolveFailure::Cancelled) {
+        return finish_scalar(best, trail);
+    }
     let mut active = ActivePrecond::Borrowed(precond);
     let mut active_solver = solver;
 
@@ -384,10 +390,14 @@ pub(crate) fn escalate_batch<A: KernelBackend + ?Sized>(
 ) -> (Vec<SolveResult>, RecoveryTrail) {
     let mut trail = RecoveryTrail::default();
     let mut failing: Vec<usize> = (0..results.len())
-        .filter(|&c| !results[c].converged)
+        .filter(|&c| {
+            // Cancelled columns are past their deadline — never re-solved
+            // (see the scalar path's rationale).
+            !results[c].converged && !matches!(results[c].failure(), Some(SolveFailure::Cancelled))
+        })
         .collect();
     if failing.is_empty() {
-        trail.recovered = true;
+        trail.recovered = results.iter().all(|r| r.converged);
         return (results, trail);
     }
     // The trigger reported per rung is the first failing column's failure —

@@ -345,6 +345,22 @@ mod tests {
         }
     }
 
+    /// Compile-time audit that sessions can be shared across the serving
+    /// daemon's worker threads: every concrete session type (and the
+    /// pieces it is built from — the `SpecializedBackend` with its
+    /// RwLock-cached partition, `SparsePrecond` with the same cache) is
+    /// `Send + Sync`.
+    #[test]
+    fn sessions_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolveSession<crate::precond::SparsePrecond>>();
+        assert_send_sync::<SolveSession<crate::precond::SparsePrecond<f32>>>();
+        assert_send_sync::<SolveSession<crate::precond::CompressedPrecond>>();
+        assert_send_sync::<SolveSession<crate::precond::JacobiPrecond>>();
+        assert_send_sync::<SpecializedBackend>();
+        assert_send_sync::<crate::cancel::CancelToken>();
+    }
+
     #[test]
     fn empty_batch() {
         let a = fd_laplace_2d(4);

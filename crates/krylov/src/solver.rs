@@ -164,6 +164,11 @@ pub enum SolveFailure {
     /// The iteration budget (`max_iter`) ran out without convergence and
     /// without any sharper diagnosis.
     BudgetExhausted,
+    /// The solve was stopped cooperatively — its [`crate::CancelToken`]
+    /// was cancelled or its deadline passed ([`crate::with_cancel`]). Not a
+    /// numerical failure: the best iterate so far is returned with its true
+    /// residual, and the recovery ladder never escalates it.
+    Cancelled,
 }
 
 impl SolveFailure {
@@ -175,6 +180,7 @@ impl SolveFailure {
             SolveFailure::Diverged { .. } => "diverged",
             SolveFailure::NonFinite { .. } => "non-finite",
             SolveFailure::BudgetExhausted => "budget-exhausted",
+            SolveFailure::Cancelled => "cancelled",
         }
     }
 }

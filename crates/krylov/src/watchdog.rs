@@ -92,7 +92,18 @@ impl Watchdog {
     /// structured failure to abort with if the monitor tripped, `None`
     /// otherwise. Call *after* the driver's own convergence test so a
     /// converging iteration always wins.
+    ///
+    /// Every observation point doubles as a cooperative cancellation
+    /// point: if the current thread has a [`crate::CancelToken`] registered
+    /// ([`crate::with_cancel`]) and it is cancelled (flag or deadline),
+    /// [`SolveFailure::Cancelled`] is returned before any monitor
+    /// bookkeeping — even with the watchdog disabled. Without a registered
+    /// token the poll is a thread-local read; no floating-point work is
+    /// added either way, so clean solves stay bit-identical.
     pub fn observe(&mut self, residual: f64) -> Option<SolveFailure> {
+        if let Some(cancelled) = crate::cancel::poll() {
+            return Some(cancelled);
+        }
         if !self.cfg.enabled {
             return None;
         }

@@ -94,7 +94,11 @@ pub struct BuildAttempt {
 }
 
 /// Why a safeguarded build could not produce a usable preconditioner.
-#[derive(Clone, Debug)]
+///
+/// Serializable so the serving daemon's negative session-cache entries can
+/// replay a poison operator's structured error (and persist it across
+/// restarts) without re-burning the probe/build CPU.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum BuildError {
     /// Every attempt was rejected — by the spectral probe or by the
     /// post-build blow-up audit. The trail records each α tried.

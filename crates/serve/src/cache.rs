@@ -1,0 +1,341 @@
+//! The operator/session cache: byte-bounded LRU over built MCMC
+//! preconditioners, keyed by [`Csr::fingerprint`], with *negative* entries
+//! for operators whose safeguarded build diverged.
+//!
+//! The build is the expensive step the whole paper exists to amortise, so
+//! the cache is the daemon's economics: a repeat fingerprint skips the
+//! MCMC walks entirely and goes straight to a reusable
+//! [`SolveSession`] (whose workspaces are themselves cached per solver
+//! options). Poison operators — ones the safeguard rejected after its full
+//! backoff ladder — are remembered too: replaying the recorded
+//! [`BuildError`] costs nothing, where re-discovering it would re-burn
+//! every probe attempt on every retry of a hopeless request.
+//!
+//! Eviction is least-recently-used over an explicit byte budget (matrix +
+//! preconditioner storage), so a long-lived daemon facing an unbounded
+//! stream of distinct operators stays inside a fixed footprint. In-flight
+//! solves hold `Arc`s to their entry, so eviction never invalidates a
+//! running solve — the memory is reclaimed when the last user drops it.
+
+use crate::queue::GroupKey;
+use mcmcmi_krylov::{SolveOptions, SolveSession, SparsePrecond};
+use mcmcmi_mcmc::{BuildAttempt, BuildError, McmcParams};
+use mcmcmi_sparse::Csr;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Nominal bytes charged for a poisoned (negative) entry: the error trail
+/// is tiny, but charging something keeps the accounting honest.
+const POISON_ENTRY_BYTES: usize = 512;
+
+/// A successfully built operator: matrix, preconditioner, provenance, and
+/// the per-solver-options session pool.
+pub struct OperatorEntry {
+    /// The operator.
+    pub matrix: Csr,
+    /// The accepted MCMC approximate inverse.
+    pub precond: SparsePrecond,
+    /// Effective build parameters (α reflects any safeguard backoff).
+    pub params: McmcParams,
+    /// The safeguard's attempt trail for the accepted build.
+    pub attempts: Vec<BuildAttempt>,
+    /// `ρ(|C|)` estimate of the accepted splitting.
+    pub rho_estimate: f64,
+    /// Bytes this entry is charged against the cache budget.
+    pub bytes: usize,
+    /// One warm [`SolveSession`] per solver-options key. Sessions are
+    /// *taken* for the duration of a solve (so the entry mutex is never
+    /// held across iteration work) and returned afterwards with their
+    /// workspaces grown.
+    sessions: Mutex<HashMap<GroupKey, SolveSession<SparsePrecond>>>,
+}
+
+impl OperatorEntry {
+    /// Wrap a built operator.
+    pub fn new(
+        matrix: Csr,
+        precond: SparsePrecond,
+        params: McmcParams,
+        attempts: Vec<BuildAttempt>,
+        rho_estimate: f64,
+    ) -> Self {
+        let bytes = matrix.storage_bytes() + precond.matrix().storage_bytes();
+        Self {
+            matrix,
+            precond,
+            params,
+            attempts,
+            rho_estimate,
+            bytes,
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Take (or lazily create) the warm session for `key`. The caller must
+    /// return it with [`OperatorEntry::put_session`] when the solve is
+    /// done; a concurrent taker for the same key simply gets a fresh
+    /// session — results are bit-identical either way, only workspace
+    /// reuse is lost.
+    pub fn take_session(&self, key: &GroupKey, opts: SolveOptions) -> SolveSession<SparsePrecond> {
+        let taken = self
+            .sessions
+            .lock()
+            .expect("session pool lock poisoned")
+            .remove(key);
+        taken.unwrap_or_else(|| {
+            SolveSession::new(self.matrix.clone(), self.precond.clone(), key.solver, opts)
+        })
+    }
+
+    /// Return a session to the pool for the next request with this key.
+    pub fn put_session(&self, key: GroupKey, session: SolveSession<SparsePrecond>) {
+        self.sessions
+            .lock()
+            .expect("session pool lock poisoned")
+            .insert(key, session);
+    }
+
+    /// Number of warm sessions currently pooled (for stats).
+    pub fn pooled_sessions(&self) -> usize {
+        self.sessions
+            .lock()
+            .expect("session pool lock poisoned")
+            .len()
+    }
+}
+
+/// What a fingerprint resolves to.
+#[derive(Clone)]
+pub enum Slot {
+    /// A built, servable operator.
+    Ready(Arc<OperatorEntry>),
+    /// A poison operator: the safeguard rejected every build attempt, and
+    /// this replays the structured error without re-probing.
+    Poisoned(Arc<BuildError>),
+}
+
+struct CachedSlot {
+    slot: Slot,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct CacheInner {
+    slots: HashMap<u64, CachedSlot>,
+    tick: u64,
+    total_bytes: usize,
+}
+
+/// Byte-bounded LRU cache of operators, plus the per-fingerprint build
+/// locks that keep concurrent misses from building the same operator
+/// twice.
+pub struct OperatorCache {
+    inner: Mutex<CacheInner>,
+    build_locks: Mutex<HashMap<u64, Arc<Mutex<()>>>>,
+    capacity_bytes: usize,
+}
+
+impl OperatorCache {
+    /// A cache bounded to roughly `capacity_bytes` of operator storage.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner {
+                slots: HashMap::new(),
+                tick: 0,
+                total_bytes: 0,
+            }),
+            build_locks: Mutex::new(HashMap::new()),
+            capacity_bytes,
+        }
+    }
+
+    /// Look up a fingerprint, bumping its recency.
+    pub fn lookup(&self, fingerprint: u64) -> Option<Slot> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.slots.get_mut(&fingerprint).map(|s| {
+            s.last_used = tick;
+            s.slot.clone()
+        })
+    }
+
+    /// The per-fingerprint build lock: a worker missing the cache takes
+    /// this before building, re-checks the cache under it, and thereby
+    /// guarantees at most one build per operator even when several
+    /// uncoalesced groups miss at once.
+    pub fn build_lock(&self, fingerprint: u64) -> Arc<Mutex<()>> {
+        Arc::clone(
+            self.build_locks
+                .lock()
+                .expect("build lock map poisoned")
+                .entry(fingerprint)
+                .or_default(),
+        )
+    }
+
+    /// Insert a built operator, evicting least-recently-used entries until
+    /// the byte budget holds (the newly inserted entry itself is never
+    /// evicted, even if it alone exceeds the budget — it has a user).
+    pub fn insert_ready(&self, fingerprint: u64, entry: Arc<OperatorEntry>) {
+        let bytes = entry.bytes;
+        self.insert(fingerprint, Slot::Ready(entry), bytes);
+    }
+
+    /// Remember a poison operator so repeats replay the structured error.
+    pub fn insert_poisoned(&self, fingerprint: u64, error: Arc<BuildError>) {
+        self.insert(fingerprint, Slot::Poisoned(error), POISON_ENTRY_BYTES);
+    }
+
+    fn insert(&self, fingerprint: u64, slot: Slot, bytes: usize) {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.slots.insert(
+            fingerprint,
+            CachedSlot {
+                slot,
+                bytes,
+                last_used: tick,
+            },
+        ) {
+            inner.total_bytes -= old.bytes;
+        }
+        inner.total_bytes += bytes;
+        while inner.total_bytes > self.capacity_bytes && inner.slots.len() > 1 {
+            let victim = inner
+                .slots
+                .iter()
+                .filter(|(fp, _)| **fp != fingerprint)
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(fp, _)| *fp);
+            match victim {
+                Some(fp) => {
+                    let removed = inner.slots.remove(&fp).expect("victim vanished");
+                    inner.total_bytes -= removed.bytes;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// `(entries, total_bytes)` currently resident.
+    pub fn usage(&self) -> (usize, usize) {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        (inner.slots.len(), inner.total_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcmcmi_mcmc::{BuildConfig, McmcInverse, SafeguardConfig};
+
+    fn tiny_spd(n: usize, salt: f64) -> Csr {
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        for i in 0..n {
+            if i > 0 {
+                indices.push(i - 1);
+                data.push(-1.0);
+            }
+            indices.push(i);
+            data.push(4.0 + salt);
+            if i + 1 < n {
+                indices.push(i + 1);
+                data.push(-1.0);
+            }
+            indptr.push(indices.len());
+        }
+        Csr::from_raw(n, n, indptr, indices, data)
+    }
+
+    fn entry(n: usize, salt: f64) -> (u64, Arc<OperatorEntry>) {
+        let a = tiny_spd(n, salt);
+        let fp = a.fingerprint();
+        let params = McmcParams::new(2.0, 0.5, 0.5);
+        let build = McmcInverse::new(BuildConfig::default())
+            .build_safeguarded(&a, params, &SafeguardConfig::default())
+            .expect("tiny SPD operator must build");
+        let e = OperatorEntry::new(
+            a,
+            build.outcome.precond,
+            build.params,
+            build.attempts,
+            build.rho_estimate,
+        );
+        (fp, Arc::new(e))
+    }
+
+    #[test]
+    fn lookup_hits_after_insert_and_misses_before() {
+        let cache = OperatorCache::new(usize::MAX);
+        let (fp, e) = entry(16, 0.0);
+        assert!(cache.lookup(fp).is_none());
+        cache.insert_ready(fp, e);
+        assert!(matches!(cache.lookup(fp), Some(Slot::Ready(_))));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let (fp1, e1) = entry(32, 0.0);
+        let (fp2, e2) = entry(32, 1.0);
+        let (fp3, e3) = entry(32, 2.0);
+        // Budget fits roughly two entries.
+        let cache = OperatorCache::new(e1.bytes + e2.bytes + e3.bytes / 2);
+        cache.insert_ready(fp1, e1);
+        cache.insert_ready(fp2, e2);
+        // Touch fp1 so fp2 is the LRU victim.
+        assert!(cache.lookup(fp1).is_some());
+        cache.insert_ready(fp3, e3);
+        assert!(cache.lookup(fp1).is_some(), "recently used entry survives");
+        assert!(cache.lookup(fp2).is_none(), "cold entry evicted");
+        assert!(cache.lookup(fp3).is_some(), "new entry resident");
+    }
+
+    #[test]
+    fn poisoned_entries_replay_the_error() {
+        let cache = OperatorCache::new(usize::MAX);
+        let err = Arc::new(BuildError::Divergent { attempts: vec![] });
+        cache.insert_poisoned(99, Arc::clone(&err));
+        match cache.lookup(99) {
+            Some(Slot::Poisoned(e)) => {
+                assert!(matches!(&*e, BuildError::Divergent { .. }));
+            }
+            _ => panic!("expected poisoned slot"),
+        }
+    }
+
+    #[test]
+    fn session_take_put_reuses_and_creates() {
+        let (_fp, e) = entry(16, 0.0);
+        let key = GroupKey {
+            fingerprint: 1,
+            solver: mcmcmi_krylov::SolverType::Cg,
+            tol_bits: 1e-8f64.to_bits(),
+            max_iter: 100,
+            restart: 50,
+        };
+        let opts = SolveOptions::default();
+        let mut s = e.take_session(&key, opts);
+        let b = vec![1.0; 16];
+        let r1 = s.solve(&b);
+        e.put_session(key, s);
+        assert_eq!(e.pooled_sessions(), 1);
+        let mut s2 = e.take_session(&key, opts);
+        assert_eq!(e.pooled_sessions(), 0);
+        let r2 = s2.solve(&b);
+        assert_eq!(r1.x, r2.x, "reused session is bit-identical");
+    }
+
+    #[test]
+    fn build_lock_is_per_fingerprint() {
+        let cache = OperatorCache::new(usize::MAX);
+        let l1 = cache.build_lock(1);
+        let l1b = cache.build_lock(1);
+        let l2 = cache.build_lock(2);
+        assert!(Arc::ptr_eq(&l1, &l1b));
+        assert!(!Arc::ptr_eq(&l1, &l2));
+    }
+}

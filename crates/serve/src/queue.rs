@@ -1,0 +1,329 @@
+//! Bounded admission queue with shed-on-full, deadline expiry at dequeue,
+//! and same-operator coalescing.
+//!
+//! Admission control is the first of the daemon's overload defences: a
+//! request either gets a queue slot immediately or is shed immediately
+//! with a structured [`ServeError::Overloaded`] — clients never block on a
+//! full server, and the queue depth (not memory) is the backpressure
+//! signal. Dequeue is where coalescing happens: a worker pops the oldest
+//! job and sweeps the rest of the queue for jobs against the same operator
+//! and solver options, forming one lockstep `solve_batch` group. Deadlines
+//! are enforced at both ends — an expired job is answered straight from
+//! the queue without ever touching a worker.
+
+use crate::protocol::{ServeError, SolveReply, SolveRequest};
+use mcmcmi_krylov::SolverType;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// What a worker sends back through a job's reply channel.
+pub type JobReply = Result<SolveReply, ServeError>;
+
+/// The coalescing identity: jobs agree on operator and solver options, so
+/// solving them in one lockstep batch is bit-identical to solving them
+/// sequentially through the same session (the PR-3 parity contract).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GroupKey {
+    /// Operator identity ([`mcmcmi_sparse::Csr::fingerprint`]).
+    pub fingerprint: u64,
+    /// Krylov driver.
+    pub solver: SolverType,
+    /// `tol` as exact bits (floats don't implement `Eq`/`Hash`).
+    pub tol_bits: u64,
+    /// Iteration cap.
+    pub max_iter: usize,
+    /// GMRES restart length.
+    pub restart: usize,
+}
+
+/// One admitted request: the parsed payload, its deadline, and the
+/// take-once reply channel that guarantees exactly one response.
+pub struct Job {
+    /// The parsed request.
+    pub request: SolveRequest,
+    /// Resolved operator fingerprint.
+    pub fingerprint: u64,
+    /// Coalescing identity.
+    pub group: GroupKey,
+    /// Absolute deadline, if the request carries one.
+    pub deadline: Option<Instant>,
+    reply: Mutex<Option<mpsc::Sender<JobReply>>>,
+}
+
+impl Job {
+    /// Wrap an admitted request; returns the job and the receiving end the
+    /// connection thread blocks on.
+    pub fn new(
+        request: SolveRequest,
+        fingerprint: u64,
+        deadline: Option<Instant>,
+    ) -> (Self, mpsc::Receiver<JobReply>) {
+        let group = GroupKey {
+            fingerprint,
+            solver: request.solver,
+            tol_bits: request.tol.to_bits(),
+            max_iter: request.max_iter,
+            restart: request.restart,
+        };
+        let (tx, rx) = mpsc::channel();
+        (
+            Self {
+                request,
+                fingerprint,
+                group,
+                deadline,
+                reply: Mutex::new(Some(tx)),
+            },
+            rx,
+        )
+    }
+
+    /// Has this job's deadline passed?
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Deliver the response. The sender is *taken* on first use, so a job
+    /// answers exactly once no matter how many code paths (worker, panic
+    /// catch site, queue expiry sweep) try — later calls are no-ops.
+    /// Returns whether this call was the one that answered.
+    pub fn respond(&self, reply: JobReply) -> bool {
+        let tx = self.reply.lock().expect("job reply lock poisoned").take();
+        match tx {
+            Some(tx) => {
+                // A send error means the client hung up; the response is
+                // still accounted as delivered.
+                let _ = tx.send(reply);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+struct QueueState {
+    jobs: VecDeque<std::sync::Arc<Job>>,
+    draining: bool,
+}
+
+/// The bounded, coalescing admission queue.
+pub struct AdmissionQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    /// A queue shedding beyond `capacity` waiting jobs.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                draining: false,
+            }),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admit a job or shed it immediately with a structured error:
+    /// [`ServeError::Draining`] once drain has begun,
+    /// [`ServeError::Overloaded`] when the queue is full.
+    pub fn try_admit(&self, job: std::sync::Arc<Job>) -> Result<(), ServeError> {
+        let mut st = self.state.lock().expect("queue lock poisoned");
+        if st.draining {
+            return Err(ServeError::Draining);
+        }
+        let depth = st.jobs.len();
+        if depth >= self.capacity {
+            return Err(ServeError::Overloaded {
+                queue_depth: depth,
+                // A coarse hint: one queue drain's worth of patience per
+                // waiting request. Clients treat it as a suggestion.
+                retry_after_hint_ms: 25 * (depth as u64 + 1),
+            });
+        }
+        st.jobs.push_back(job);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Current number of waiting jobs.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").jobs.len()
+    }
+
+    /// Flip into draining mode: all future admissions shed with
+    /// [`ServeError::Draining`]; workers exit once the queue is empty.
+    pub fn begin_drain(&self) {
+        let mut st = self.state.lock().expect("queue lock poisoned");
+        st.draining = true;
+        self.cv.notify_all();
+    }
+
+    /// Has drain begun?
+    pub fn is_draining(&self) -> bool {
+        self.state.lock().expect("queue lock poisoned").draining
+    }
+
+    /// Block until work is available, then pop one coalesced group: the
+    /// oldest live job plus every queued job sharing its [`GroupKey`], up
+    /// to `max_width`. Jobs found expired are handed to `on_queued_expiry`
+    /// (answered without touching a worker) and never returned. Returns
+    /// `None` when the queue is draining and empty — the worker's signal
+    /// to exit.
+    pub fn pop_group(
+        &self,
+        max_width: usize,
+        mut on_queued_expiry: impl FnMut(std::sync::Arc<Job>),
+    ) -> Option<Vec<std::sync::Arc<Job>>> {
+        let mut st = self.state.lock().expect("queue lock poisoned");
+        loop {
+            while let Some(first) = st.jobs.pop_front() {
+                if first.expired() {
+                    on_queued_expiry(first);
+                    continue;
+                }
+                let key = first.group;
+                let mut group = vec![first];
+                if max_width > 1 {
+                    let mut rest = VecDeque::with_capacity(st.jobs.len());
+                    for job in st.jobs.drain(..) {
+                        if group.len() < max_width && job.group == key {
+                            if job.expired() {
+                                on_queued_expiry(job);
+                            } else {
+                                group.push(job);
+                            }
+                        } else {
+                            rest.push_back(job);
+                        }
+                    }
+                    st.jobs = rest;
+                }
+                return Some(group);
+            }
+            if st.draining {
+                return None;
+            }
+            st = self.cv.wait(st).expect("queue lock poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn dummy_request(fp_salt: u64) -> SolveRequest {
+        SolveRequest {
+            matrix: None,
+            fingerprint: Some(fp_salt),
+            b: vec![1.0],
+            solver: SolverType::Cg,
+            tol: 1e-8,
+            max_iter: 100,
+            restart: 50,
+            params: None,
+            deadline_ms: None,
+            fault: None,
+        }
+    }
+
+    fn job(fp: u64, deadline: Option<Instant>) -> (Arc<Job>, mpsc::Receiver<JobReply>) {
+        let (j, rx) = Job::new(dummy_request(fp), fp, deadline);
+        (Arc::new(j), rx)
+    }
+
+    #[test]
+    fn sheds_overloaded_with_depth() {
+        let q = AdmissionQueue::new(2);
+        let (j1, _r1) = job(1, None);
+        let (j2, _r2) = job(2, None);
+        let (j3, _r3) = job(3, None);
+        q.try_admit(j1).unwrap();
+        q.try_admit(j2).unwrap();
+        match q.try_admit(j3) {
+            Err(ServeError::Overloaded { queue_depth, .. }) => assert_eq!(queue_depth, 2),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sheds_draining() {
+        let q = AdmissionQueue::new(4);
+        q.begin_drain();
+        let (j, _r) = job(1, None);
+        assert!(matches!(q.try_admit(j), Err(ServeError::Draining)));
+    }
+
+    #[test]
+    fn coalesces_same_key_only() {
+        let q = AdmissionQueue::new(8);
+        let (a1, _r1) = job(7, None);
+        let (b, _r2) = job(9, None);
+        let (a2, _r3) = job(7, None);
+        q.try_admit(a1).unwrap();
+        q.try_admit(b).unwrap();
+        q.try_admit(a2).unwrap();
+        let g = q.pop_group(4, |_| panic!("no expiry expected")).unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(g.iter().all(|j| j.fingerprint == 7));
+        let g2 = q.pop_group(4, |_| panic!("no expiry expected")).unwrap();
+        assert_eq!(g2.len(), 1);
+        assert_eq!(g2[0].fingerprint, 9);
+    }
+
+    #[test]
+    fn width_cap_respected_and_order_kept() {
+        let q = AdmissionQueue::new(8);
+        let mut rxs = Vec::new();
+        for _ in 0..5 {
+            let (j, r) = job(1, None);
+            q.try_admit(j).unwrap();
+            rxs.push(r);
+        }
+        let g = q.pop_group(3, |_| {}).unwrap();
+        assert_eq!(g.len(), 3);
+        let g2 = q.pop_group(3, |_| {}).unwrap();
+        assert_eq!(g2.len(), 2);
+    }
+
+    #[test]
+    fn expired_jobs_are_answered_from_the_queue() {
+        let q = AdmissionQueue::new(8);
+        let past = Instant::now() - Duration::from_millis(1);
+        let (dead, _rd) = job(1, Some(past));
+        let (live, _rl) = job(1, None);
+        q.try_admit(dead).unwrap();
+        q.try_admit(live).unwrap();
+        let mut expired = 0;
+        let g = q.pop_group(4, |_| expired += 1).unwrap();
+        assert_eq!(expired, 1);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn respond_is_exactly_once() {
+        let (j, rx) = job(1, None);
+        assert!(j.respond(Err(ServeError::Draining)));
+        assert!(!j.respond(Err(ServeError::Draining)));
+        assert!(rx.recv_timeout(Duration::from_secs(1)).is_ok());
+        assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
+    }
+
+    #[test]
+    fn drain_unblocks_empty_pop() {
+        let q = Arc::new(AdmissionQueue::new(2));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop_group(4, |_| {}));
+        std::thread::sleep(Duration::from_millis(30));
+        q.begin_drain();
+        assert!(t.join().unwrap().is_none());
+    }
+}

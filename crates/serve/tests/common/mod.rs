@@ -1,0 +1,124 @@
+//! Shared helpers for the serve integration tests: test operators, JSON
+//! request assembly, and reply decoding.
+
+// Compiled once per test binary; not every binary uses every helper.
+#![allow(dead_code)]
+
+use mcmcmi_sparse::Csr;
+use serde::{Deserialize as _, Value};
+use std::net::SocketAddr;
+
+/// 1D Laplacian (diag 2, off-diag −1): SPD, and exactly on the safeguard's
+/// contraction boundary at α = 0, so a request with `alpha: 0` forces one
+/// backoff step (build_attempts = 2) — the retune-nothing probe.
+pub fn laplace1d(n: usize) -> Csr {
+    tridiag(n, 2.0, -1.0)
+}
+
+/// Diagonally dominant SPD tridiagonal (diag 4+salt) — builds first try.
+pub fn spd_tridiag(n: usize, salt: f64) -> Csr {
+    tridiag(n, 4.0 + salt, -1.0)
+}
+
+/// A poison operator: the diagonal is so small relative to the off-diagonal
+/// that `ρ(|C|) ≫ 1` for every α the safeguard's backoff ladder can reach —
+/// all eight attempts are rejected by the spectral probe (cheaply, no
+/// walks) and the build returns a structured `BuildError::Divergent`.
+pub fn poison_matrix(n: usize) -> Csr {
+    tridiag(n, 1e-3, 1.0)
+}
+
+fn tridiag(n: usize, diag: f64, off: f64) -> Csr {
+    let mut indptr = vec![0usize];
+    let mut indices = Vec::new();
+    let mut data = Vec::new();
+    for i in 0..n {
+        if i > 0 {
+            indices.push(i - 1);
+            data.push(off);
+        }
+        indices.push(i);
+        data.push(diag);
+        if i + 1 < n {
+            indices.push(i + 1);
+            data.push(off);
+        }
+        indptr.push(indices.len());
+    }
+    Csr::from_raw(n, n, indptr, indices, data)
+}
+
+/// A deterministic right-hand side.
+pub fn rhs(n: usize, salt: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| (i as f64 * 0.37 + 1.7 * salt).sin() + 0.1)
+        .collect()
+}
+
+/// Assemble a `/solve` JSON body. `extras` are raw `"key":value` fragments
+/// (comma-joined), e.g. `&["\"deadline_ms\":30", "\"solver\":\"cg\""]`.
+pub fn solve_body(
+    matrix: Option<&Csr>,
+    fingerprint: Option<u64>,
+    b: &[f64],
+    extras: &[&str],
+) -> String {
+    let mut parts = Vec::new();
+    if let Some(m) = matrix {
+        parts.push(format!(
+            "\"matrix\":{}",
+            serde_json::to_string(m).expect("matrix serializes")
+        ));
+    }
+    if let Some(f) = fingerprint {
+        parts.push(format!("\"fingerprint\":{f}"));
+    }
+    parts.push(format!(
+        "\"b\":{}",
+        serde_json::to_string(&b.to_vec()).expect("rhs serializes")
+    ));
+    for e in extras {
+        parts.push((*e).to_string());
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// POST `/solve`, returning `(status, parsed JSON body)`.
+pub fn post_solve(addr: SocketAddr, body: &str) -> (u16, Value) {
+    let (status, text) = httpd::client::post(addr, "/solve", body).expect("request must complete");
+    let v = serde_json::parse_value_str(&text)
+        .unwrap_or_else(|e| panic!("unparsable reply (status {status}): {e}: {text}"));
+    (status, v)
+}
+
+/// GET `/stats` as a typed snapshot.
+pub fn stats(addr: SocketAddr) -> mcmcmi_serve::StatsSnapshot {
+    let (status, text) = httpd::client::get(addr, "/stats").expect("stats must answer");
+    assert_eq!(status, 200);
+    serde_json::from_str(&text).expect("stats must parse")
+}
+
+/// The `error.kind` discriminator of an error reply.
+pub fn error_kind(v: &Value) -> String {
+    match v.get("error").and_then(|e| e.get("kind")) {
+        Some(Value::Str(s)) => s.clone(),
+        other => panic!("reply has no error.kind: {other:?}"),
+    }
+}
+
+/// Decode the solution vector of a success reply.
+pub fn reply_x(v: &Value) -> Vec<f64> {
+    Vec::<f64>::from_value(v.get("x").expect("reply has x")).expect("x decodes")
+}
+
+/// Decode a u64 field of a reply.
+pub fn reply_u64(v: &Value, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("reply has no u64 `{key}`"))
+}
+
+/// Is this reply `{"ok": true}`?
+pub fn reply_ok(v: &Value) -> bool {
+    matches!(v.get("ok"), Some(Value::Bool(true)))
+}

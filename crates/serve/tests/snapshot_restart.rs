@@ -1,0 +1,93 @@
+//! Persistence across restarts: the drain path snapshots tuned parameters
+//! and poison verdicts through the PR-5 snapshot machinery, and a
+//! restarted server replays both — building straight at the accepted α
+//! (no re-backoff) and answering poison fingerprints from the negative
+//! cache without burning a single build attempt.
+
+mod common;
+
+use common::*;
+use mcmcmi_core::load_json_snapshot;
+use mcmcmi_serve::{ServeConfig, Server, TunedStore};
+use std::path::PathBuf;
+
+fn snapshot_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mcmcmi_serve_{name}_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn config(path: &std::path::Path) -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        snapshot_path: Some(path.to_path_buf()),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn restarted_server_replays_tuning_and_poison_verdicts() {
+    let path = snapshot_path("restart");
+    let alpha0 = "\"params\":{\"alpha\":0.0,\"eps\":0.5,\"delta\":0.5}";
+    let l = laplace1d(96);
+    let p = poison_matrix(32);
+
+    // ---- First life: tune (via backoff) and poison. ----
+    let server = Server::start(config(&path)).unwrap();
+    let addr = server.addr();
+    // α = 0 puts the 1D Laplacian exactly on the contraction boundary: the
+    // probe rejects it and the safeguard backs off once.
+    let (status, v) = post_solve(addr, &solve_body(Some(&l), None, &rhs(96, 0.0), &[alpha0]));
+    assert_eq!(status, 200, "backed-off build still serves: {v:?}");
+    assert_eq!(
+        reply_u64(&v, "build_attempts"),
+        2,
+        "one backoff step happened"
+    );
+    let (status, v) = post_solve(addr, &solve_body(Some(&p), None, &rhs(32, 0.0), &[]));
+    assert_eq!(status, 422);
+    assert_eq!(error_kind(&v), "Build");
+    server.join().unwrap();
+
+    // The snapshot records the *effective* α and the poison verdict.
+    let store: TunedStore = load_json_snapshot(&path)
+        .unwrap()
+        .expect("snapshot written");
+    assert_eq!(store.records.len(), 1);
+    assert_eq!(store.records[0].fingerprint, l.fingerprint());
+    assert!(
+        (store.records[0].params.alpha - 0.1).abs() < 1e-12,
+        "effective α after one backoff from 0 is floor·growth = 0.1, got {}",
+        store.records[0].params.alpha
+    );
+    assert_eq!(store.poisoned.len(), 1);
+    assert_eq!(store.poisoned[0].fingerprint, p.fingerprint());
+
+    // ---- Second life: same request, zero retuning. ----
+    let server = Server::start(config(&path)).unwrap();
+    let addr = server.addr();
+    let (status, v) = post_solve(addr, &solve_body(Some(&l), None, &rhs(96, 1.0), &[alpha0]));
+    assert_eq!(status, 200);
+    assert_eq!(
+        reply_u64(&v, "build_attempts"),
+        1,
+        "tuned record wins over the request's α = 0: accepted first try"
+    );
+    // The poison fingerprint answers from the persisted negative entry —
+    // no build attempt runs at all.
+    let (status, v) = post_solve(addr, &solve_body(Some(&p), None, &rhs(32, 1.0), &[]));
+    assert_eq!(status, 422);
+    assert_eq!(error_kind(&v), "Build");
+    let s = stats(addr);
+    assert_eq!(s.builds, 1, "only the Laplacian was (re)built");
+    assert_eq!(s.build_failures, 0, "the poison operator never re-probed");
+    assert!(s.negative_hits >= 1);
+    server.join().unwrap();
+
+    // The snapshot survives the second drain intact.
+    let store: TunedStore = load_json_snapshot(&path).unwrap().expect("still present");
+    assert_eq!(store.records.len(), 1);
+    assert_eq!(store.poisoned.len(), 1);
+    let _ = std::fs::remove_file(&path);
+}

@@ -185,6 +185,60 @@ impl<T: Scalar> Csr<T> {
         self.nnz() * T::BYTES
     }
 
+    /// Total resident bytes of the CSR arrays (indptr + indices + values) —
+    /// the unit the serving layer's byte-bounded session cache accounts in.
+    pub fn storage_bytes(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<usize>()
+            + self.value_bytes()
+    }
+
+    /// Deterministic 64-bit identity of the matrix: structure *and* exact
+    /// value bits.
+    ///
+    /// An FNV-1a fold over the dimensions, `indptr`, `indices`, and the
+    /// per-entry [`Scalar::value_bits`], with a domain-separation tag
+    /// between sections so `(indptr, indices)` permutations cannot
+    /// collide by concatenation. The walk is sequential over the arrays —
+    /// no parallelism, no addresses, no hashing of floats through their
+    /// numeric value — so the fingerprint is identical across thread
+    /// counts, process restarts, and serde round trips (the JSON shim
+    /// round-trips floats bit-exactly). Two matrices fingerprint equal iff
+    /// their CSR arrays are byte-equal (modulo the astronomically unlikely
+    /// 64-bit collision); one flipped value bit, one moved index, or a
+    /// different storage precision changes the digest.
+    ///
+    /// This is the session-cache key of the serving daemon: repeat
+    /// operators hash to the same entry and skip build/tune entirely.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        #[inline]
+        fn fold(h: &mut u64, word: u64) {
+            for byte in word.to_le_bytes() {
+                *h ^= u64::from(byte);
+                *h = h.wrapping_mul(PRIME);
+            }
+        }
+        let mut h = OFFSET;
+        fold(&mut h, self.nrows as u64);
+        fold(&mut h, self.ncols as u64);
+        fold(&mut h, T::BYTES as u64);
+        fold(&mut h, 0x01); // section tag: indptr
+        for &p in &self.indptr {
+            fold(&mut h, p as u64);
+        }
+        fold(&mut h, 0x02); // section tag: indices
+        for &j in &self.indices {
+            fold(&mut h, j as u64);
+        }
+        fold(&mut h, 0x03); // section tag: values
+        for &v in &self.data {
+            fold(&mut h, v.value_bits());
+        }
+        h
+    }
+
     /// `y ← A·x`, serial, through the 4-wide unrolled row kernel.
     /// `x`/`y` are always f64; stored values widen on load.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {

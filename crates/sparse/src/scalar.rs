@@ -45,6 +45,13 @@ pub trait Scalar:
     /// Widen back to f64 (done per multiply-add, on the hot path; the
     /// identity for f64, a single `cvtss2sd` for f32).
     fn to_f64(self) -> f64;
+
+    /// The stored value's exact bit pattern, zero-extended to 64 bits —
+    /// the fingerprinting input ([`crate::Csr::fingerprint`]). Unlike a
+    /// float comparison this distinguishes `-0.0` from `0.0` and gives
+    /// every NaN payload a stable identity, so equal fingerprints mean
+    /// byte-equal value arrays.
+    fn value_bits(self) -> u64;
 }
 
 impl Scalar for f64 {
@@ -61,6 +68,11 @@ impl Scalar for f64 {
     fn to_f64(self) -> f64 {
         self
     }
+
+    #[inline(always)]
+    fn value_bits(self) -> u64 {
+        self.to_bits()
+    }
 }
 
 impl Scalar for f32 {
@@ -76,6 +88,11 @@ impl Scalar for f32 {
     #[inline(always)]
     fn to_f64(self) -> f64 {
         f64::from(self)
+    }
+
+    #[inline(always)]
+    fn value_bits(self) -> u64 {
+        u64::from(self.to_bits())
     }
 }
 

@@ -22,5 +22,6 @@ pub use mcmcmi_hpo as hpo;
 pub use mcmcmi_krylov as krylov;
 pub use mcmcmi_matgen as matgen;
 pub use mcmcmi_mcmc as mcmc;
+pub use mcmcmi_serve as serve;
 pub use mcmcmi_sparse as sparse;
 pub use mcmcmi_stats as stats;
