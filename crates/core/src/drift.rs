@@ -1,0 +1,478 @@
+//! Drift-tolerant serving: the escalating refresh ladder.
+//!
+//! A deployed session rarely solves one fixed system; it solves a *drifting
+//! sequence* — time-stepped coefficients, re-linearised Jacobians, locally
+//! refined meshes. Rebuilding the MCMC preconditioner every step wastes the
+//! build's amortisation; never rebuilding lets iteration counts creep until
+//! solves fail. [`DriftSession`] sits between those extremes with an
+//! escalating ladder, decided per step from the
+//! [`StalenessMonitor`]'s verdict and the accumulated dirty-row set:
+//!
+//! 1. **Keep applying** — the verdict is `Fresh`: the old inverse still
+//!    preconditions well, do nothing.
+//! 2. **Partial row rebuild** — `Degrading`, and few enough rows have
+//!    drifted: re-estimate only the dirty rows
+//!    ([`McmcInverse::rebuild_rows`]), a cost proportional to the drift,
+//!    not the operator.
+//! 3. **Safeguarded full rebuild** — `Stale`, the solve failed, or too much
+//!    of the operator is dirty for a partial refresh to be honest.
+//! 4. **Full retune** — repeated full rebuilds mean the operator has walked
+//!    out of the parameter regime it was tuned for; re-run the
+//!    [`AutoTuner`] and rebuild from the winning `(α, ε, δ)`.
+//!
+//! Every decision is recorded in a serialisable [`RefreshTrail`], the
+//! drift-side sibling of the recovery ladder's `RecoveryTrail`: after a
+//! 100-step sequence you can read back exactly which steps rebuilt what
+//! and why.
+
+use crate::autotune::{AutoTuner, AutotuneConfig};
+use mcmcmi_krylov::{
+    SolveOptions, SolveResult, SolveSession, SolverType, SparsePrecond, StalenessConfig,
+    StalenessMonitor, StalenessVerdict, TuneBudget,
+};
+use mcmcmi_mcmc::{BuildConfig, BuildOutcome, McmcInverse, McmcParams, SafeguardConfig};
+use mcmcmi_sparse::Csr;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Thresholds governing the refresh ladder.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RefreshPolicy {
+    /// Iteration-drift thresholds fed to the [`StalenessMonitor`].
+    pub staleness: StalenessConfig,
+    /// Largest fraction of rows a *partial* rebuild may cover; past it a
+    /// full rebuild is cheaper and honest (the splice would redo most of
+    /// the walk work anyway, and clean-row entries grow stale against the
+    /// re-derived splitting).
+    pub max_partial_fraction: f64,
+    /// Full rebuilds tolerated since the last (re)tune before the ladder
+    /// escalates to a full [`AutoTuner`] retune.
+    pub retune_after_full_rebuilds: usize,
+}
+
+impl Default for RefreshPolicy {
+    fn default() -> Self {
+        Self {
+            staleness: StalenessConfig::default(),
+            max_partial_fraction: 0.3,
+            retune_after_full_rebuilds: 3,
+        }
+    }
+}
+
+/// Which refresh rung a drift step executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RefreshAction {
+    /// Verdict `Fresh`: the preconditioner was left alone.
+    KeepApplying,
+    /// Dirty rows re-estimated and spliced into the preconditioner.
+    PartialRebuild,
+    /// Safeguarded full rebuild at the current parameters.
+    FullRebuild,
+    /// Autotuner re-run; rebuilt at the winning parameters.
+    Retune,
+}
+
+impl RefreshAction {
+    /// Short stable label for logs and summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RefreshAction::KeepApplying => "keep",
+            RefreshAction::PartialRebuild => "partial-rebuild",
+            RefreshAction::FullRebuild => "full-rebuild",
+            RefreshAction::Retune => "retune",
+        }
+    }
+}
+
+/// One drift step's decision record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RefreshStep {
+    /// Zero-based drift step index.
+    pub step: usize,
+    /// Rows this step's operator diff dirtied.
+    pub dirty_new: usize,
+    /// Accumulated dirty rows at decision time (since the last refresh).
+    pub dirty_pending: usize,
+    /// The staleness verdict the decision was made from.
+    pub verdict: StalenessVerdict,
+    /// The rung executed.
+    pub action: RefreshAction,
+    /// Rows actually re-estimated (partial rebuilds only; full rebuilds
+    /// and retunes re-estimate everything).
+    pub rows_rebuilt: usize,
+    /// Iterations of the step's *first* solve (the one the verdict judged).
+    pub iterations: usize,
+    /// Iterations of the re-solve after an in-step rescue rebuild (only
+    /// set when the first solve failed).
+    pub resolve_iterations: Option<usize>,
+    /// Warm-start quality of the step's first solve.
+    pub initial_rel_residual: f64,
+    /// Did the step end with a converged solution?
+    pub converged: bool,
+}
+
+/// The whole sequence's decision trail — serialisable, like the recovery
+/// ladder's `RecoveryTrail`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RefreshTrail {
+    /// One record per drift step, in order.
+    pub steps: Vec<RefreshStep>,
+}
+
+impl RefreshTrail {
+    /// One-line human summary, e.g.
+    /// `"100 steps: 82 keep, 14 partial-rebuild, 3 full-rebuild, 1 retune"`.
+    pub fn summary(&self) -> String {
+        let count = |a: RefreshAction| self.steps.iter().filter(|s| s.action == a).count();
+        format!(
+            "{} steps: {} keep, {} partial-rebuild, {} full-rebuild, {} retune",
+            self.steps.len(),
+            count(RefreshAction::KeepApplying),
+            count(RefreshAction::PartialRebuild),
+            count(RefreshAction::FullRebuild),
+            count(RefreshAction::Retune),
+        )
+    }
+
+    /// Total refresh work: rows re-estimated across partial rebuilds plus
+    /// `n` per full rebuild/retune.
+    pub fn rows_rebuilt_total(&self, n: usize) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match s.action {
+                RefreshAction::KeepApplying => 0,
+                RefreshAction::PartialRebuild => s.rows_rebuilt,
+                RefreshAction::FullRebuild | RefreshAction::Retune => n,
+            })
+            .sum()
+    }
+}
+
+/// A solve session for a drifting operator sequence: warm starts from the
+/// previous step's solution, staleness-monitored solves, and the
+/// escalating refresh ladder described in the module docs.
+pub struct DriftSession {
+    a: Csr,
+    outcome: BuildOutcome,
+    session: SolveSession<SparsePrecond>,
+    monitor: StalenessMonitor,
+    policy: RefreshPolicy,
+    build: BuildConfig,
+    guard: SafeguardConfig,
+    params: McmcParams,
+    solver: SolverType,
+    symmetrize: bool,
+    pending_dirty: BTreeSet<usize>,
+    full_rebuilds_since_tune: usize,
+    prev_x: Option<Vec<f64>>,
+    trail: RefreshTrail,
+}
+
+impl DriftSession {
+    /// Build the initial preconditioner for `a` and bind the session.
+    /// CG-family solvers get a symmetrized copy of the (generally
+    /// nonsymmetric) MCMC inverse; the raw build is kept for partial
+    /// rebuilds.
+    pub fn new(
+        a: Csr,
+        params: McmcParams,
+        build: BuildConfig,
+        guard: SafeguardConfig,
+        solver: SolverType,
+        opts: SolveOptions,
+        policy: RefreshPolicy,
+    ) -> Self {
+        let builder = McmcInverse::new(build);
+        let outcome = builder.build(&a, params);
+        let symmetrize = matches!(solver, SolverType::Cg | SolverType::FCg);
+        let precond = if symmetrize {
+            outcome.precond.symmetrized()
+        } else {
+            outcome.precond.clone()
+        };
+        let session = SolveSession::new(a.clone(), precond, solver, opts);
+        Self {
+            a,
+            outcome,
+            session,
+            monitor: StalenessMonitor::new(policy.staleness),
+            policy,
+            build,
+            guard,
+            params,
+            solver,
+            symmetrize,
+            pending_dirty: BTreeSet::new(),
+            full_rebuilds_since_tune: 0,
+            prev_x: None,
+            trail: RefreshTrail::default(),
+        }
+    }
+
+    /// The decision trail so far.
+    pub fn trail(&self) -> &RefreshTrail {
+        &self.trail
+    }
+
+    /// The current effective MCMC parameters (a retune replaces them).
+    pub fn params(&self) -> McmcParams {
+        self.params
+    }
+
+    /// Dirty rows accumulated since the last refresh.
+    pub fn pending_dirty(&self) -> usize {
+        self.pending_dirty.len()
+    }
+
+    /// Push the preconditioner (re-symmetrized if needed) into the session.
+    fn sync_precond(&mut self) {
+        let precond = if self.symmetrize {
+            self.outcome.precond.symmetrized()
+        } else {
+            self.outcome.precond.clone()
+        };
+        self.session.replace_precond(precond);
+        self.monitor.recalibrate();
+        self.pending_dirty.clear();
+    }
+
+    /// Safeguarded full rebuild at the current parameters. Falls back to
+    /// the pre-backoff build if every attempt diverges (the guard can only
+    /// make α larger, so this keeps the session serving rather than
+    /// panicking mid-sequence).
+    fn full_rebuild(&mut self) {
+        let builder = McmcInverse::new(self.build);
+        match builder.build_safeguarded(&self.a, self.params, &self.guard) {
+            Ok(guarded) => {
+                self.params = guarded.params;
+                self.outcome = guarded.outcome;
+            }
+            Err(_) => {
+                self.outcome = builder.build(&self.a, self.params);
+            }
+        }
+        self.full_rebuilds_since_tune += 1;
+        self.sync_precond();
+    }
+
+    /// Autotuner retune: joint search from scratch on the current operator,
+    /// then a safeguarded rebuild at the winning parameters. Falls back to
+    /// a plain full rebuild when the tuner cannot certify any candidate.
+    fn retune(&mut self) {
+        let mut tuner = AutoTuner::new(AutotuneConfig {
+            solver: self.solver,
+            build: self.build,
+            safeguard: self.guard,
+        });
+        let budget = TuneBudget {
+            probe_opts: self.session.opts(),
+            ..Default::default()
+        };
+        if let Ok((_, report)) = tuner.tune_parts(&self.a, &budget) {
+            self.params = report.params;
+        }
+        self.full_rebuild();
+        self.full_rebuilds_since_tune = 0;
+    }
+
+    /// Partial refresh: re-estimate exactly the pending dirty rows.
+    fn partial_rebuild(&mut self) -> usize {
+        let rows: Vec<usize> = self.pending_dirty.iter().copied().collect();
+        McmcInverse::new(self.build).rebuild_rows(&mut self.outcome, &self.a, &rows, self.params);
+        self.sync_precond();
+        rows.len()
+    }
+
+    /// Advance one drift step: diff the incoming operator against the
+    /// current one, swap it under the session, solve warm-started from the
+    /// previous step's solution, classify staleness, and run the refresh
+    /// ladder. A failed solve triggers an in-step rescue (full rebuild —
+    /// or retune when the rebuild budget is spent — plus one re-solve), so
+    /// the returned result is the step's best effort.
+    ///
+    /// # Panics
+    /// Panics if `a_new` changes dimension (a dimension change is a new
+    /// operator sequence, not drift) or `b` has the wrong length.
+    pub fn step(&mut self, a_new: Csr, b: &[f64]) -> SolveResult {
+        let step_idx = self.trail.steps.len();
+        let dirty_new = self.a.diff_rows(&a_new);
+        self.pending_dirty.extend(dirty_new.iter().copied());
+        self.session.replace_matrix(a_new.clone());
+        self.a = a_new;
+
+        let first = self.session.solve_warm(b, self.prev_x.as_deref());
+        let first_iters = first.iterations;
+        let verdict = self.monitor.observe(&first);
+        let n = self.a.nrows();
+        let dirty_pending = self.pending_dirty.len();
+        let partial_ok = dirty_pending > 0
+            && (dirty_pending as f64) <= self.policy.max_partial_fraction * n as f64;
+        let retune_due = self.full_rebuilds_since_tune >= self.policy.retune_after_full_rebuilds;
+
+        let (action, rows_rebuilt, result, resolve_iterations) = if !first.converged {
+            // Rescue: refresh *now* and re-solve the same system.
+            let (action, rows) = if retune_due {
+                self.retune();
+                (RefreshAction::Retune, n)
+            } else {
+                self.full_rebuild();
+                (RefreshAction::FullRebuild, n)
+            };
+            let second = self.session.solve_warm(b, self.prev_x.as_deref());
+            let it = second.iterations;
+            (action, rows, second, Some(it))
+        } else {
+            match verdict {
+                StalenessVerdict::Fresh => (RefreshAction::KeepApplying, 0, first, None),
+                StalenessVerdict::Degrading { .. } if partial_ok => {
+                    // The solve already met its contract; the refresh pays
+                    // off on the *next* step.
+                    let rows = self.partial_rebuild();
+                    (RefreshAction::PartialRebuild, rows, first, None)
+                }
+                StalenessVerdict::Degrading { .. } | StalenessVerdict::Stale => {
+                    if retune_due {
+                        self.retune();
+                        (RefreshAction::Retune, n, first, None)
+                    } else {
+                        self.full_rebuild();
+                        (RefreshAction::FullRebuild, n, first, None)
+                    }
+                }
+            }
+        };
+
+        if result.converged {
+            self.prev_x = Some(result.x.clone());
+        } else {
+            // Do not warm-start the next step from a non-converged vector.
+            self.prev_x = None;
+        }
+        self.trail.steps.push(RefreshStep {
+            step: step_idx,
+            dirty_new: dirty_new.len(),
+            dirty_pending,
+            verdict,
+            action,
+            rows_rebuilt,
+            iterations: first_iters,
+            resolve_iterations,
+            initial_rel_residual: result.initial_rel_residual,
+            converged: result.converged,
+        });
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcmcmi_matgen::fd_laplace_2d;
+
+    fn rhs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.17).sin() + 0.5).collect()
+    }
+
+    fn drift_some_rows(a: &Csr, rows: &[usize], scale: f64) -> Csr {
+        let mut b = a.clone();
+        for &i in rows {
+            for v in b.row_values_mut(i) {
+                *v *= scale;
+            }
+        }
+        b
+    }
+
+    fn session_for(a: &Csr) -> DriftSession {
+        DriftSession::new(
+            a.clone(),
+            McmcParams::new(0.1, 0.0625, 0.0625),
+            BuildConfig::default(),
+            SafeguardConfig::default(),
+            SolverType::Gmres,
+            SolveOptions::default(),
+            RefreshPolicy::default(),
+        )
+    }
+
+    #[test]
+    fn identical_steps_stay_fresh_and_keep_applying() {
+        let a = fd_laplace_2d(10);
+        let b = rhs(a.nrows());
+        let mut sess = session_for(&a);
+        for _ in 0..5 {
+            let res = sess.step(a.clone(), &b);
+            assert!(res.converged);
+        }
+        assert!(sess
+            .trail()
+            .steps
+            .iter()
+            .all(|s| s.action == RefreshAction::KeepApplying));
+        // After the first step the previous solution is the exact answer:
+        // zero-iteration warm-started steps.
+        assert_eq!(sess.trail().steps.last().unwrap().iterations, 0);
+    }
+
+    #[test]
+    fn mild_drift_accumulates_dirty_rows() {
+        let a = fd_laplace_2d(10);
+        let n = a.nrows();
+        let b = rhs(n);
+        let mut sess = session_for(&a);
+        let _ = sess.step(a.clone(), &b);
+        let a2 = drift_some_rows(&a, &[3, 4, 5], 1.0 + 1e-6);
+        let _ = sess.step(a2, &b);
+        let s = &sess.trail().steps[1];
+        assert_eq!(s.dirty_new, 3);
+        assert!(sess.pending_dirty() >= 3);
+    }
+
+    #[test]
+    fn failed_solve_triggers_in_step_rescue() {
+        let a = fd_laplace_2d(12);
+        let n = a.nrows();
+        let b = rhs(n);
+        let mut sess = DriftSession::new(
+            a.clone(),
+            McmcParams::new(0.1, 0.0625, 0.0625),
+            BuildConfig::default(),
+            SafeguardConfig::default(),
+            SolverType::Gmres,
+            SolveOptions {
+                max_iter: 40,
+                ..Default::default()
+            },
+            RefreshPolicy::default(),
+        );
+        let _ = sess.step(a.clone(), &b);
+        // A violent drift the stale inverse cannot handle in 40 iterations.
+        let rows: Vec<usize> = (0..n).collect();
+        let a2 = drift_some_rows(&a, &rows, 6.0);
+        let res = sess.step(a2, &b);
+        let s = sess.trail().steps.last().unwrap();
+        if s.resolve_iterations.is_some() {
+            assert!(matches!(
+                s.action,
+                RefreshAction::FullRebuild | RefreshAction::Retune
+            ));
+            assert!(res.converged, "rescue rebuild must recover this operator");
+        }
+    }
+
+    #[test]
+    fn trail_serialises_and_summarises() {
+        let a = fd_laplace_2d(8);
+        let b = rhs(a.nrows());
+        let mut sess = session_for(&a);
+        for _ in 0..3 {
+            let _ = sess.step(a.clone(), &b);
+        }
+        let json = serde_json::to_string(sess.trail()).unwrap();
+        let back: RefreshTrail = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.steps.len(), 3);
+        assert!(sess.trail().summary().contains("3 steps"));
+        assert_eq!(sess.trail().rows_rebuilt_total(a.nrows()), 0);
+    }
+}

@@ -20,6 +20,7 @@
 pub mod adapter;
 pub mod autotune;
 pub mod dataset;
+pub mod drift;
 pub mod features;
 pub mod measure;
 pub mod pipeline;
@@ -28,6 +29,7 @@ pub mod snapshot;
 pub use adapter::GnnSurrogateAdapter;
 pub use autotune::{AutoTuner, AutotuneConfig, AutotuneReport, TrialRecord};
 pub use dataset::{DatasetRecord, PaperDataset};
+pub use drift::{DriftSession, RefreshAction, RefreshPolicy, RefreshStep, RefreshTrail};
 pub use features::matrix_features;
 pub use measure::{MeasureConfig, Measurement, MeasurementRunner};
 pub use pipeline::{BoRoundOutcome, PipelineConfig, Recommender};

@@ -297,6 +297,7 @@ pub fn block_cg<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
                 col_failure[c].take(),
                 opts.tol,
                 ColEnd::Wrapped,
+                if b_norm_orig[c] > 0.0 { 1.0 } else { 0.0 },
             )
         })
         .collect()

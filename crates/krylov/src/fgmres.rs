@@ -125,6 +125,7 @@ pub fn fgmres_with<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
             converged: true,
             iterations: 0,
             rel_residual: 0.0,
+            initial_rel_residual: 0.0,
             breakdown: false,
             outcome: SolveOutcome::Converged(ConvergedWithin::Tol),
         };

@@ -37,6 +37,8 @@ pub mod precond;
 pub mod resilient;
 pub mod session;
 pub mod solver;
+pub mod staleness;
+pub mod warm;
 pub mod watchdog;
 
 pub use auto::{SessionTuner, TuneBudget, TuneError, TunedParts};
@@ -53,12 +55,14 @@ pub use precond::{
     CompressedPrecond, IdentityPrecond, JacobiPrecond, Preconditioner, SparsePrecond,
 };
 pub use resilient::{
-    solve_batch_resilient, solve_resilient, PrecondRebuild, RecoveryContext, RecoveryPolicy,
-    RecoveryStep, RecoveryStepKind, RecoveryTrail, ResilientResult,
+    solve_batch_resilient, solve_resilient, PrecondRebuild, PrecondRefresh, RecoveryContext,
+    RecoveryPolicy, RecoveryStep, RecoveryStepKind, RecoveryTrail, ResilientResult,
 };
 pub use session::SolveSession;
 pub use solver::{
     solve, solve_batch, BreakdownKind, ConvergedWithin, SolveFailure, SolveOptions, SolveOutcome,
     SolveResult, SolverType, CONVERGENCE_SLACK,
 };
+pub use staleness::{StalenessConfig, StalenessMonitor, StalenessVerdict};
+pub use warm::{block_cg_warm, solve_batch_warm, solve_warm};
 pub use watchdog::{Watchdog, WatchdogConfig};

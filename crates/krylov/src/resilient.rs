@@ -15,11 +15,16 @@
 //!    same Krylov family (FCG/FGMRES), which tolerates an inexact or
 //!    slightly nonsymmetric operator where the classical driver's theory
 //!    quietly assumed exactness.
-//! 3. **Preconditioner rebuild** — ask the caller's [`PrecondRebuild`] hook
+//! 3. **Stale refresh** — ask the caller's [`PrecondRefresh`] hook for a
+//!    *partially* refreshed preconditioner (the mcmc crate's refresher
+//!    re-estimates only the rows whose operator rows drifted, via
+//!    `rebuild_rows`) — the cheap answer when the failure is operator
+//!    drift rather than a bad build.
+//! 4. **Preconditioner rebuild** — ask the caller's [`PrecondRebuild`] hook
 //!    for a fresh operator (the mcmc crate's rebuilder re-runs
 //!    `build_safeguarded` with α backed off, reusing the PR-5 attempt
 //!    machinery) and solve with it.
-//! 4. **Unpreconditioned GMRES** — the always-available floor: no
+//! 5. **Unpreconditioned GMRES** — the always-available floor: no
 //!    preconditioner to distrust, the most robust general-purpose driver.
 //!
 //! Every rung executed is appended to a [`RecoveryTrail`] — which rung, the
@@ -42,10 +47,14 @@ pub struct RecoveryPolicy {
     pub full_precision_retry: bool,
     /// Rung 2: swap to the flexible driver of the same Krylov family.
     pub flexible_swap: bool,
-    /// Rung 3: rebuild the preconditioner through the caller's
+    /// Rung 3: partial refresh of a drift-stale preconditioner through the
+    /// caller's [`RecoveryContext::refresher`] hook — re-estimates only the
+    /// rows whose operator rows changed, far cheaper than a full rebuild.
+    pub stale_refresh: bool,
+    /// Rung 4: rebuild the preconditioner through the caller's
     /// [`RecoveryContext::rebuilder`] hook.
     pub rebuild: bool,
-    /// Rung 4: final fallback to unpreconditioned GMRES.
+    /// Rung 5: final fallback to unpreconditioned GMRES.
     pub unpreconditioned_fallback: bool,
 }
 
@@ -54,6 +63,7 @@ impl Default for RecoveryPolicy {
         Self {
             full_precision_retry: true,
             flexible_swap: true,
+            stale_refresh: true,
             rebuild: true,
             unpreconditioned_fallback: true,
         }
@@ -67,6 +77,7 @@ impl RecoveryPolicy {
         Self {
             full_precision_retry: false,
             flexible_swap: false,
+            stale_refresh: false,
             rebuild: false,
             unpreconditioned_fallback: false,
         }
@@ -80,9 +91,12 @@ pub enum RecoveryStepKind {
     FullPrecisionRetry,
     /// Rung 2: flexible driver (FCG/FGMRES), current preconditioner.
     FlexibleSwap,
-    /// Rung 3: freshly rebuilt preconditioner.
+    /// Rung 3: partially refreshed (dirty rows re-estimated)
+    /// preconditioner.
+    StaleRefresh,
+    /// Rung 4: freshly rebuilt preconditioner.
     Rebuild,
-    /// Rung 4: unpreconditioned GMRES.
+    /// Rung 5: unpreconditioned GMRES.
     UnpreconditionedFallback,
 }
 
@@ -92,6 +106,7 @@ impl RecoveryStepKind {
         match self {
             RecoveryStepKind::FullPrecisionRetry => "full-precision-retry",
             RecoveryStepKind::FlexibleSwap => "flexible-swap",
+            RecoveryStepKind::StaleRefresh => "stale-refresh",
             RecoveryStepKind::Rebuild => "rebuild",
             RecoveryStepKind::UnpreconditionedFallback => "unpreconditioned-fallback",
         }
@@ -174,18 +189,34 @@ pub trait PrecondRebuild {
     fn rebuild(&mut self, trigger: &SolveFailure) -> Option<Box<dyn Preconditioner>>;
 }
 
-/// External resources the ladder may draw on. Both fields are optional:
-/// without them, rungs 1 and 3 are skipped.
+/// Caller hook used by the stale-refresh rung: cheaply *refresh* the
+/// current preconditioner in response to operator drift — typically by
+/// re-estimating only the rows whose operator rows changed (the mcmc
+/// crate's `PartialRefresher` wraps `rebuild_rows`). One refresh per
+/// escalation: implementations return `None` once out of refresh budget
+/// (or when no rows are dirty), and the ladder falls through to the full
+/// rebuild rung.
+pub trait PrecondRefresh {
+    /// Refresh the preconditioner, or `None` if no refresh is possible —
+    /// the rung is then skipped.
+    fn refresh(&mut self, trigger: &SolveFailure) -> Option<Box<dyn Preconditioner>>;
+}
+
+/// External resources the ladder may draw on. Every field is optional:
+/// without them, the corresponding rungs are skipped.
 #[derive(Default)]
 pub struct RecoveryContext<'a> {
     /// Full-precision parent of a compressed preconditioner, for rung 1.
     pub full_precision: Option<&'a dyn Preconditioner>,
-    /// Rebuild hook for rung 3.
+    /// Partial-refresh hook for the stale-refresh rung.
+    pub refresher: Option<&'a mut dyn PrecondRefresh>,
+    /// Rebuild hook for the rebuild rung.
     pub rebuilder: Option<&'a mut dyn PrecondRebuild>,
 }
 
 impl<'a> RecoveryContext<'a> {
-    /// A context with no external resources (rungs 1 and 3 are skipped).
+    /// A context with no external resources (the hook-backed rungs are
+    /// skipped).
     pub fn none() -> Self {
         Self::default()
     }
@@ -298,7 +329,28 @@ pub(crate) fn escalate_scalar<A: KernelBackend + ?Sized>(
         }
     }
 
-    // Rung 3 — preconditioner rebuild.
+    // Rung 3 — partial (dirty-row) refresh of a drift-stale preconditioner.
+    if policy.stale_refresh {
+        if let Some(refresher) = ctx.refresher.as_deref_mut() {
+            if let Some(refreshed) = refresher.refresh(&trigger) {
+                active = ActivePrecond::Owned(refreshed);
+                let r = solve(a, b, active.as_dyn(), active_solver, opts);
+                let done = record_scalar(
+                    &mut trail,
+                    &mut trigger,
+                    &mut best,
+                    RecoveryStepKind::StaleRefresh,
+                    active_solver,
+                    r,
+                );
+                if done {
+                    return finish_scalar(best, trail);
+                }
+            }
+        }
+    }
+
+    // Rung 4 — preconditioner rebuild.
     if policy.rebuild {
         if let Some(rebuilder) = ctx.rebuilder.as_deref_mut() {
             if let Some(fresh) = rebuilder.rebuild(&trigger) {
@@ -319,7 +371,7 @@ pub(crate) fn escalate_scalar<A: KernelBackend + ?Sized>(
         }
     }
 
-    // Rung 4 — unpreconditioned GMRES: nothing left to distrust.
+    // Rung 5 — unpreconditioned GMRES: nothing left to distrust.
     if policy.unpreconditioned_fallback {
         let id = ActivePrecond::Identity(IdentityPrecond::new(b.len()));
         let r = solve(a, b, id.as_dyn(), SolverType::Gmres, opts);
@@ -422,6 +474,14 @@ pub(crate) fn escalate_batch<A: KernelBackend + ?Sized>(
             solver: active_solver.flexible(),
         });
     }
+    if policy.stale_refresh && ctx.refresher.is_some() {
+        rungs.push(Rung {
+            kind: RecoveryStepKind::StaleRefresh,
+            // Solver carried over from whatever the previous rung selected;
+            // patched below when the rung actually runs.
+            solver: active_solver,
+        });
+    }
     if policy.rebuild && ctx.rebuilder.is_some() {
         rungs.push(Rung {
             kind: RecoveryStepKind::Rebuild,
@@ -450,6 +510,16 @@ pub(crate) fn escalate_batch<A: KernelBackend + ?Sized>(
             }
             RecoveryStepKind::FlexibleSwap => {
                 active_solver = rung.solver;
+            }
+            RecoveryStepKind::StaleRefresh => {
+                let Some(refreshed) = ctx
+                    .refresher
+                    .as_deref_mut()
+                    .and_then(|r| r.refresh(&trigger))
+                else {
+                    continue;
+                };
+                active = ActivePrecond::Owned(refreshed);
             }
             RecoveryStepKind::Rebuild => {
                 let Some(fresh) = ctx

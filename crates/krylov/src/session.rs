@@ -240,6 +240,120 @@ impl<P: Preconditioner> SolveSession<P> {
         )
     }
 
+    /// [`SolveSession::solve`] with an initial guess (see
+    /// [`crate::solve_warm`] for the exact contracts): `None`/zero guesses
+    /// are bit-identical to [`SolveSession::solve`], an already-converged
+    /// guess returns in zero iterations without running the driver, and
+    /// anything else runs the correction solve through the session's
+    /// reusable scalar workspace.
+    ///
+    /// # Panics
+    /// Panics if `b` or `x0` has the wrong length.
+    pub fn solve_warm(&mut self, b: &[f64], x0: Option<&[f64]>) -> SolveResult {
+        let Self {
+            a,
+            precond,
+            opts,
+            scalar_ws,
+            ..
+        } = self;
+        let opts = *opts;
+        crate::warm::warm_scalar_with(a, b, x0, opts, |r, inner| match scalar_ws {
+            ScalarWs::Cg(ws) => cg_with(a, r, precond, inner, ws),
+            ScalarWs::BiCgStab(ws) => bicgstab_with(a, r, precond, inner, ws),
+            ScalarWs::Gmres(ws) => gmres_with(a, r, precond, inner, ws),
+            ScalarWs::Fgmres(ws) => fgmres_with(a, r, precond, inner, ws),
+            ScalarWs::FCg(ws) => fcg_with(a, r, precond, inner, ws),
+        })
+    }
+
+    /// [`SolveSession::solve_batch`] with per-column initial guesses (see
+    /// [`crate::solve_batch_warm`] for the shared-tolerance contract). The
+    /// correction sub-batch reuses the session's width-keyed block
+    /// workspaces — note the sub-batch width is the number of columns whose
+    /// guess did *not* already converge, so a drift sequence in steady
+    /// state mostly exercises the small widths.
+    ///
+    /// # Panics
+    /// Panics if any rhs or guess has the wrong length.
+    pub fn solve_batch_warm(
+        &mut self,
+        rhs: &[Vec<f64>],
+        x0: Option<&[Vec<f64>]>,
+    ) -> Vec<SolveResult> {
+        if rhs.is_empty() {
+            return Vec::new();
+        }
+        let Self {
+            a,
+            precond,
+            solver,
+            opts,
+            block_ws,
+            ..
+        } = self;
+        let (solver, opts) = (*solver, *opts);
+        crate::warm::warm_batch_with(a, rhs, x0, opts, |residuals, inner| {
+            let ws = block_ws
+                .entry(residuals.len())
+                .or_insert_with(|| match solver {
+                    SolverType::Cg => BlockWs::Cg(CgBlockWorkspace::new()),
+                    SolverType::BiCgStab => BlockWs::BiCgStab(BiCgStabBlockWorkspace::new()),
+                    SolverType::Gmres => BlockWs::Gmres(GmresBlockWorkspace::new()),
+                    SolverType::Fgmres => BlockWs::Fgmres(FgmresBlockWorkspace::new()),
+                    SolverType::FCg => BlockWs::FCg(FcgBlockWorkspace::new()),
+                });
+            match ws {
+                BlockWs::Cg(ws) => cg_batch(a, residuals, precond, inner, ws),
+                BlockWs::BiCgStab(ws) => bicgstab_batch(a, residuals, precond, inner, ws),
+                BlockWs::Gmres(ws) => gmres_batch(a, residuals, precond, inner, ws),
+                BlockWs::Fgmres(ws) => fgmres_batch(a, residuals, precond, inner, ws),
+                BlockWs::FCg(ws) => fcg_batch(a, residuals, precond, inner, ws),
+            }
+        })
+    }
+
+    /// Swap the operator under the session — the drift-step primitive.
+    /// Structure is re-detected for the new matrix (so the kernel seam
+    /// keeps dispatching to the right banded/stencil family), while every
+    /// solver workspace is kept: a drifting sequence of same-size
+    /// operators never re-allocates its iteration vectors.
+    ///
+    /// The preconditioner is *not* touched; pairing the old inverse with
+    /// the new operator is exactly the graceful-degradation regime the
+    /// [`crate::StalenessMonitor`] and the refresh ladder manage.
+    ///
+    /// # Panics
+    /// Panics if the new matrix is not square or changes dimension.
+    pub fn replace_matrix(&mut self, a: Csr) {
+        assert_eq!(
+            a.nrows(),
+            a.ncols(),
+            "replace_matrix: matrix must be square"
+        );
+        assert_eq!(
+            a.nrows(),
+            self.precond.dim(),
+            "replace_matrix: dimension change invalidates the session"
+        );
+        self.a = SpecializedBackend::detect(a);
+    }
+
+    /// Swap the preconditioner (after a partial row rebuild, a safeguarded
+    /// full rebuild, or a retune). Workspaces and the detected operator
+    /// structure are kept.
+    ///
+    /// # Panics
+    /// Panics if the new preconditioner changes dimension.
+    pub fn replace_precond(&mut self, precond: P) {
+        assert_eq!(
+            precond.dim(),
+            self.a.nrows(),
+            "replace_precond: dimension mismatch"
+        );
+        self.precond = precond;
+    }
+
     /// Tear the session apart, recovering the matrix and preconditioner.
     pub fn into_parts(self) -> (Csr, P) {
         (self.a.into_csr(), self.precond)

@@ -206,6 +206,11 @@ pub struct SolveResult {
     pub iterations: usize,
     /// Final true relative residual ‖b − Ax‖/‖b‖.
     pub rel_residual: f64,
+    /// Relative residual of the *initial* iterate, ‖b − Ax₀‖/‖b‖: 1.0 for
+    /// the cold x₀ = 0 start (0.0 for a zero rhs), the measured warm-start
+    /// quality for [`crate::solve_warm`]. Observable so drift pipelines can
+    /// tell how much of the convergence the previous solution bought.
+    pub initial_rel_residual: f64,
     /// Legacy flag: set when the structured outcome is a numerical
     /// breakdown or a non-finite value (kept so existing callers keep
     /// working; prefer [`SolveResult::outcome`]).
@@ -262,6 +267,7 @@ pub(crate) fn classify(
     mut failure: Option<SolveFailure>,
     tol: f64,
     end: ColEnd,
+    initial_rel: f64,
 ) -> SolveResult {
     if !rel.is_finite() && failure.is_none() {
         failure = Some(SolveFailure::NonFinite {
@@ -290,6 +296,7 @@ pub(crate) fn classify(
         converged,
         iterations,
         rel_residual: rel,
+        initial_rel_residual: initial_rel,
         breakdown,
         outcome,
     }
@@ -319,7 +326,11 @@ pub(crate) fn wrap_scalar<A: KernelBackend + ?Sized>(
     } else {
         mcmcmi_dense::norm2(scratch)
     };
-    classify(x, iterations, rel, failure, tol, end)
+    // Every driver starts from x₀ = 0, so the initial relative residual is
+    // the constant ‖b − 0‖/‖b‖ = 1 (0 for a zero rhs) — no floating point
+    // added to the clean path. Warm starts overwrite this after the fact.
+    let initial_rel = if bn > 0.0 { 1.0 } else { 0.0 };
+    classify(x, iterations, rel, failure, tol, end, initial_rel)
 }
 
 /// Batched counterpart of [`wrap_scalar`]: recompute the true residuals of
@@ -351,6 +362,7 @@ pub(crate) fn finalize_columns<A: KernelBackend + ?Sized>(
                 o.failure.clone(),
                 tol,
                 o.end,
+                0.0,
             ));
             continue;
         }
@@ -366,6 +378,7 @@ pub(crate) fn finalize_columns<A: KernelBackend + ?Sized>(
         let bn = mcmcmi_dense::norm2_col(bb, k, c);
         let rn = mcmcmi_dense::norm2_col(scratch, k, c);
         let rel = if bn > 0.0 { rn / bn } else { rn };
+        let initial_rel = if bn > 0.0 { 1.0 } else { 0.0 };
         results.push(classify(
             x,
             o.iterations,
@@ -373,6 +386,7 @@ pub(crate) fn finalize_columns<A: KernelBackend + ?Sized>(
             o.failure.clone(),
             tol,
             o.end,
+            initial_rel,
         ));
     }
     results
@@ -494,15 +508,15 @@ mod tests {
     fn classify_separates_tol_from_slack() {
         let tol = 1e-8;
         // Strictly within tol.
-        let r = classify(vec![0.0], 3, 5e-9, None, tol, ColEnd::Wrapped);
+        let r = classify(vec![0.0], 3, 5e-9, None, tol, ColEnd::Wrapped, 1.0);
         assert!(r.converged && !r.breakdown);
         assert_eq!(r.outcome, SolveOutcome::Converged(ConvergedWithin::Tol));
         // Within tol × CONVERGENCE_SLACK only.
-        let r = classify(vec![0.0], 3, 5e-8, None, tol, ColEnd::Wrapped);
+        let r = classify(vec![0.0], 3, 5e-8, None, tol, ColEnd::Wrapped, 1.0);
         assert!(r.converged);
         assert_eq!(r.outcome, SolveOutcome::Converged(ConvergedWithin::Slack));
         // Past the slack: budget exhausted when no sharper diagnosis exists.
-        let r = classify(vec![0.0], 3, 1e-6, None, tol, ColEnd::Wrapped);
+        let r = classify(vec![0.0], 3, 1e-6, None, tol, ColEnd::Wrapped, 1.0);
         assert!(!r.converged && !r.breakdown);
         assert_eq!(
             r.outcome,
@@ -517,7 +531,15 @@ mod tests {
             kind: BreakdownKind::ZeroCurvature,
             iteration: 7,
         };
-        let r = classify(vec![0.0], 7, 0.5, Some(bd.clone()), tol, ColEnd::Wrapped);
+        let r = classify(
+            vec![0.0],
+            7,
+            0.5,
+            Some(bd.clone()),
+            tol,
+            ColEnd::Wrapped,
+            1.0,
+        );
         assert!(!r.converged && r.breakdown);
         assert_eq!(r.failure(), Some(&bd));
         // Stagnation/divergence are *not* legacy breakdowns.
@@ -525,10 +547,10 @@ mod tests {
             window: 10,
             best_residual: 0.1,
         };
-        let r = classify(vec![0.0], 50, 0.1, Some(st), tol, ColEnd::Wrapped);
+        let r = classify(vec![0.0], 50, 0.1, Some(st), tol, ColEnd::Wrapped, 1.0);
         assert!(!r.converged && !r.breakdown);
         // A non-finite true residual is diagnosed even with no driver failure.
-        let r = classify(vec![f64::NAN], 2, f64::NAN, None, tol, ColEnd::Wrapped);
+        let r = classify(vec![f64::NAN], 2, f64::NAN, None, tol, ColEnd::Wrapped, 1.0);
         assert!(!r.converged && r.breakdown);
         assert!(matches!(
             r.failure(),
@@ -546,6 +568,7 @@ mod tests {
             None,
             1e-8,
             ColEnd::Preset { converged: true },
+            1.0,
         );
         assert!(r.converged);
         assert_eq!(r.outcome, SolveOutcome::Converged(ConvergedWithin::Slack));
@@ -557,6 +580,7 @@ mod tests {
             None,
             1e-8,
             ColEnd::Preset { converged: true },
+            1.0,
         );
         assert!(!r.converged && r.breakdown);
     }

@@ -1,0 +1,583 @@
+//! Warm-started solves: seed any driver with an initial guess `x₀`.
+//!
+//! Drift sequences (time-stepping PDEs, Newton Jacobians) solve a *stream*
+//! of nearby systems, and the previous step's solution is an excellent
+//! initial guess for the next. None of the drivers take an `x₀` directly —
+//! they all start from zero so their clean paths stay allocation-free and
+//! bit-reproducible — so warm starting is layered on top via the classical
+//! correction split:
+//!
+//! ```text
+//! r₀ = b − A·x₀        (one SpMV)
+//! solve A·e = r₀       to tolerance tol′ = tol / (‖r₀‖/‖b‖)
+//! x  = x₀ + e
+//! ```
+//!
+//! The inner tolerance is *adjusted*, not the rhs scaled: a relative
+//! convergence criterion is scale-invariant, so solving the residual system
+//! at the unchanged relative tolerance would spend exactly the cold-start
+//! iteration count and the warm start would buy nothing. With
+//! `tol′ = tol / init_rel` the inner stopping test `‖r₀ − A·e‖ ≤ tol′·‖r₀‖`
+//! is algebraically the outer contract `‖b − A·x‖ ≤ tol·‖b‖`, and the
+//! iteration count shrinks with the quality of the guess.
+//!
+//! Contracts:
+//! - `x₀ = None` (or all zeros, or a zero rhs) delegates to the plain
+//!   driver — **bit-identical** to a cold solve, by construction.
+//! - `‖r₀‖/‖b‖ ≤ tol` returns `x₀` immediately as converged with zero
+//!   iterations — the guard that keeps the stagnation watchdog (and the
+//!   driver itself) from ever running on an already-converged iterate.
+//! - Otherwise the returned result is re-measured against the *outer*
+//!   system (`rel_residual` is the true ‖b − A·x‖/‖b‖, the `converged`
+//!   flag re-derived from it), and
+//!   [`SolveResult::initial_rel_residual`] records ‖r₀‖/‖b‖ so callers
+//!   can see how much the guess bought.
+
+use crate::precond::Preconditioner;
+use crate::solver::{
+    classify, solve, solve_batch, wrap_scalar, ColEnd, SolveOptions, SolveResult, SolverType,
+};
+use mcmcmi_dense::norm2;
+use mcmcmi_sparse::KernelBackend;
+
+/// Is this guess absent or indistinguishable from the cold `x₀ = 0` start?
+fn is_cold(x0: Option<&[f64]>) -> bool {
+    match x0 {
+        None => true,
+        Some(x) => x.iter().all(|&v| v == 0.0),
+    }
+}
+
+/// `r₀ = b − A·x₀` into a fresh vector (the one SpMV a warm start costs
+/// up front).
+fn initial_residual<A: KernelBackend + ?Sized>(a: &A, b: &[f64], x0: &[f64]) -> Vec<f64> {
+    let mut r0 = vec![0.0; b.len()];
+    a.spmv(x0, &mut r0);
+    for (ri, &bi) in r0.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+    r0
+}
+
+/// The inner (correction-system) options: same budget and monitor, the
+/// tolerance rescaled so the inner relative test equals the outer one.
+fn inner_opts(opts: SolveOptions, init_rel: f64) -> SolveOptions {
+    SolveOptions {
+        tol: opts.tol / init_rel,
+        ..opts
+    }
+}
+
+/// [`solve`] with an initial guess.
+///
+/// See the module docs for the exact contracts; in short: `None`/zero
+/// guesses are bit-identical to [`solve`], an already-converged guess
+/// returns immediately without running the driver, and anything else costs
+/// two extra SpMVs (initial residual + honest final re-measure) plus the
+/// correction solve.
+///
+/// # Panics
+/// Panics if dimensions disagree.
+pub fn solve_warm<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    precond: &P,
+    solver: SolverType,
+    opts: SolveOptions,
+) -> SolveResult {
+    warm_scalar_with(a, b, x0, opts, |r, inner| {
+        solve(a, r, precond, solver, inner)
+    })
+}
+
+/// The shared scalar warm harness: `inner_solve` is the cold driver (free
+/// function or session workspace path) applied to whatever rhs the split
+/// dictates. Factored out so [`crate::SolveSession::solve_warm`] reuses its
+/// workspaces through exactly this logic.
+pub(crate) fn warm_scalar_with<A, F>(
+    a: &A,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: SolveOptions,
+    inner_solve: F,
+) -> SolveResult
+where
+    A: KernelBackend + ?Sized,
+    F: FnOnce(&[f64], SolveOptions) -> SolveResult,
+{
+    assert_eq!(a.nrows(), a.ncols(), "solve_warm: matrix must be square");
+    assert_eq!(a.nrows(), b.len(), "solve_warm: rhs dimension mismatch");
+    if let Some(x) = x0 {
+        assert_eq!(x.len(), b.len(), "solve_warm: x0 dimension mismatch");
+    }
+    let bn = norm2(b);
+    if is_cold(x0) || bn == 0.0 {
+        return inner_solve(b, opts);
+    }
+    let x0 = x0.expect("non-cold guess is present");
+    let r0 = initial_residual(a, b, x0);
+    let init_rel = norm2(&r0) / bn;
+    if init_rel.is_finite() && init_rel <= opts.tol {
+        // The guess already satisfies the contract: report it converged in
+        // zero iterations. The driver (and its stagnation watchdog) never
+        // runs, so a flat residual at convergence can't trip anything.
+        return classify(
+            x0.to_vec(),
+            0,
+            init_rel,
+            None,
+            opts.tol,
+            ColEnd::Preset { converged: true },
+            init_rel,
+        );
+    }
+    if !init_rel.is_finite() {
+        // A non-finite guess poisons the correction split; fall back to the
+        // cold path, which at least returns an honest answer.
+        return inner_solve(b, opts);
+    }
+    let inner = inner_solve(&r0, inner_opts(opts, init_rel));
+    let iterations = inner.iterations;
+    let failure = inner.failure().cloned();
+    let mut x = inner.x;
+    for (xi, &x0i) in x.iter_mut().zip(x0) {
+        *xi += x0i;
+    }
+    let mut scratch = Vec::new();
+    let mut result = wrap_scalar(
+        a,
+        b,
+        x,
+        iterations,
+        failure,
+        opts.tol,
+        ColEnd::Wrapped,
+        &mut scratch,
+    );
+    result.initial_rel_residual = init_rel;
+    result
+}
+
+/// Per-column state a warm batch solve carries from setup to finalize.
+struct WarmCol {
+    /// Initial relative residual ‖b − A·x₀‖/‖b‖ of this column.
+    init_rel: f64,
+    /// Column index into the sub-batch actually handed to the inner batched
+    /// driver (`None` for columns resolved before the driver runs).
+    active_slot: Option<usize>,
+    /// Did this column solve the *residual* system (so the guess must be
+    /// added back), or ride along cold on its original rhs?
+    warm: bool,
+}
+
+/// [`solve_batch`] with per-column initial guesses.
+///
+/// The lockstep batched drivers share one `opts.tol` across the batch, so
+/// the inner correction batch runs at
+/// `tol′ = tol / max_c(init_rel_c)` over the still-unconverged columns:
+/// every column is then guaranteed `‖b_c − A·x_c‖ ≤ tol·‖b_c‖`, with
+/// columns whose guess was better than the worst one solved slightly
+/// deeper than strictly necessary. Columns whose guess already satisfies
+/// the tolerance never enter the driver at all.
+///
+/// `x0` as `None`, or with every column absent/zero, is bit-identical to
+/// [`solve_batch`].
+///
+/// # Panics
+/// Panics if dimensions disagree.
+pub fn solve_batch_warm<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
+    a: &A,
+    rhs: &[Vec<f64>],
+    x0: Option<&[Vec<f64>]>,
+    precond: &P,
+    solver: SolverType,
+    opts: SolveOptions,
+) -> Vec<SolveResult> {
+    warm_batch_with(a, rhs, x0, opts, |residuals, inner| {
+        solve_batch(a, residuals, precond, solver, inner)
+    })
+}
+
+/// The shared warm-batch harness: split each column into `x₀ + e`, hand the
+/// correction systems to `inner_solve` at the adjusted shared tolerance,
+/// and re-finalize every column against its outer system. Factored out so
+/// the lockstep batches and [`crate::block_cg`] warm the same way.
+pub(crate) fn warm_batch_with<A, F>(
+    a: &A,
+    rhs: &[Vec<f64>],
+    x0: Option<&[Vec<f64>]>,
+    opts: SolveOptions,
+    inner_solve: F,
+) -> Vec<SolveResult>
+where
+    A: KernelBackend + ?Sized,
+    F: FnOnce(&[Vec<f64>], SolveOptions) -> Vec<SolveResult>,
+{
+    let k = rhs.len();
+    let cold = match x0 {
+        None => true,
+        Some(g) => {
+            assert_eq!(g.len(), k, "solve_batch_warm: x0 batch width mismatch");
+            g.iter().all(|x| x.iter().all(|&v| v == 0.0))
+        }
+    };
+    if cold || k == 0 {
+        return inner_solve(rhs, opts);
+    }
+    let guesses = x0.expect("non-cold batch guess is present");
+
+    // Per-column split. A zero-rhs or zero/non-finite-guess column takes
+    // the cold path for that column (riding the inner batch with its
+    // original rhs), so mixed batches keep the plain drivers' semantics.
+    let mut cols = Vec::with_capacity(k);
+    let mut residuals: Vec<Vec<f64>> = Vec::new();
+    let mut worst = 0.0f64;
+    for (b, g) in rhs.iter().zip(guesses) {
+        assert_eq!(g.len(), b.len(), "solve_batch_warm: x0 dimension mismatch");
+        let bn = norm2(b);
+        let warmable = bn > 0.0 && g.iter().any(|&v| v != 0.0);
+        let init_rel = if warmable {
+            let r0 = initial_residual(a, b, g);
+            let rel = norm2(&r0) / bn;
+            if rel.is_finite() && rel <= opts.tol {
+                cols.push(WarmCol {
+                    init_rel: rel,
+                    active_slot: None,
+                    warm: true,
+                });
+                continue;
+            }
+            if rel.is_finite() {
+                cols.push(WarmCol {
+                    init_rel: rel,
+                    active_slot: Some(residuals.len()),
+                    warm: true,
+                });
+                residuals.push(r0);
+                worst = worst.max(rel);
+                continue;
+            }
+            // Poisoned guess: cold-solve this column below.
+            1.0
+        } else if bn > 0.0 {
+            1.0
+        } else {
+            0.0
+        };
+        // Cold ride-along: the original system at the shared tolerance.
+        // `worst ≥ 1` whenever one of these carries a nonzero rhs, so the
+        // shared inner tolerance `tol/worst ≤ tol` never under-solves it.
+        cols.push(WarmCol {
+            init_rel,
+            active_slot: Some(residuals.len()),
+            warm: false,
+        });
+        residuals.push(b.clone());
+        worst = worst.max(init_rel);
+    }
+
+    let inner_results = if residuals.is_empty() {
+        Vec::new()
+    } else {
+        // Shared tolerance: the worst column dictates; better-seeded
+        // columns over-solve slightly (documented above).
+        let inner = SolveOptions {
+            tol: if worst > 0.0 {
+                opts.tol / worst
+            } else {
+                opts.tol
+            },
+            ..opts
+        };
+        inner_solve(&residuals, inner)
+    };
+
+    let mut scratch = Vec::new();
+    cols.iter()
+        .enumerate()
+        .map(|(c, col)| match col.active_slot {
+            None => {
+                // Guess already converged: x₀ verbatim, zero iterations.
+                classify(
+                    guesses[c].clone(),
+                    0,
+                    col.init_rel,
+                    None,
+                    opts.tol,
+                    ColEnd::Preset { converged: true },
+                    col.init_rel,
+                )
+            }
+            Some(slot) => {
+                let inner = &inner_results[slot];
+                let mut x = inner.x.clone();
+                if col.warm {
+                    for (xi, &x0i) in x.iter_mut().zip(&guesses[c]) {
+                        *xi += x0i;
+                    }
+                }
+                // Every driver-run column is re-measured against its outer
+                // system at the *outer* tolerance — the inner batch ran at
+                // the shared adjusted tolerance, so its flags don't apply.
+                let mut r = wrap_scalar(
+                    a,
+                    &rhs[c],
+                    x,
+                    inner.iterations,
+                    inner.failure().cloned(),
+                    opts.tol,
+                    ColEnd::Wrapped,
+                    &mut scratch,
+                );
+                r.initial_rel_residual = col.init_rel;
+                r
+            }
+        })
+        .collect()
+}
+
+/// [`crate::block_cg`] with per-column initial guesses: the correction
+/// systems share search directions in one true block-CG sweep, then each
+/// column is re-measured against its outer system. Same per-column
+/// contracts as [`solve_batch_warm`].
+///
+/// # Panics
+/// Panics if dimensions disagree.
+pub fn block_cg_warm<A: KernelBackend + ?Sized, P: Preconditioner + ?Sized>(
+    a: &A,
+    rhs: &[Vec<f64>],
+    x0: Option<&[Vec<f64>]>,
+    precond: &P,
+    opts: SolveOptions,
+) -> Vec<SolveResult> {
+    warm_batch_with(a, rhs, x0, opts, |residuals, inner| {
+        crate::block_cg::block_cg(a, residuals, precond, inner)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::{IdentityPrecond, JacobiPrecond};
+    use mcmcmi_matgen::{convection_diffusion_2d, fd_laplace_2d, ConvectionDiffusionParams};
+
+    const ALL: [SolverType; 5] = [
+        SolverType::Cg,
+        SolverType::BiCgStab,
+        SolverType::Gmres,
+        SolverType::Fgmres,
+        SolverType::FCg,
+    ];
+
+    fn rhs_for(n: usize, seed: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i + 3 * seed) as f64 * 0.37 + seed as f64).sin())
+            .collect()
+    }
+
+    #[test]
+    fn zero_guess_is_bit_identical_to_cold_solve() {
+        let a = fd_laplace_2d(10);
+        let n = a.nrows();
+        let p = JacobiPrecond::new(&a);
+        let b = rhs_for(n, 1);
+        for solver in ALL {
+            let cold = solve(&a, &b, &p, solver, SolveOptions::default());
+            let none = solve_warm(&a, &b, None, &p, solver, SolveOptions::default());
+            let zeros = vec![0.0; n];
+            let z = solve_warm(&a, &b, Some(&zeros), &p, solver, SolveOptions::default());
+            assert_eq!(cold.x, none.x, "{solver:?}");
+            assert_eq!(cold.x, z.x, "{solver:?}");
+            assert_eq!(cold.iterations, z.iterations, "{solver:?}");
+            assert_eq!(cold.rel_residual, z.rel_residual, "{solver:?}");
+            assert_eq!(z.initial_rel_residual, 1.0, "{solver:?}");
+        }
+    }
+
+    #[test]
+    fn exact_guess_returns_immediately_without_tripping_anything() {
+        let a = fd_laplace_2d(8);
+        let n = a.nrows();
+        let p = JacobiPrecond::new(&a);
+        let b = rhs_for(n, 2);
+        for solver in ALL {
+            let cold = solve(&a, &b, &p, solver, SolveOptions::default());
+            assert!(cold.converged);
+            let warm = solve_warm(&a, &b, Some(&cold.x), &p, solver, SolveOptions::default());
+            assert!(warm.converged, "{solver:?}");
+            assert_eq!(warm.iterations, 0, "{solver:?}");
+            assert_eq!(warm.x, cold.x, "{solver:?}");
+            assert!(warm.initial_rel_residual <= SolveOptions::default().tol);
+        }
+    }
+
+    #[test]
+    fn good_guess_cuts_iterations_and_still_meets_the_outer_contract() {
+        let a = fd_laplace_2d(16);
+        let n = a.nrows();
+        let p = JacobiPrecond::new(&a);
+        let b = rhs_for(n, 3);
+        for solver in ALL {
+            let cold = solve(&a, &b, &p, solver, SolveOptions::default());
+            assert!(cold.converged);
+            // Perturb the exact answer slightly: a realistic drift guess.
+            let guess: Vec<f64> = cold.x.iter().map(|&v| v * (1.0 + 1e-4)).collect();
+            let warm = solve_warm(&a, &b, Some(&guess), &p, solver, SolveOptions::default());
+            assert!(warm.converged, "{solver:?}");
+            assert!(
+                warm.iterations < cold.iterations,
+                "{solver:?}: warm {} !< cold {}",
+                warm.iterations,
+                cold.iterations
+            );
+            assert!(
+                warm.rel_residual <= SolveOptions::default().tol * crate::CONVERGENCE_SLACK,
+                "{solver:?}: outer contract violated ({})",
+                warm.rel_residual
+            );
+            assert!(warm.initial_rel_residual > SolveOptions::default().tol);
+            assert!(warm.initial_rel_residual < 1e-2, "{solver:?}");
+        }
+    }
+
+    #[test]
+    fn batch_zero_guesses_bit_identical_to_cold_batch() {
+        let a = convection_diffusion_2d(ConvectionDiffusionParams {
+            nx: 8,
+            ny: 8,
+            eps: 1.0,
+            aniso: 1.0,
+            wind: 4.0,
+            contrast: 0.0,
+            wide: false,
+        });
+        let n = a.nrows();
+        let p = JacobiPrecond::new(&a);
+        let rhs: Vec<Vec<f64>> = (0..3).map(|c| rhs_for(n, c)).collect();
+        let zeros: Vec<Vec<f64>> = (0..3).map(|_| vec![0.0; n]).collect();
+        for solver in [SolverType::BiCgStab, SolverType::Gmres, SolverType::Fgmres] {
+            let cold = solve_batch(&a, &rhs, &p, solver, SolveOptions::default());
+            let warm =
+                solve_batch_warm(&a, &rhs, Some(&zeros), &p, solver, SolveOptions::default());
+            for (c, (p0, q0)) in cold.iter().zip(&warm).enumerate() {
+                assert_eq!(p0.x, q0.x, "{solver:?} col {c}");
+                assert_eq!(p0.iterations, q0.iterations, "{solver:?} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_mixed_columns_warm_converged_and_cold() {
+        let a = fd_laplace_2d(12);
+        let n = a.nrows();
+        let p = JacobiPrecond::new(&a);
+        let opts = SolveOptions::default();
+        let rhs: Vec<Vec<f64>> = (0..3).map(|c| rhs_for(n, c + 7)).collect();
+        let exact: Vec<SolveResult> = rhs
+            .iter()
+            .map(|b| solve(&a, b, &p, SolverType::Cg, opts))
+            .collect();
+        // Col 0: exact guess (early return); col 1: perturbed (warm);
+        // col 2: zero guess (cold ride-along).
+        let guesses = vec![
+            exact[0].x.clone(),
+            exact[1].x.iter().map(|&v| v * (1.0 + 1e-4)).collect(),
+            vec![0.0; n],
+        ];
+        let warm = solve_batch_warm(&a, &rhs, Some(&guesses), &p, SolverType::Cg, opts);
+        assert!(warm.iter().all(|r| r.converged));
+        assert_eq!(warm[0].iterations, 0, "exact guess short-circuits");
+        // The cold ride-along pins the shared tolerance at `tol`, so the
+        // warm column over-solves to full depth — no savings in a mixed
+        // batch (the all-warm case below is where iterations drop).
+        assert!(warm[1].iterations <= exact[1].iterations + 1);
+        assert!(warm[1].initial_rel_residual < 1e-2, "warm col measured");
+        assert_eq!(warm[2].initial_rel_residual, 1.0, "cold col reports 1.0");
+        for (r, b) in warm.iter().zip(&rhs) {
+            let mut ax = vec![0.0; n];
+            a.spmv(&r.x, &mut ax);
+            let rn: f64 = ax
+                .iter()
+                .zip(b)
+                .map(|(axi, bi)| (bi - axi) * (bi - axi))
+                .sum::<f64>()
+                .sqrt();
+            let bn = norm2(b);
+            assert!(rn / bn <= opts.tol * crate::CONVERGENCE_SLACK);
+        }
+    }
+
+    #[test]
+    fn all_warm_batch_cuts_iterations() {
+        let a = fd_laplace_2d(16);
+        let n = a.nrows();
+        let p = JacobiPrecond::new(&a);
+        let opts = SolveOptions::default();
+        let rhs: Vec<Vec<f64>> = (0..3).map(|c| rhs_for(n, c + 11)).collect();
+        let cold = solve_batch(&a, &rhs, &p, SolverType::Cg, opts);
+        assert!(cold.iter().all(|r| r.converged));
+        let guesses: Vec<Vec<f64>> = cold
+            .iter()
+            .map(|r| r.x.iter().map(|&v| v * (1.0 + 1e-4)).collect())
+            .collect();
+        let warm = solve_batch_warm(&a, &rhs, Some(&guesses), &p, SolverType::Cg, opts);
+        for (c, (w, k)) in warm.iter().zip(&cold).enumerate() {
+            assert!(w.converged, "col {c}");
+            assert!(
+                w.iterations < k.iterations,
+                "col {c}: warm {} !< cold {}",
+                w.iterations,
+                k.iterations
+            );
+            assert!(
+                w.rel_residual <= opts.tol * crate::CONVERGENCE_SLACK,
+                "col {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_cg_warm_matches_contracts() {
+        let a = fd_laplace_2d(10);
+        let n = a.nrows();
+        let p = IdentityPrecond::new(n);
+        let opts = SolveOptions::default();
+        let rhs: Vec<Vec<f64>> = (0..3).map(|c| rhs_for(n, c + 1)).collect();
+        let cold = crate::block_cg::block_cg(&a, &rhs, &p, opts);
+        assert!(cold.iter().all(|r| r.converged));
+        let guesses: Vec<Vec<f64>> = cold
+            .iter()
+            .map(|r| r.x.iter().map(|&v| v * (1.0 + 1e-5)).collect())
+            .collect();
+        let warm = block_cg_warm(&a, &rhs, Some(&guesses), &p, opts);
+        for (c, (w, k)) in warm.iter().zip(&cold).enumerate() {
+            assert!(w.converged, "col {c}");
+            assert!(w.iterations <= k.iterations, "col {c}");
+            assert!(w.initial_rel_residual < 1e-2, "col {c}");
+        }
+        // Cold block path unchanged.
+        let none = block_cg_warm(&a, &rhs, None, &p, opts);
+        for (w, k) in none.iter().zip(&cold) {
+            assert_eq!(w.x, k.x);
+        }
+    }
+
+    #[test]
+    fn zero_rhs_delegates_to_cold_path() {
+        let a = fd_laplace_2d(6);
+        let n = a.nrows();
+        let p = JacobiPrecond::new(&a);
+        let guess = vec![1.0; n];
+        let r = solve_warm(
+            &a,
+            &vec![0.0; n],
+            Some(&guess),
+            &p,
+            SolverType::Cg,
+            SolveOptions::default(),
+        );
+        assert!(r.converged);
+        assert!(r.x.iter().all(|&v| v == 0.0), "zero rhs keeps x = 0");
+    }
+}

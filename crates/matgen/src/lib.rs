@@ -8,11 +8,15 @@
 //! operators; the rest are same-class surrogates.
 
 pub mod chebyshev;
+pub mod drift;
 pub mod families;
 pub mod random;
 pub mod suite;
 
 pub use chebyshev::{chebyshev_diff_matrix, chebyshev_points, unsteady_adv_diff, AdvDiffOrder};
+pub use drift::{
+    CoefficientDrift, DiagonalShiftDrift, DriftStep, JacobianRelinearization, MeshRefinementDrift,
+};
 pub use families::{
     banded_climate_rows, banded_climate_rows_with_structure, convection_diffusion_2d,
     convection_diffusion_2d_with_structure, fd_laplace_2d, fd_laplace_2d_with_structure,

@@ -9,7 +9,7 @@
 
 use crate::compress::{CompressionPolicy, CompressionReport};
 use crate::params::McmcParams;
-use crate::walk::WalkMatrix;
+use crate::walk::{RowWalkStats, WalkMatrix};
 use mcmcmi_krylov::SparsePrecond;
 use mcmcmi_sparse::Csr;
 use rayon::prelude::*;
@@ -85,6 +85,10 @@ pub struct BuildOutcome {
     pub noncontractive_fraction: f64,
     /// Chains per row that were run (from ε).
     pub chains_per_row: usize,
+    /// Per-row walk statistics, kept so [`McmcInverse::rebuild_rows`] can
+    /// update the aggregate counters above *exactly* (old row out, new row
+    /// in) instead of approximating them.
+    pub row_stats: Vec<RowWalkStats>,
 }
 
 impl BuildOutcome {
@@ -143,6 +147,75 @@ impl BuildOutcome {
     }
 }
 
+/// One estimated preconditioner row: the harvested sparse entries plus the
+/// walk statistics. Produced by [`estimate_row`] for both the full build
+/// and the partial rebuild — sharing the estimator is what makes an
+/// all-dirty [`McmcInverse::rebuild_rows`] bit-identical to a fresh
+/// [`McmcInverse::build`] *by construction*.
+struct RowOut {
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+    stats: RowWalkStats,
+}
+
+/// Walk and harvest one preconditioner row: run the chains, tally into the
+/// workspace scratch, scale by the walk's inverse diagonal, drop tiny or
+/// non-finite entries, budget-select the strongest, and sort by column.
+/// Deterministic per `(seed, row)` — independent of which other rows are
+/// being estimated around it.
+fn estimate_row(
+    walk: &WalkMatrix,
+    i: usize,
+    chains: usize,
+    delta: f64,
+    cfg: &BuildConfig,
+    budget: usize,
+    ws: &mut RowWorkspace,
+) -> RowOut {
+    let stats = walk.walk_row(
+        i,
+        chains,
+        delta,
+        cfg.max_walk_len,
+        cfg.seed,
+        &mut ws.scratch,
+        &mut ws.touched,
+    );
+    // Harvest: P row = (tally/chains) scaled by the inverse diagonal
+    // (column scaling). `touched` may contain duplicates when weight
+    // cancellation zeroes an entry that is later revisited — dedup first.
+    ws.touched.sort_unstable();
+    ws.touched.dedup();
+    let inv_diag = walk.inv_diag();
+    let mut entries: Vec<(usize, f64)> = ws
+        .touched
+        .iter()
+        .map(|&j| (j, ws.scratch[j] / chains as f64 * inv_diag[j]))
+        .filter(|&(_, v)| v.abs() >= cfg.trunc_threshold && v.is_finite())
+        .collect();
+    ws.reset();
+    // Keep the largest |entries| within the row budget.
+    if entries.len() > budget {
+        entries.select_nth_unstable_by(budget - 1, |a, b| {
+            b.1.abs().partial_cmp(&a.1.abs()).unwrap()
+        });
+        entries.truncate(budget);
+    }
+    entries.sort_unstable_by_key(|&(j, _)| j);
+    RowOut {
+        cols: entries.iter().map(|&(j, _)| j).collect(),
+        vals: entries.iter().map(|&(_, v)| v).collect(),
+        stats,
+    }
+}
+
+/// Per-row fill budget: `filling_factor ×` the row's own degree (so the
+/// global nnz(P) tracks filling_factor times nnz(A)), minimum 1 so every
+/// row keeps its strongest entry.
+fn row_budget(cfg: &BuildConfig, degree: usize) -> usize {
+    ((cfg.filling_factor * degree as f64).ceil() as usize).max(1)
+}
+
 /// The MCMC matrix-inversion preconditioner builder.
 #[derive(Clone, Debug)]
 pub struct McmcInverse {
@@ -166,22 +239,11 @@ impl McmcInverse {
         let chains = params.chains_per_row();
         let cfg = self.config;
 
-        // Per-row fill budget: twice the row's own degree (global nnz(P) ≈
-        // filling_factor · nnz(A)), minimum 1 so every row keeps its
-        // strongest entry.
         let budgets: Vec<usize> = a
             .row_degrees()
             .iter()
-            .map(|&d| ((cfg.filling_factor * d as f64).ceil() as usize).max(1))
+            .map(|&d| row_budget(&cfg, d))
             .collect();
-
-        struct RowOut {
-            cols: Vec<usize>,
-            vals: Vec<f64>,
-            transitions: usize,
-            capped: usize,
-            blown: usize,
-        }
 
         let rows: Vec<RowOut> = (0..n)
             .into_par_iter()
@@ -189,47 +251,7 @@ impl McmcInverse {
                 // One workspace per worker: the O(n) scratch is allocated
                 // once per thread, not once per row.
                 || RowWorkspace::new(n),
-                |ws, i| {
-                    let stats = walk.walk_row(
-                        i,
-                        chains,
-                        params.delta,
-                        cfg.max_walk_len,
-                        cfg.seed,
-                        &mut ws.scratch,
-                        &mut ws.touched,
-                    );
-                    // Harvest: P row = (tally/chains) · D̂⁻¹ (column
-                    // scaling). `touched` may contain duplicates when weight
-                    // cancellation zeroes an entry that is later revisited —
-                    // dedup first.
-                    ws.touched.sort_unstable();
-                    ws.touched.dedup();
-                    let inv_diag = walk.inv_diag();
-                    let mut entries: Vec<(usize, f64)> = ws
-                        .touched
-                        .iter()
-                        .map(|&j| (j, ws.scratch[j] / chains as f64 * inv_diag[j]))
-                        .filter(|&(_, v)| v.abs() >= cfg.trunc_threshold && v.is_finite())
-                        .collect();
-                    ws.reset();
-                    // Keep the largest |entries| within the row budget.
-                    let budget = budgets[i];
-                    if entries.len() > budget {
-                        entries.select_nth_unstable_by(budget - 1, |a, b| {
-                            b.1.abs().partial_cmp(&a.1.abs()).unwrap()
-                        });
-                        entries.truncate(budget);
-                    }
-                    entries.sort_unstable_by_key(|&(j, _)| j);
-                    RowOut {
-                        cols: entries.iter().map(|&(j, _)| j).collect(),
-                        vals: entries.iter().map(|&(_, v)| v).collect(),
-                        transitions: stats.transitions,
-                        capped: stats.capped,
-                        blown: stats.blown_up,
-                    }
-                },
+                |ws, i| estimate_row(&walk, i, chains, params.delta, &cfg, budgets[i], ws),
             )
             .collect();
 
@@ -242,13 +264,15 @@ impl McmcInverse {
         let mut transitions = 0;
         let mut capped = 0;
         let mut blown = 0;
+        let mut row_stats = Vec::with_capacity(n);
         for r in &rows {
             cols.extend_from_slice(&r.cols);
             vals.extend_from_slice(&r.vals);
             indptr.push(cols.len());
-            transitions += r.transitions;
-            capped += r.capped;
-            blown += r.blown;
+            transitions += r.stats.transitions;
+            capped += r.stats.capped;
+            blown += r.stats.blown_up;
+            row_stats.push(r.stats);
         }
         let p = Csr::from_raw(n, n, indptr, cols, vals);
         BuildOutcome {
@@ -258,7 +282,130 @@ impl McmcInverse {
             blown_up_chains: blown,
             noncontractive_fraction: walk.noncontractive_fraction(),
             chains_per_row: chains,
+            row_stats,
         }
+    }
+
+    /// Re-estimate only `rows` of an existing build against the drifted
+    /// operator `a`, splicing the fresh rows into the preconditioner in
+    /// place. This is the payoff of the estimator's row independence (the
+    /// paper's Algorithm 1): a drift step that touched 3% of the operator
+    /// rows costs ~3% of a full build.
+    ///
+    /// Semantics:
+    /// - Each rebuilt row runs the *same* `(seed, row)` RNG stream, the
+    ///   same budget rule against `a`'s row degree, and the same harvest
+    ///   as [`McmcInverse::build`] — so a call with **all** rows dirty is
+    ///   bit-identical to a fresh build against `a` (at any thread count),
+    ///   and a call with **no** rows is a no-op on the preconditioner.
+    /// - The walk splitting (including its inverse diagonal and the
+    ///   contractivity audit) is re-derived from the drifted `a`, so clean
+    ///   rows' entries are *kept* while the aggregate
+    ///   `noncontractive_fraction` reflects the current operator.
+    /// - Aggregate chain counters are updated exactly via the stored
+    ///   [`BuildOutcome::row_stats`] (old row out, new row in).
+    ///
+    /// `rows` may be unsorted and contain duplicates.
+    ///
+    /// # Panics
+    /// Panics if `a`'s dimensions disagree with the existing
+    /// preconditioner (a dimension change is a new operator, not drift),
+    /// or any row index is out of range.
+    pub fn rebuild_rows(
+        &self,
+        out: &mut BuildOutcome,
+        a: &Csr,
+        rows: &[usize],
+        params: McmcParams,
+    ) {
+        let n = a.nrows();
+        assert_eq!(a.nrows(), a.ncols(), "rebuild_rows: matrix must be square");
+        assert_eq!(
+            out.precond.matrix().nrows(),
+            n,
+            "rebuild_rows: dimension change invalidates the preconditioner"
+        );
+        assert_eq!(
+            out.row_stats.len(),
+            n,
+            "rebuild_rows: outcome row_stats out of sync"
+        );
+        let mut dirty: Vec<usize> = rows.to_vec();
+        dirty.sort_unstable();
+        dirty.dedup();
+        if dirty.is_empty() {
+            return;
+        }
+        if let Some(&last) = dirty.last() {
+            assert!(last < n, "rebuild_rows: row {last} out of range (n = {n})");
+        }
+
+        let walk = WalkMatrix::from_perturbed(a, params.alpha);
+        let chains = params.chains_per_row();
+        let cfg = self.config;
+        let degrees = a.row_degrees();
+
+        let rebuilt: Vec<RowOut> = (0..dirty.len())
+            .into_par_iter()
+            .map_init(
+                || RowWorkspace::new(n),
+                |ws, d| {
+                    let i = dirty[d];
+                    estimate_row(
+                        &walk,
+                        i,
+                        chains,
+                        params.delta,
+                        &cfg,
+                        row_budget(&cfg, degrees[i]),
+                        ws,
+                    )
+                },
+            )
+            .collect();
+
+        // Splice: clean rows copied from the old preconditioner, dirty rows
+        // replaced by their re-estimates, in row order.
+        let p_old = out.precond.matrix();
+        let nnz_total: usize = (0..n)
+            .map(|i| match dirty.binary_search(&i) {
+                Ok(d) => rebuilt[d].cols.len(),
+                Err(_) => p_old.row_indices(i).len(),
+            })
+            .sum();
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut cols = Vec::with_capacity(nnz_total);
+        let mut vals = Vec::with_capacity(nnz_total);
+        indptr.push(0);
+        for i in 0..n {
+            match dirty.binary_search(&i) {
+                Ok(d) => {
+                    cols.extend_from_slice(&rebuilt[d].cols);
+                    vals.extend_from_slice(&rebuilt[d].vals);
+                }
+                Err(_) => {
+                    cols.extend_from_slice(p_old.row_indices(i));
+                    vals.extend_from_slice(p_old.row_values(i));
+                }
+            }
+            indptr.push(cols.len());
+        }
+        let p = Csr::from_raw(n, n, indptr, cols, vals);
+
+        // Exact aggregate update: subtract each dirty row's old stats, add
+        // the new ones.
+        for (d, &i) in dirty.iter().enumerate() {
+            let old = out.row_stats[i];
+            out.transitions = out.transitions - old.transitions + rebuilt[d].stats.transitions;
+            out.capped_chains = out.capped_chains - old.capped + rebuilt[d].stats.capped;
+            out.blown_up_chains = out.blown_up_chains - old.blown_up + rebuilt[d].stats.blown_up;
+            out.row_stats[i] = rebuilt[d].stats;
+        }
+        out.noncontractive_fraction = walk.noncontractive_fraction();
+        out.chains_per_row = chains;
+        // `SparsePrecond::new` re-runs structure detection on the spliced
+        // matrix, so banded/stencil block applies keep dispatching right.
+        out.precond = SparsePrecond::new(p);
     }
 }
 
@@ -467,6 +614,123 @@ mod tests {
             assert!(out.precond.matrix().check_invariants().is_ok());
             let _ = &builder;
         }
+    }
+
+    #[test]
+    fn rebuild_all_rows_is_bit_identical_to_fresh_build() {
+        // Drift every row, then rebuild every row: must equal a fresh build
+        // against the drifted operator bit-for-bit — same seeds, same
+        // harvest, same budgets.
+        let a = pdd_real_sparse(48, 5);
+        let mut b = a.clone();
+        for i in 0..b.nrows() {
+            b.row_values_mut(i)[0] *= 1.0 + 1e-3;
+        }
+        let params = McmcParams::new(1.0, 0.25, 0.25);
+        let builder = McmcInverse::new(BuildConfig::default());
+        let mut out = builder.build(&a, params);
+        let all: Vec<usize> = (0..a.nrows()).collect();
+        builder.rebuild_rows(&mut out, &b, &all, params);
+        let fresh = builder.build(&b, params);
+        assert_eq!(out.precond.matrix(), fresh.precond.matrix());
+        assert_eq!(out.transitions, fresh.transitions);
+        assert_eq!(out.capped_chains, fresh.capped_chains);
+        assert_eq!(out.blown_up_chains, fresh.blown_up_chains);
+        assert_eq!(out.noncontractive_fraction, fresh.noncontractive_fraction);
+    }
+
+    #[test]
+    fn rebuild_no_rows_is_a_noop() {
+        let a = pdd_real_sparse(32, 2);
+        let params = McmcParams::new(1.0, 0.25, 0.25);
+        let builder = McmcInverse::new(BuildConfig::default());
+        let mut out = builder.build(&a, params);
+        let before = out.precond.matrix().clone();
+        let transitions = out.transitions;
+        builder.rebuild_rows(&mut out, &a, &[], params);
+        assert_eq!(out.precond.matrix(), &before);
+        assert_eq!(out.transitions, transitions);
+    }
+
+    #[test]
+    fn rebuild_dirty_subset_keeps_clean_rows_and_refreshes_dirty_ones() {
+        let a = pdd_real_sparse(40, 9);
+        let params = McmcParams::new(1.0, 0.125, 0.125);
+        let builder = McmcInverse::new(BuildConfig::default());
+        let mut out = builder.build(&a, params);
+        let before = out.precond.matrix().clone();
+        // Perturb three rows of the operator.
+        let mut b = a.clone();
+        for &i in &[3usize, 17, 29] {
+            for v in b.row_values_mut(i) {
+                *v *= 1.0 + 5e-2;
+            }
+        }
+        // Duplicates and unsorted order must be tolerated.
+        builder.rebuild_rows(&mut out, &b, &[29, 3, 17, 3], params);
+        let fresh = builder.build(&b, params);
+        let got = out.precond.matrix();
+        for i in 0..a.nrows() {
+            if [3, 17, 29].contains(&i) {
+                assert_eq!(
+                    got.row_values(i),
+                    fresh.precond.matrix().row_values(i),
+                    "dirty row {i} must match a fresh build"
+                );
+            } else {
+                assert_eq!(
+                    got.row_values(i),
+                    before.row_values(i),
+                    "clean row {i} must be untouched"
+                );
+                assert_eq!(got.row_indices(i), before.row_indices(i));
+            }
+        }
+        assert!(got.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn rebuild_rows_deterministic_across_thread_counts() {
+        let a = pdd_real_sparse(64, 4);
+        let params = McmcParams::new(1.0, 0.25, 0.25);
+        let builder = McmcInverse::new(BuildConfig::default());
+        let mut b = a.clone();
+        for &i in &[5usize, 6, 40, 41, 42] {
+            b.row_values_mut(i)[0] *= 1.02;
+        }
+        let dirty = [5usize, 6, 40, 41, 42];
+        let reference = {
+            let mut out = builder.build(&a, params);
+            builder.rebuild_rows(&mut out, &b, &dirty, params);
+            out.precond.matrix().clone()
+        };
+        for threads in [1usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let got = pool.install(|| {
+                let mut out = builder.build(&a, params);
+                builder.rebuild_rows(&mut out, &b, &dirty, params);
+                out
+            });
+            assert_eq!(
+                got.precond.matrix(),
+                &reference,
+                "thread count {threads} changed the rebuild"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension change")]
+    fn rebuild_rejects_dimension_change() {
+        let a = pdd_real_sparse(32, 1);
+        let params = McmcParams::new(1.0, 0.5, 0.5);
+        let builder = McmcInverse::new(BuildConfig::default());
+        let mut out = builder.build(&a, params);
+        let smaller = pdd_real_sparse(16, 1);
+        builder.rebuild_rows(&mut out, &smaller, &[0], params);
     }
 
     #[test]

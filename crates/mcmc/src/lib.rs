@@ -27,7 +27,7 @@ pub mod walk;
 pub use builder::{BuildConfig, BuildOutcome, McmcInverse};
 pub use compress::{compress, sparsify, CompressionPolicy, CompressionReport, StoragePrecision};
 pub use params::McmcParams;
-pub use recover::SafeguardedRebuilder;
+pub use recover::{PartialRefresher, SafeguardedRebuilder};
 pub use regenerative::{regenerative_inverse, RegenerativeConfig};
 pub use safeguard::{BuildAttempt, BuildError, SafeguardConfig, SafeguardedBuild};
 pub use walk::{RowWalkStats, WalkMatrix};

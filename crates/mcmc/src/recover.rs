@@ -14,10 +14,10 @@
 //!
 //! [`RecoveryPolicy`]: mcmcmi_krylov::RecoveryPolicy
 
-use crate::builder::McmcInverse;
+use crate::builder::{BuildOutcome, McmcInverse};
 use crate::params::McmcParams;
 use crate::safeguard::{BuildAttempt, BuildError, SafeguardConfig};
-use mcmcmi_krylov::{PrecondRebuild, Preconditioner, SolveFailure};
+use mcmcmi_krylov::{PrecondRebuild, PrecondRefresh, Preconditioner, SolveFailure};
 use mcmcmi_sparse::Csr;
 
 /// A [`PrecondRebuild`] implementation backed by the safeguarded MCMC
@@ -75,6 +75,73 @@ impl<'a> SafeguardedRebuilder<'a> {
     /// backoffs taken so far).
     pub fn params(&self) -> McmcParams {
         self.params
+    }
+}
+
+/// A [`PrecondRefresh`] implementation backed by
+/// [`McmcInverse::rebuild_rows`]: the stale-refresh rung of the recovery
+/// ladder re-estimates only the rows drift dirtied, which is dramatically
+/// cheaper than the full rebuild rung below it.
+///
+/// The refresher is **single-shot**: the dirty-row set describes one
+/// concrete drift event, so serving a second refresh from the same set
+/// would just repeat identical walks. After the first call (or when the
+/// dirty set is empty) `refresh` returns `None` and the ladder escalates
+/// to the rebuild rung.
+pub struct PartialRefresher<'a> {
+    a: &'a Csr,
+    outcome: &'a mut BuildOutcome,
+    dirty: Vec<usize>,
+    builder: McmcInverse,
+    params: McmcParams,
+    symmetrize: bool,
+    spent: bool,
+}
+
+impl<'a> PartialRefresher<'a> {
+    /// A refresher that will rebuild `dirty` rows of `outcome` against the
+    /// drifted operator `a` when the ladder asks. `symmetrize` mirrors
+    /// [`SafeguardedRebuilder::new`]: set it when the consuming driver is
+    /// the CG family.
+    pub fn new(
+        a: &'a Csr,
+        outcome: &'a mut BuildOutcome,
+        dirty: Vec<usize>,
+        builder: McmcInverse,
+        params: McmcParams,
+        symmetrize: bool,
+    ) -> Self {
+        Self {
+            a,
+            outcome,
+            dirty,
+            builder,
+            params,
+            symmetrize,
+            spent: false,
+        }
+    }
+
+    /// Whether the single refresh this hook can serve has been consumed.
+    pub fn spent(&self) -> bool {
+        self.spent
+    }
+}
+
+impl PrecondRefresh for PartialRefresher<'_> {
+    fn refresh(&mut self, _trigger: &SolveFailure) -> Option<Box<dyn Preconditioner>> {
+        if self.spent || self.dirty.is_empty() {
+            return None;
+        }
+        self.spent = true;
+        self.builder
+            .rebuild_rows(self.outcome, self.a, &self.dirty, self.params);
+        let precond = if self.symmetrize {
+            self.outcome.precond.symmetrized()
+        } else {
+            self.outcome.precond.clone()
+        };
+        Some(Box::new(precond))
     }
 }
 
@@ -153,6 +220,62 @@ mod tests {
     }
 
     #[test]
+    fn ladder_stale_refresh_rung_uses_the_partial_refresher() {
+        // Start from a preconditioner built for a *drifted-away* operator
+        // and starve the base solve; the stale-refresh rung rebuilds only
+        // the dirty rows and must recover before the full-rebuild rung.
+        let a = mcmcmi_matgen::fd_laplace_2d(8);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos()).collect();
+        let params = McmcParams::new(0.1, 0.125, 0.0625);
+        let builder = McmcInverse::new(BuildConfig::default());
+        let mut outcome = builder.build(&a, params);
+        let dirty: Vec<usize> = (0..n).collect();
+        let mut refresher =
+            PartialRefresher::new(&a, &mut outcome, dirty, builder.clone(), params, true);
+        let opts = mcmcmi_krylov::SolveOptions {
+            max_iter: 2, // starve the base solve into BudgetExhausted
+            ..Default::default()
+        };
+        let policy = RecoveryPolicy {
+            full_precision_retry: false,
+            flexible_swap: false,
+            rebuild: false,
+            ..Default::default()
+        };
+        let res = solve_resilient(
+            &a,
+            &b,
+            &mcmcmi_krylov::IdentityPrecond::new(n),
+            SolverType::Cg,
+            opts,
+            &policy,
+            RecoveryContext {
+                refresher: Some(&mut refresher),
+                ..Default::default()
+            },
+        );
+        assert!(res
+            .trail
+            .steps
+            .iter()
+            .any(|s| s.step == RecoveryStepKind::StaleRefresh));
+        assert!(refresher.spent());
+    }
+
+    #[test]
+    fn spent_refresher_returns_none() {
+        let a = mcmcmi_matgen::fd_laplace_2d(6);
+        let params = McmcParams::new(0.5, 0.25, 0.25);
+        let builder = McmcInverse::new(BuildConfig::default());
+        let mut outcome = builder.build(&a, params);
+        let mut refresher =
+            PartialRefresher::new(&a, &mut outcome, vec![0, 1], builder, params, false);
+        assert!(refresher.refresh(&SolveFailure::BudgetExhausted).is_some());
+        assert!(refresher.refresh(&SolveFailure::BudgetExhausted).is_none());
+    }
+
+    #[test]
     fn ladder_rebuild_rung_uses_the_mcmc_rebuilder() {
         // Identity "preconditioner" that lies about convergence never helps
         // CG on this operator within 3 iterations, so the ladder reaches the
@@ -184,8 +307,8 @@ mod tests {
             opts,
             &policy,
             RecoveryContext {
-                full_precision: None,
                 rebuilder: Some(&mut rb),
+                ..Default::default()
             },
         );
         assert!(!res.trail.is_clean());

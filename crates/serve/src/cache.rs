@@ -124,6 +124,11 @@ struct CacheInner {
     slots: HashMap<u64, CachedSlot>,
     tick: u64,
     total_bytes: usize,
+    /// Entries evicted over the cache's lifetime. A drifting operator
+    /// changes its fingerprint every step, so sustained drift shows up
+    /// here as churn — the serving-side signal that callers should move to
+    /// the drift-session path instead of re-caching every step.
+    evictions: u64,
 }
 
 /// Byte-bounded LRU cache of operators, plus the per-fingerprint build
@@ -143,6 +148,7 @@ impl OperatorCache {
                 slots: HashMap::new(),
                 tick: 0,
                 total_bytes: 0,
+                evictions: 0,
             }),
             build_locks: Mutex::new(HashMap::new()),
             capacity_bytes,
@@ -213,6 +219,7 @@ impl OperatorCache {
                 Some(fp) => {
                     let removed = inner.slots.remove(&fp).expect("victim vanished");
                     inner.total_bytes -= removed.bytes;
+                    inner.evictions += 1;
                 }
                 None => break,
             }
@@ -223,6 +230,12 @@ impl OperatorCache {
     pub fn usage(&self) -> (usize, usize) {
         let inner = self.inner.lock().expect("cache lock poisoned");
         (inner.slots.len(), inner.total_bytes)
+    }
+
+    /// Entries evicted over the cache's lifetime (drift churn signal).
+    pub fn evictions(&self) -> u64 {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        inner.evictions
     }
 }
 
@@ -292,6 +305,34 @@ mod tests {
         assert!(cache.lookup(fp1).is_some(), "recently used entry survives");
         assert!(cache.lookup(fp2).is_none(), "cold entry evicted");
         assert!(cache.lookup(fp3).is_some(), "new entry resident");
+    }
+
+    #[test]
+    fn drifting_operator_churns_the_cache_and_counts_evictions() {
+        // A drifting operator re-fingerprints every step; inserting each
+        // step into a two-entry cache must evict LRU-first and count every
+        // eviction. This is the churn profile `drift_evictions` in
+        // `GET /stats` exists to expose.
+        let entries: Vec<(u64, Arc<OperatorEntry>)> =
+            (0..6).map(|s| entry(32, s as f64 * 0.01)).collect();
+        // Each drift step changes bytes only marginally; budget two entries.
+        let cache = OperatorCache::new(2 * entries[0].1.bytes + entries[0].1.bytes / 2);
+        assert_eq!(cache.evictions(), 0);
+        for (fp, e) in &entries {
+            cache.insert_ready(*fp, Arc::clone(e));
+        }
+        // 6 inserts into a 2-entry budget: 4 drift evictions.
+        assert_eq!(cache.evictions(), 4);
+        let (resident, _) = cache.usage();
+        assert_eq!(resident, 2);
+        // Only the two newest steps remain.
+        assert!(cache.lookup(entries[4].0).is_some());
+        assert!(cache.lookup(entries[5].0).is_some());
+        for (fp, _) in &entries[..4] {
+            assert!(cache.lookup(*fp).is_none(), "old drift step must be gone");
+        }
+        // Lookups never count as evictions.
+        assert_eq!(cache.evictions(), 4);
     }
 
     #[test]

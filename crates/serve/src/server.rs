@@ -136,6 +136,10 @@ pub struct StatsSnapshot {
     pub queue_depth: u64,
     pub cache_entries: u64,
     pub cache_bytes: u64,
+    /// Cache entries evicted over the daemon's lifetime. Sustained growth
+    /// means operator churn — typically a drifting operator re-fingerprinting
+    /// every step, which the drift-session path exists to avoid.
+    pub drift_evictions: u64,
     pub draining: bool,
 }
 
@@ -234,6 +238,7 @@ impl ServerInner {
             queue_depth: self.queue.depth() as u64,
             cache_entries: cache_entries as u64,
             cache_bytes: cache_bytes as u64,
+            drift_evictions: self.cache.evictions(),
             draining: self.queue.is_draining(),
         }
     }

@@ -139,12 +139,13 @@ fn stats_snapshot_round_trips() {
         "negative_hits":1,"coalesced_groups":1,"coalesced_requests":4,"shed_overload":2,
         "shed_draining":1,"deadline_queued":1,"deadline_mid_solve":1,"drain_cutoffs":0,
         "worker_panics":1,"worker_replacements":1,"worker_solves":6,"queue_depth":0,
-        "cache_entries":2,"cache_bytes":4096,"draining":false}"#;
+        "cache_entries":2,"cache_bytes":4096,"drift_evictions":7,"draining":false}"#;
     let snap: StatsSnapshot = serde_json::from_str(json).unwrap();
     assert_eq!(snap.submitted, 9);
     let back = round_trip(&snap);
     assert_eq!(back.coalesced_requests, 4);
     assert_eq!(back.cache_bytes, 4096);
+    assert_eq!(back.drift_evictions, 7);
     assert!(!back.draining);
 }
 

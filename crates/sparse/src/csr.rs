@@ -239,6 +239,37 @@ impl<T: Scalar> Csr<T> {
         h
     }
 
+    /// Rows of `self` that differ from the same row of `other`: a changed
+    /// sparsity pattern or any changed value *bit* (via
+    /// [`Scalar::value_bits`], so even a NaN payload change registers)
+    /// marks the row dirty. Returns the sorted dirty-row indices.
+    ///
+    /// This is the drift detector: an operator update `A → A'` touches a
+    /// (usually small) row subset, and because the MCMC inverse estimator
+    /// is row-independent, exactly those rows of the preconditioner can be
+    /// rebuilt in isolation (`mcmcmi_mcmc`'s `rebuild_rows`).
+    ///
+    /// # Panics
+    /// Panics if the dimensions disagree — a dimension change is a new
+    /// operator, not drift.
+    pub fn diff_rows(&self, other: &Self) -> Vec<usize> {
+        assert_eq!(self.nrows, other.nrows, "diff_rows: row count mismatch");
+        assert_eq!(self.ncols, other.ncols, "diff_rows: col count mismatch");
+        (0..self.nrows)
+            .filter(|&i| {
+                let (sr, or) = (
+                    self.indptr[i]..self.indptr[i + 1],
+                    other.indptr[i]..other.indptr[i + 1],
+                );
+                self.indices[sr.clone()] != other.indices[or.clone()]
+                    || !self.data[sr]
+                        .iter()
+                        .zip(&other.data[or])
+                        .all(|(a, b)| a.value_bits() == b.value_bits())
+            })
+            .collect()
+    }
+
     /// `y ← A·x`, serial, through the 4-wide unrolled row kernel.
     /// `x`/`y` are always f64; stored values widen on load.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
@@ -1005,6 +1036,31 @@ mod tests {
             coo.push(i, j, v);
         }
         coo.to_csr()
+    }
+
+    #[test]
+    fn diff_rows_flags_value_pattern_and_nothing_else() {
+        let a = sample();
+        assert!(a.diff_rows(&a).is_empty(), "identical matrices are clean");
+        // Value change in row 1.
+        let mut b = a.clone();
+        b.row_values_mut(1)[0] += 1e-12;
+        assert_eq!(a.diff_rows(&b), vec![1]);
+        // Pattern change in row 0 (extra entry shifts later rows' ranges
+        // but not their contents — only row 0 is dirty).
+        let mut coo = Coo::new(3, 3);
+        for &(i, j, v) in &[
+            (0, 0, 1.0),
+            (0, 1, 9.0),
+            (0, 2, 2.0),
+            (1, 1, 3.0),
+            (2, 0, 4.0),
+            (2, 2, 5.0),
+        ] {
+            coo.push(i, j, v);
+        }
+        let c = coo.to_csr();
+        assert_eq!(a.diff_rows(&c), vec![0]);
     }
 
     #[test]

@@ -221,7 +221,7 @@ fn ladder_full_precision_retry_rung() {
         &RecoveryPolicy::default(),
         RecoveryContext {
             full_precision: Some(&full),
-            rebuilder: None,
+            ..Default::default()
         },
     );
     assert!(res.result.converged, "{:?}", res.result.outcome);
@@ -270,8 +270,8 @@ fn ladder_rebuild_rung() {
         SolveOptions::default(),
         &policy,
         RecoveryContext {
-            full_precision: None,
             rebuilder: Some(&mut rebuilder),
+            ..Default::default()
         },
     );
     assert!(res.result.converged, "{:?}", res.result.outcome);
