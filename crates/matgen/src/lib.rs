@@ -23,5 +23,5 @@ pub use families::{
     laplace_1d, laplace_1d_with_structure, stretched_climate_operator, ConvectionDiffusionParams,
     StructureTruth,
 };
-pub use random::{pdd_real_sparse, random_sparse, spd_random};
+pub use random::{pdd_real_sparse, pdd_real_sparse_scaled, random_sparse, spd_random};
 pub use suite::{analytic_laplace_cond_2d, PaperMatrix, PaperRow};

@@ -9,7 +9,7 @@
 
 use crate::compress::{CompressionPolicy, CompressionReport};
 use crate::params::McmcParams;
-use crate::walk::{RowWalkStats, WalkMatrix};
+use crate::walk::{RowWalkStats, SoaBatch, WalkEngine, WalkMatrix};
 use mcmcmi_krylov::SparsePrecond;
 use mcmcmi_sparse::Csr;
 use rayon::prelude::*;
@@ -20,6 +20,10 @@ use serde::{Deserialize, Serialize};
 pub(crate) struct RowWorkspace {
     pub scratch: Vec<f64>,
     pub touched: Vec<usize>,
+    /// Lockstep lane batch for the SoA engine (unused by the scalar one);
+    /// lives in the workspace so its lane arrays and journals are likewise
+    /// allocated once per worker.
+    pub batch: SoaBatch,
 }
 
 impl RowWorkspace {
@@ -27,6 +31,7 @@ impl RowWorkspace {
         Self {
             scratch: vec![0.0; n],
             touched: Vec::with_capacity(64),
+            batch: SoaBatch::new(),
         }
     }
 
@@ -53,8 +58,13 @@ pub struct BuildConfig {
     pub trunc_threshold: f64,
     /// Hard cap on walk length (guards non-contractive splittings).
     pub max_walk_len: usize,
-    /// RNG seed; each row derives an independent stream from it.
+    /// RNG seed; each chain derives an independent `(seed, row, chain)`
+    /// stream from it.
     pub seed: u64,
+    /// Which walk engine estimates rows. Output is bit-identical either
+    /// way; the lockstep SoA engine (default) has higher transition
+    /// throughput, the scalar engine is kept as the reference.
+    pub engine: WalkEngine,
 }
 
 impl Default for BuildConfig {
@@ -64,6 +74,7 @@ impl Default for BuildConfig {
             trunc_threshold: 1e-9,
             max_walk_len: 10_000,
             seed: 0,
+            engine: WalkEngine::Soa,
         }
     }
 }
@@ -172,15 +183,27 @@ fn estimate_row(
     budget: usize,
     ws: &mut RowWorkspace,
 ) -> RowOut {
-    let stats = walk.walk_row(
-        i,
-        chains,
-        delta,
-        cfg.max_walk_len,
-        cfg.seed,
-        &mut ws.scratch,
-        &mut ws.touched,
-    );
+    let stats = match cfg.engine {
+        WalkEngine::Scalar => walk.walk_row(
+            i,
+            chains,
+            delta,
+            cfg.max_walk_len,
+            cfg.seed,
+            &mut ws.scratch,
+            &mut ws.touched,
+        ),
+        WalkEngine::Soa => walk.walk_row_soa(
+            i,
+            chains,
+            delta,
+            cfg.max_walk_len,
+            cfg.seed,
+            &mut ws.batch,
+            &mut ws.scratch,
+            &mut ws.touched,
+        ),
+    };
     // Harvest: P row = (tally/chains) scaled by the inverse diagonal
     // (column scaling). `touched` may contain duplicates when weight
     // cancellation zeroes an entry that is later revisited — dedup first.

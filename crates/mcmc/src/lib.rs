@@ -11,10 +11,13 @@
 //!   per row through the probable-error rule `N = ⌈(0.6745/ε)²⌉`,
 //! * **δ** — truncation error; a chain stops once its weight drops below δ.
 //!
-//! Walks run embarrassingly parallel across rows (Rayon) with per-row
-//! deterministic RNG streams, so a build is bit-reproducible for any thread
-//! count. The regenerative single-budget variant (Ghosh et al., SIMAX'25)
-//! ships as an extension in [`regenerative`].
+//! Walks run embarrassingly parallel across rows (Rayon) with deterministic
+//! per-`(seed, row, chain)` RNG streams, so a build is bit-reproducible for
+//! any thread count. Within a row, chains execute on either of two
+//! bit-identical engines ([`WalkEngine`]): the scalar reference loop or the
+//! default lockstep SoA lane batch (see [`walk`] for the engine contract).
+//! The regenerative single-budget variant (Ghosh et al., SIMAX'25) ships as
+//! an extension in [`regenerative`].
 
 pub mod builder;
 pub mod compress;
@@ -30,4 +33,4 @@ pub use params::McmcParams;
 pub use recover::{PartialRefresher, SafeguardedRebuilder};
 pub use regenerative::{regenerative_inverse, RegenerativeConfig};
 pub use safeguard::{BuildAttempt, BuildError, SafeguardConfig, SafeguardedBuild};
-pub use walk::{RowWalkStats, WalkMatrix};
+pub use walk::{RowWalkStats, SoaBatch, WalkEngine, WalkMatrix, MAX_LANES};

@@ -18,11 +18,12 @@
 //! running solve — the memory is reclaimed when the last user drops it.
 
 use crate::queue::GroupKey;
+use crate::sync::lock_unpoisoned;
 use mcmcmi_krylov::{SolveOptions, SolveSession, SparsePrecond};
 use mcmcmi_mcmc::{BuildAttempt, BuildError, McmcParams};
 use mcmcmi_sparse::Csr;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Nominal bytes charged for a poisoned (negative) entry: the error trail
 /// is tiny, but charging something keeps the accounting honest.
@@ -77,11 +78,9 @@ impl OperatorEntry {
     /// session — results are bit-identical either way, only workspace
     /// reuse is lost.
     pub fn take_session(&self, key: &GroupKey, opts: SolveOptions) -> SolveSession<SparsePrecond> {
-        let taken = self
-            .sessions
-            .lock()
-            .expect("session pool lock poisoned")
-            .remove(key);
+        // A panic mid-take/put leaves the pool map itself intact (at worst
+        // a session is lost), so recover the lock rather than cascade.
+        let taken = lock_unpoisoned(&self.sessions).remove(key);
         taken.unwrap_or_else(|| {
             SolveSession::new(self.matrix.clone(), self.precond.clone(), key.solver, opts)
         })
@@ -89,18 +88,12 @@ impl OperatorEntry {
 
     /// Return a session to the pool for the next request with this key.
     pub fn put_session(&self, key: GroupKey, session: SolveSession<SparsePrecond>) {
-        self.sessions
-            .lock()
-            .expect("session pool lock poisoned")
-            .insert(key, session);
+        lock_unpoisoned(&self.sessions).insert(key, session);
     }
 
     /// Number of warm sessions currently pooled (for stats).
     pub fn pooled_sessions(&self) -> usize {
-        self.sessions
-            .lock()
-            .expect("session pool lock poisoned")
-            .len()
+        lock_unpoisoned(&self.sessions).len()
     }
 }
 
@@ -155,9 +148,27 @@ impl OperatorCache {
         }
     }
 
+    /// Lock the cache state, recovering from a poisoned lock. The slot map
+    /// is always structurally valid (`HashMap` operations either complete
+    /// or leave the map untouched), but a panic between a slot mutation
+    /// and its `total_bytes` adjustment can leave the byte accounting
+    /// stale — so on recovery the byte total is recomputed from the slots,
+    /// restoring the eviction budget's invariant before any caller sees
+    /// the state.
+    fn lock_inner(&self) -> MutexGuard<'_, CacheInner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.total_bytes = guard.slots.values().map(|s| s.bytes).sum();
+                guard
+            }
+        }
+    }
+
     /// Look up a fingerprint, bumping its recency.
     pub fn lookup(&self, fingerprint: u64) -> Option<Slot> {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = self.lock_inner();
         inner.tick += 1;
         let tick = inner.tick;
         inner.slots.get_mut(&fingerprint).map(|s| {
@@ -172,9 +183,7 @@ impl OperatorCache {
     /// uncoalesced groups miss at once.
     pub fn build_lock(&self, fingerprint: u64) -> Arc<Mutex<()>> {
         Arc::clone(
-            self.build_locks
-                .lock()
-                .expect("build lock map poisoned")
+            lock_unpoisoned(&self.build_locks)
                 .entry(fingerprint)
                 .or_default(),
         )
@@ -194,7 +203,7 @@ impl OperatorCache {
     }
 
     fn insert(&self, fingerprint: u64, slot: Slot, bytes: usize) {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = self.lock_inner();
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(old) = inner.slots.insert(
@@ -228,13 +237,13 @@ impl OperatorCache {
 
     /// `(entries, total_bytes)` currently resident.
     pub fn usage(&self) -> (usize, usize) {
-        let inner = self.inner.lock().expect("cache lock poisoned");
+        let inner = self.lock_inner();
         (inner.slots.len(), inner.total_bytes)
     }
 
     /// Entries evicted over the cache's lifetime (drift churn signal).
     pub fn evictions(&self) -> u64 {
-        let inner = self.inner.lock().expect("cache lock poisoned");
+        let inner = self.lock_inner();
         inner.evictions
     }
 }
@@ -368,6 +377,64 @@ mod tests {
         assert_eq!(e.pooled_sessions(), 0);
         let r2 = s2.solve(&b);
         assert_eq!(r1.x, r2.x, "reused session is bit-identical");
+    }
+
+    #[test]
+    fn poisoned_cache_lock_recovers_and_repairs_byte_accounting() {
+        let (fp1, e1) = entry(16, 0.0);
+        let (fp2, e2) = entry(16, 1.0);
+        let bytes1 = e1.bytes;
+        let cache = OperatorCache::new(usize::MAX);
+        cache.insert_ready(fp1, e1);
+        // Poison the inner lock *and* corrupt the byte accounting the way
+        // a panic between a slot mutation and its total adjustment would.
+        crate::sync::poison_for_test(&cache.inner);
+        cache
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .total_bytes = 0;
+        // Every entry point must keep answering — and the first recovery
+        // must have restored total_bytes from the slots.
+        assert!(matches!(cache.lookup(fp1), Some(Slot::Ready(_))));
+        let (entries, total) = cache.usage();
+        assert_eq!(entries, 1);
+        assert_eq!(total, bytes1, "byte accounting repaired on recovery");
+        cache.insert_ready(fp2, e2);
+        assert!(matches!(cache.lookup(fp2), Some(Slot::Ready(_))));
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn poisoned_session_pool_lock_recovers() {
+        let (_fp, e) = entry(16, 0.0);
+        let key = GroupKey {
+            fingerprint: 1,
+            solver: mcmcmi_krylov::SolverType::Cg,
+            tol_bits: 1e-8f64.to_bits(),
+            max_iter: 100,
+            restart: 50,
+        };
+        let opts = SolveOptions::default();
+        let s = e.take_session(&key, opts);
+        e.put_session(key, s);
+        crate::sync::poison_for_test(&e.sessions);
+        // take/put/count all still work through the poisoned lock.
+        let mut s = e.take_session(&key, opts);
+        assert_eq!(e.pooled_sessions(), 0);
+        let r = s.solve(&[1.0; 16]);
+        assert!(r.converged);
+        e.put_session(key, s);
+        assert_eq!(e.pooled_sessions(), 1);
+    }
+
+    #[test]
+    fn poisoned_build_lock_map_recovers() {
+        let cache = OperatorCache::new(usize::MAX);
+        let l1 = cache.build_lock(1);
+        crate::sync::poison_for_test(&cache.build_locks);
+        let l1b = cache.build_lock(1);
+        assert!(Arc::ptr_eq(&l1, &l1b), "same lock resolves after recovery");
     }
 
     #[test]

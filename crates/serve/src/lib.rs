@@ -24,7 +24,11 @@
 //!   parity contract), so batching is purely a throughput decision.
 //! - **Fault-isolated workers**: a panicking worker is confined by
 //!   `catch_unwind`, its requests answered with a structured
-//!   `WorkerPanic`, and the pool replaced — siblings never notice.
+//!   `WorkerPanic`, and the pool replaced — siblings never notice. Any
+//!   lock the doomed worker held is *recovered*, not propagated: shared
+//!   state (queue, cache, tuned store, per-fingerprint build locks) stays
+//!   serviceable, so the very next request gets a structured answer
+//!   instead of a poisoned-lock panic cascade.
 //! - **Graceful drain**: `/shutdown` (or [`Server::join`]) stops
 //!   admission, finishes in-flight work inside a drain deadline, cancels
 //!   stragglers past it, and persists tuned parameters and poison
@@ -43,6 +47,7 @@ pub mod cache;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+mod sync;
 
 pub use cache::{OperatorCache, OperatorEntry, Slot};
 pub use protocol::{Fault, ServeError, SolveReply, SolveRequest};

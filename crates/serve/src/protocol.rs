@@ -22,6 +22,11 @@ pub enum Fault {
     /// Panic inside the worker while processing this request — exercises
     /// the catch_unwind isolation + worker replacement path.
     Panic,
+    /// Panic inside the worker *while holding the operator's
+    /// per-fingerprint build lock* — exercises poisoned-lock recovery: the
+    /// next request for the same fingerprint must take the (poisoned) lock,
+    /// recover it, and build normally.
+    PanicInBuild,
     /// Sleep this long on the worker before solving — holds a worker busy
     /// deterministically so queue/overload behaviour can be provoked.
     SleepMs(u64),
@@ -144,13 +149,19 @@ impl SolveRequest {
         let fault = match v.get("fault") {
             None | Some(Value::Null) => None,
             Some(Value::Str(s)) if s == "panic" => Some(Fault::Panic),
+            Some(Value::Str(s)) if s == "panic-in-build" => Some(Fault::PanicInBuild),
             Some(Value::Str(s)) if s.starts_with("sleep:") => {
                 let ms = s["sleep:".len()..]
                     .parse()
                     .map_err(|_| "bad `fault`: sleep:<ms>".to_string())?;
                 Some(Fault::SleepMs(ms))
             }
-            Some(_) => return Err("bad `fault`: expected \"panic\" or \"sleep:<ms>\"".to_string()),
+            Some(_) => {
+                return Err(
+                    "bad `fault`: expected \"panic\", \"panic-in-build\", or \"sleep:<ms>\""
+                        .to_string(),
+                )
+            }
         };
         if matrix.is_none() && fingerprint.is_none() {
             return Err("one of `matrix` or `fingerprint` is required".to_string());

@@ -12,6 +12,7 @@
 //! the queue without ever touching a worker.
 
 use crate::protocol::{ServeError, SolveReply, SolveRequest};
+use crate::sync::{lock_unpoisoned, wait_unpoisoned};
 use mcmcmi_krylov::SolverType;
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -87,10 +88,14 @@ impl Job {
 
     /// Deliver the response. The sender is *taken* on first use, so a job
     /// answers exactly once no matter how many code paths (worker, panic
-    /// catch site, queue expiry sweep) try — later calls are no-ops.
-    /// Returns whether this call was the one that answered.
+    /// catch site, queue expiry sweep) try — later calls are no-ops. The
+    /// reply lock is recovered if poisoned: the panic catch site calls
+    /// this precisely when a worker died mid-request, possibly while
+    /// holding this very lock, and the structured `WorkerPanic` answer
+    /// must still go out. Returns whether this call was the one that
+    /// answered.
     pub fn respond(&self, reply: JobReply) -> bool {
-        let tx = self.reply.lock().expect("job reply lock poisoned").take();
+        let tx = lock_unpoisoned(&self.reply).take();
         match tx {
             Some(tx) => {
                 // A send error means the client hung up; the response is
@@ -133,7 +138,7 @@ impl AdmissionQueue {
     /// [`ServeError::Draining`] once drain has begun,
     /// [`ServeError::Overloaded`] when the queue is full.
     pub fn try_admit(&self, job: std::sync::Arc<Job>) -> Result<(), ServeError> {
-        let mut st = self.state.lock().expect("queue lock poisoned");
+        let mut st = lock_unpoisoned(&self.state);
         if st.draining {
             return Err(ServeError::Draining);
         }
@@ -153,20 +158,20 @@ impl AdmissionQueue {
 
     /// Current number of waiting jobs.
     pub fn depth(&self) -> usize {
-        self.state.lock().expect("queue lock poisoned").jobs.len()
+        lock_unpoisoned(&self.state).jobs.len()
     }
 
     /// Flip into draining mode: all future admissions shed with
     /// [`ServeError::Draining`]; workers exit once the queue is empty.
     pub fn begin_drain(&self) {
-        let mut st = self.state.lock().expect("queue lock poisoned");
+        let mut st = lock_unpoisoned(&self.state);
         st.draining = true;
         self.cv.notify_all();
     }
 
     /// Has drain begun?
     pub fn is_draining(&self) -> bool {
-        self.state.lock().expect("queue lock poisoned").draining
+        lock_unpoisoned(&self.state).draining
     }
 
     /// Block until work is available, then pop one coalesced group: the
@@ -180,7 +185,7 @@ impl AdmissionQueue {
         max_width: usize,
         mut on_queued_expiry: impl FnMut(std::sync::Arc<Job>),
     ) -> Option<Vec<std::sync::Arc<Job>>> {
-        let mut st = self.state.lock().expect("queue lock poisoned");
+        let mut st = lock_unpoisoned(&self.state);
         loop {
             while let Some(first) = st.jobs.pop_front() {
                 if first.expired() {
@@ -209,7 +214,7 @@ impl AdmissionQueue {
             if st.draining {
                 return None;
             }
-            st = self.cv.wait(st).expect("queue lock poisoned");
+            st = wait_unpoisoned(&self.cv, st);
         }
     }
 }
@@ -315,6 +320,35 @@ mod tests {
         assert!(!j.respond(Err(ServeError::Draining)));
         assert!(rx.recv_timeout(Duration::from_secs(1)).is_ok());
         assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
+    }
+
+    #[test]
+    fn poisoned_queue_lock_keeps_admitting_and_popping() {
+        let q = AdmissionQueue::new(4);
+        let (j1, _r1) = job(1, None);
+        q.try_admit(j1).unwrap();
+        crate::sync::poison_for_test(&q.state);
+        // Admission, depth, pop, and drain all recover the lock.
+        let (j2, _r2) = job(1, None);
+        q.try_admit(j2).unwrap();
+        assert_eq!(q.depth(), 2);
+        let g = q.pop_group(4, |_| panic!("no expiry expected")).unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(!q.is_draining());
+        q.begin_drain();
+        assert!(q.is_draining());
+    }
+
+    #[test]
+    fn poisoned_reply_lock_still_answers_exactly_once() {
+        // The panic catch site answers jobs whose worker died — possibly
+        // while that worker held this very reply lock. The structured
+        // answer must still go out, and only once.
+        let (j, rx) = job(1, None);
+        crate::sync::poison_for_test(&j.reply);
+        assert!(j.respond(Err(ServeError::Draining)));
+        assert!(!j.respond(Err(ServeError::Draining)));
+        assert!(rx.recv_timeout(Duration::from_secs(1)).is_ok());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 use crate::cache::{OperatorCache, OperatorEntry, Slot};
 use crate::protocol::{Fault, ServeError, SolveReply};
 use crate::queue::{AdmissionQueue, Job};
+use crate::sync::lock_unpoisoned;
 use mcmcmi_core::{load_json_snapshot, save_json_snapshot};
 use mcmcmi_krylov::{
     with_cancel, CancelToken, RecoveryContext, RecoveryPolicy, RecoveryTrail, SolveFailure,
@@ -192,18 +193,10 @@ struct ServerInner {
 
 impl ServerInner {
     fn snapshot_store(&self) -> TunedStore {
-        let mut records: Vec<TunedRecord> = self
-            .tuned
-            .lock()
-            .expect("tuned map lock poisoned")
-            .values()
-            .cloned()
-            .collect();
+        let mut records: Vec<TunedRecord> =
+            lock_unpoisoned(&self.tuned).values().cloned().collect();
         records.sort_by_key(|r| r.fingerprint);
-        let mut poisoned: Vec<PoisonedRecord> = self
-            .poisoned
-            .lock()
-            .expect("poison map lock poisoned")
+        let mut poisoned: Vec<PoisonedRecord> = lock_unpoisoned(&self.poisoned)
             .iter()
             .map(|(fp, e)| PoisonedRecord {
                 fingerprint: *fp,
@@ -320,11 +313,7 @@ impl Server {
         self.inner.queue.begin_drain();
         let deadline = Instant::now() + Duration::from_millis(self.inner.config.drain_deadline_ms);
         loop {
-            let all_done = self
-                .inner
-                .workers
-                .lock()
-                .expect("worker list lock poisoned")
+            let all_done = lock_unpoisoned(&self.inner.workers)
                 .iter()
                 .all(|h| h.is_finished());
             if all_done {
@@ -334,25 +323,14 @@ impl Server {
                 // Re-cancel on every pass: a solve that started after the
                 // first sweep registered a fresh token and must be cut too.
                 self.inner.drain_cutoff.store(true, Ordering::Release);
-                for token in self
-                    .inner
-                    .active_tokens
-                    .lock()
-                    .expect("token map lock poisoned")
-                    .values()
-                {
+                for token in lock_unpoisoned(&self.inner.active_tokens).values() {
                     token.cancel();
                 }
             }
             std::thread::sleep(Duration::from_millis(2));
         }
         loop {
-            let handle = self
-                .inner
-                .workers
-                .lock()
-                .expect("worker list lock poisoned")
-                .pop();
+            let handle = lock_unpoisoned(&self.inner.workers).pop();
             match handle {
                 Some(h) => {
                     let _ = h.join();
@@ -376,11 +354,7 @@ fn spawn_worker(inner: &Arc<ServerInner>) {
         .name(format!("serve-worker-{id}"))
         .spawn(move || worker_loop(&for_thread, id))
         .expect("failed to spawn worker thread");
-    inner
-        .workers
-        .lock()
-        .expect("worker list lock poisoned")
-        .push(handle);
+    lock_unpoisoned(&inner.workers).push(handle);
 }
 
 fn worker_loop(inner: &Arc<ServerInner>, worker_id: u64) {
@@ -419,11 +393,7 @@ fn worker_loop(inner: &Arc<ServerInner>, worker_id: u64) {
                         .to_string(),
                 )));
             }
-            inner
-                .active_tokens
-                .lock()
-                .expect("token map lock poisoned")
-                .remove(&worker_id);
+            lock_unpoisoned(&inner.active_tokens).remove(&worker_id);
             inner
                 .stats
                 .worker_replacements
@@ -495,11 +465,7 @@ fn process_group(inner: &Arc<ServerInner>, worker_id: u64, jobs: &[Arc<Job>]) {
             Some(d) => CancelToken::with_deadline(d),
             None => CancelToken::new(),
         };
-        inner
-            .active_tokens
-            .lock()
-            .expect("token map lock poisoned")
-            .insert(worker_id, token.clone());
+        lock_unpoisoned(&inner.active_tokens).insert(worker_id, token.clone());
 
         let mut session = entry.take_session(&key, opts);
         let (results, trail): (Vec<SolveResult>, RecoveryTrail) = with_cancel(&token, || {
@@ -516,11 +482,7 @@ fn process_group(inner: &Arc<ServerInner>, worker_id: u64, jobs: &[Arc<Job>]) {
             }
         });
         entry.put_session(key, session);
-        inner
-            .active_tokens
-            .lock()
-            .expect("token map lock poisoned")
-            .remove(&worker_id);
+        lock_unpoisoned(&inner.active_tokens).remove(&worker_id);
         inner
             .stats
             .worker_solves
@@ -608,7 +570,14 @@ fn resolve_operator(
     // Miss: build at most once per fingerprint, even across uncoalesced
     // concurrent groups.
     let lock = inner.cache.build_lock(fingerprint);
-    let _guard = lock.lock().expect("build lock poisoned");
+    // A previous builder may have panicked while holding this lock (its
+    // group was answered `WorkerPanic` by the catch site). The lock only
+    // serialises "at most one build per operator" — there is no state
+    // behind it to corrupt — so recover the guard and let this group's
+    // build proceed where the doomed one left off.
+    let _guard = lock
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(slot) = inner.cache.lookup(fingerprint) {
         return match slot {
             Slot::Ready(entry) => {
@@ -628,6 +597,16 @@ fn resolve_operator(
             }
         };
     }
+    // Test-only: die *while holding the build lock*, modelling a builder
+    // panicking mid-build. The catch site answers this group; the next
+    // group for this fingerprint must recover the poisoned lock and build.
+    if cfg.test_faults
+        && jobs
+            .iter()
+            .any(|j| j.request.fault == Some(Fault::PanicInBuild))
+    {
+        panic!("injected test fault: worker panic inside the build lock");
+    }
     let Some(matrix) = jobs.iter().find_map(|j| j.request.matrix.clone()) else {
         respond_all(&ServeError::BadRequest(format!(
             "operator {fingerprint:#018x} is not cached; resend the request with `matrix`"
@@ -637,10 +616,7 @@ fn resolve_operator(
     // Parameter precedence: a tuned record replays the previously accepted
     // parameters (a restarted server retunes nothing), then an explicit
     // request, then the server default.
-    let tuned_params = inner
-        .tuned
-        .lock()
-        .expect("tuned map lock poisoned")
+    let tuned_params = lock_unpoisoned(&inner.tuned)
         .get(&fingerprint)
         .map(|r| r.params);
     let params = tuned_params
@@ -649,7 +625,7 @@ fn resolve_operator(
     inner.stats.builds.fetch_add(1, Ordering::Relaxed);
     match McmcInverse::new(cfg.build).build_safeguarded(&matrix, params, &cfg.guard) {
         Ok(build) => {
-            inner.tuned.lock().expect("tuned map lock poisoned").insert(
+            lock_unpoisoned(&inner.tuned).insert(
                 fingerprint,
                 TunedRecord {
                     fingerprint,
@@ -669,11 +645,7 @@ fn resolve_operator(
         }
         Err(err) => {
             inner.stats.build_failures.fetch_add(1, Ordering::Relaxed);
-            inner
-                .poisoned
-                .lock()
-                .expect("poison map lock poisoned")
-                .insert(fingerprint, err.clone());
+            lock_unpoisoned(&inner.poisoned).insert(fingerprint, err.clone());
             inner
                 .cache
                 .insert_poisoned(fingerprint, Arc::new(err.clone()));

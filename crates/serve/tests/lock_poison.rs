@@ -1,0 +1,66 @@
+//! Poisoned-lock recovery, end to end: a worker that panics while holding
+//! the per-fingerprint build lock must not take the fingerprint (or the
+//! daemon) down with it. The next request for the same operator recovers
+//! the poisoned lock, builds normally, and answers 200 — the old
+//! `.expect("build lock poisoned")` policy panicked every subsequent
+//! worker that touched the lock instead.
+
+mod common;
+
+use common::*;
+use mcmcmi_serve::{ServeConfig, Server};
+
+#[test]
+fn build_lock_survives_a_panicking_builder() {
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        test_faults: true,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let n = 24;
+    let a = spd_tridiag(n, 0.0);
+    let fp = a.fingerprint();
+
+    // A builder dies *inside* the build lock: structured WorkerPanic.
+    let (status, v) = post_solve(
+        addr,
+        &solve_body(
+            Some(&a),
+            None,
+            &rhs(n, 0.0),
+            &["\"fault\":\"panic-in-build\""],
+        ),
+    );
+    assert_eq!(status, 500);
+    assert_eq!(error_kind(&v), "WorkerPanic");
+    let s1 = stats(addr);
+    assert_eq!(s1.worker_panics, 1);
+    assert_eq!(s1.worker_replacements, 1);
+    assert_eq!(s1.builds, 0, "the doomed group died before building");
+
+    // Same fingerprint, healthy request: the replacement worker recovers
+    // the poisoned build lock and serves a real solve.
+    let (status, v) = post_solve(addr, &solve_body(Some(&a), None, &rhs(n, 1.0), &[]));
+    assert_eq!(status, 200, "recovered build lock must serve: {v:?}");
+    assert_eq!(reply_u64(&v, "fingerprint"), fp);
+    let x = reply_x(&v);
+    assert_eq!(x.len(), n);
+    let s2 = stats(addr);
+    assert_eq!(s2.builds, 1, "exactly the healthy build ran");
+    assert_eq!(s2.completed, 1);
+
+    // And the operator is cached like any other: a fingerprint-only
+    // repeat is a cache hit.
+    let (status, v) = post_solve(addr, &solve_body(None, Some(fp), &rhs(n, 2.0), &[]));
+    assert_eq!(status, 200);
+    assert!(
+        matches!(v.get("cached"), Some(serde::Value::Bool(true))),
+        "repeat must hit the cache: {v:?}"
+    );
+    assert!(stats(addr).cache_hits >= 1);
+
+    let outcome = server.join().unwrap();
+    assert!(outcome.drained_clean);
+}
